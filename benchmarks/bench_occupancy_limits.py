@@ -1,0 +1,157 @@
+"""§3.3.2 occupancy limits: shared-memory capacity cliffs on Volta/Ampere.
+
+Sweeps the dense-row dimensionality and the hash-table degree budget on
+both device specs and reports where occupancy halves and where the dense
+strategy stops being schedulable — the numbers the paper quotes (23K/40K
+schedulable, 12K/20K at full occupancy, 3K/5K hash degrees).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import format_seconds, render_table, save_report
+from repro.errors import KernelLaunchError
+from repro.gpusim.occupancy import compute_occupancy
+from repro.gpusim.specs import AMPERE_A100, VOLTA_V100
+from repro.kernels.strategy import DENSE_ITEM_BYTES
+
+DIMS = (4_000, 8_000, 12_000, 16_000, 20_000, 24_000, 30_000, 40_000,
+        44_000)
+
+
+def _occupancy_sweep(spec):
+    rows = []
+    for k in DIMS:
+        smem = k * DENSE_ITEM_BYTES
+        try:
+            occ = compute_occupancy(spec, block_threads=1024,
+                                    smem_per_block=smem, regs_per_thread=31)
+            rows.append((k, occ.fraction(spec)))
+        except KernelLaunchError:
+            rows.append((k, None))
+    return rows
+
+
+def test_dense_occupancy_cliffs(benchmark):
+    def run():
+        return {spec.name: _occupancy_sweep(spec)
+                for spec in (VOLTA_V100, AMPERE_A100)}
+
+    sweeps = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for k in DIMS:
+        row = [f"{k:,}"]
+        for spec in (VOLTA_V100, AMPERE_A100):
+            frac = dict(sweeps[spec.name])[k]
+            row.append("unschedulable" if frac is None else f"{frac:.0%}")
+        rows.append(row)
+    report = render_table(["dense dims (f32)", "volta occupancy",
+                           "ampere occupancy"], rows,
+                          title="§3.3.2 — dense row-cache occupancy sweep")
+    save_report("occupancy_dense_sweep", report)
+
+    volta = dict(sweeps["volta-v100"])
+    ampere = dict(sweeps["ampere-a100"])
+    # full occupancy up to ~12K on Volta, ~20K on Ampere
+    assert volta[12_000] == 1.0
+    assert volta[16_000] < 1.0
+    assert ampere[20_000] == 1.0
+    assert ampere[24_000] < 1.0
+    # schedulability ends near 23-24K on Volta, ~40K on Ampere
+    assert volta[24_000] is not None and volta[30_000] is None
+    assert ampere[40_000] is not None and ampere[44_000] is None
+
+
+def test_hash_degree_budgets(benchmark):
+    def run():
+        return {spec.name: (spec.hash_table_slots(),
+                            spec.hash_table_max_degree())
+                for spec in (VOLTA_V100, AMPERE_A100)}
+
+    budgets = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name, f"{slots:,}", f"{deg:,}"]
+            for name, (slots, deg) in budgets.items()]
+    report = render_table(
+        ["device", "hash slots", "max degree @50% load"], rows,
+        title="§3.3.2 — hash-table degree budgets (paper: ~3K / ~5K)")
+    save_report("occupancy_hash_budgets", report)
+    assert budgets["volta-v100"][1] == pytest.approx(3_000, rel=0.05)
+    assert budgets["ampere-a100"][1] == pytest.approx(5_000, rel=0.06)
+
+
+def test_ampere_relieves_volta_limits(benchmark):
+    """§3.3.2's architectural progression: Ampere's larger shared memory
+    raises every capacity cliff, so a workload that Volta must partition
+    (or run at reduced occupancy) runs unconstrained on Ampere."""
+    import numpy as np
+
+    from repro.core.pairwise import pairwise_distances
+    from repro.kernels import LoadBalancedCooKernel
+
+    # degrees ~4000: above Volta's 3072 hash budget, below Ampere's 5216
+    rng = np.random.default_rng(1)
+    k = 30_000
+    m = 48
+    dense_rows = []
+    for _ in range(m):
+        deg = int(rng.integers(3_500, 4_500))
+        cols = rng.choice(k, size=deg, replace=False)
+        row = np.zeros(k)
+        row[cols] = rng.random(deg) + 0.1
+        dense_rows.append(row)
+    x = np.vstack(dense_rows)
+
+    def run():
+        out = {}
+        for spec in (VOLTA_V100, AMPERE_A100):
+            kernel = LoadBalancedCooKernel(spec, row_cache="hash")
+            res = pairwise_distances(x, metric="cosine", engine=kernel,
+                                     device=spec, return_result=True)
+            out[spec.name] = (res, kernel.last_profiles[0])
+        return out
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[name, f"{prof.n_blocks}", format_seconds(res.simulated_seconds)]
+            for name, (res, prof) in cells.items()]
+    report = render_table(
+        ["device", "blocks (partitioning)", "simulated"], rows,
+        title="§3.3.2 — degree ~4K rows: Volta partitions, Ampere doesn't")
+    save_report("occupancy_volta_vs_ampere", report)
+
+    volta_res, volta_prof = cells["volta-v100"]
+    ampere_res, ampere_prof = cells["ampere-a100"]
+    assert volta_prof.n_blocks > m        # partitioned on Volta
+    assert ampere_prof.n_blocks == m      # one block per row on Ampere
+    assert ampere_res.simulated_seconds < volta_res.simulated_seconds
+    np.testing.assert_allclose(volta_res.distances, ampere_res.distances,
+                               atol=1e-9)
+
+
+def test_hash_load_factor_probe_curve(benchmark):
+    """The 50% load-factor rule: probe chains blow up past half capacity."""
+    from repro.kernels.hash_table import BlockHashTable
+
+    def run():
+        rng = np.random.default_rng(0)
+        capacity = 2048
+        curve = []
+        for load in (0.1, 0.3, 0.5, 0.7, 0.9):
+            n = int(capacity * load)
+            cols = rng.choice(capacity * 64, size=n, replace=False)
+            table = BlockHashTable(capacity)
+            table.build(cols, np.ones(n))
+            absent = np.setdiff1d(
+                rng.choice(capacity * 64, size=4 * n, replace=False),
+                cols)[:n]
+            _, _, probes = table.lookup(absent)
+            curve.append((load, probes / max(1, absent.size)))
+        return curve
+
+    curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [[f"{load:.0%}", f"{probes:.2f}"] for load, probes in curve]
+    report = render_table(["load factor", "mean probes per miss"], rows,
+                          title="§3.3.2 — linear-probing degradation curve")
+    save_report("occupancy_hash_probe_curve", report)
+    probes = [p for _, p in curve]
+    assert probes == sorted(probes)
+    assert probes[-1] > 4 * probes[2]  # 90% load >> 50% load

@@ -1,0 +1,52 @@
+"""Table 2: dataset shapes, densities and degree ranges.
+
+Regenerates the paper's Table 2 for the synthetic replicas at benchmark
+scale, side by side with the published full-scale numbers, and asserts the
+scale-invariant structural facts.
+"""
+
+from repro.bench import BENCH_SCALES, bench_dataset, render_table, save_report
+from repro.datasets.synthetic import DATASET_PAPER_FACTS, available_datasets
+
+
+def _rows():
+    rows = []
+    for name in available_datasets():
+        ds = bench_dataset(name)
+        paper = DATASET_PAPER_FACTS[name]
+        row = ds.summary_row()
+        rows.append([
+            name,
+            f"{row['size'][0]}x{row['size'][1]}",
+            f"{row['density']:.4%}",
+            str(row["min_deg"]),
+            str(row["max_deg"]),
+            f"{paper.shape[0] // 1000}Kx{paper.shape[1] // 1000}K",
+            f"{paper.density:.4%}",
+            str(paper.min_degree),
+            str(paper.max_degree),
+            f"1/{BENCH_SCALES[name]:g}",
+        ])
+    return rows
+
+
+def test_table2_datasets(benchmark):
+    rows = benchmark.pedantic(_rows, rounds=1, iterations=1)
+    report = render_table(
+        ["dataset", "size", "density", "min", "max",
+         "paper size", "paper dens", "p.min", "p.max", "scale"],
+        rows, title="Table 2 — datasets (benchmark scale vs paper)")
+    save_report("table2_datasets", report)
+
+    by_name = {r[0]: r for r in rows}
+    # Scale-invariant facts: the density *ordering* of the paper's Table 2.
+    def density(name):
+        return bench_dataset(name).density
+
+    assert density("scrna") > density("nytimes") > density("movielens")
+    # SEC degrees are absolute (<= 51 n-grams per company name).
+    assert bench_dataset("sec_edgar").matrix.max_degree() <= 51
+    # scRNA is the only dataset with a degree floor.
+    assert bench_dataset("scrna").matrix.min_degree() > 0
+    for name in ("movielens", "sec_edgar", "nytimes"):
+        assert bench_dataset(name).matrix.min_degree() == 0

@@ -1,0 +1,21 @@
+"""Benchmark-suite plumbing.
+
+Every bench regenerates one of the paper's tables/figures, writes it under
+``benchmarks/results/``, and this hook replays the reports into the
+terminal summary so ``pytest benchmarks/ --benchmark-only`` shows them even
+though pytest captures stdout.
+"""
+
+from repro.bench.reporting import session_reports
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    reports = session_reports()
+    if not reports:
+        return
+    terminalreporter.section("paper reproduction reports")
+    for name, path in reports:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"--- {name} ({path}) ---")
+        for line in path.read_text().splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,87 @@
+"""Constructing new semirings: the paper's Figure 3, in Python.
+
+The paper's C++ API builds a new distance from one call (dot-product-style
+semirings: just a product op) or two calls (NAMMs: product op + the
+non-annihilating relaxation). The Python analogue is
+:func:`repro.register_custom_distance`. This example builds two measures
+that are *not* in Table 1:
+
+- **Bray-Curtis dissimilarity** ``Σ|x-y| / Σ(x+y)`` — ecology's workhorse;
+  the numerator and denominator are both NAMM sums, and we fold the
+  denominator in via a second registered measure.
+- **Squared-chord distance** ``Σ(√x - √y)²`` — expands like Euclidean over
+  √-transformed values, so it runs on the *single-pass* dot semiring with a
+  transform + expansion, exactly how Table 1 handles Hellinger.
+
+Run:  python examples/custom_semiring.py
+"""
+
+import numpy as np
+
+from repro import pairwise_distances, register_custom_distance
+from repro.core.registry import unregister_distance
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+    X = np.abs(rng.random((300, 400)) * (rng.random((300, 400)) < 0.05))
+
+    # ------------------------------------------------------------------
+    # 1. Bray-Curtis via two NAMM semirings (Figure 3: both calls)
+    # ------------------------------------------------------------------
+    register_custom_distance(
+        "abs_diff_sum", lambda x, y: np.abs(x - y),
+        non_annihilating=True, formula="sum |x_i - y_i|")
+    register_custom_distance(
+        "abs_plus_sum", lambda x, y: np.abs(x) + np.abs(y),
+        non_annihilating=True, formula="sum |x_i| + |y_i|")
+
+    num = pairwise_distances(X, metric="abs_diff_sum")
+    den = pairwise_distances(X, metric="abs_plus_sum")
+    bray_curtis = np.divide(num, den, out=np.zeros_like(num),
+                            where=den > 0)
+
+    # dense oracle
+    want_num = np.abs(X[:, None, :] - X[None, :, :]).sum(-1)
+    want_den = (X[:, None, :] + X[None, :, :]).sum(-1)
+    want = np.divide(want_num, want_den, out=np.zeros_like(want_num),
+                     where=want_den > 0)
+    np.testing.assert_allclose(bray_curtis, want, atol=1e-9)
+    print("Bray-Curtis via two NAMM semirings: matches dense oracle")
+    print(f"  mean dissimilarity: {bray_curtis.mean():.4f}")
+
+    # ------------------------------------------------------------------
+    # 2. Squared-chord via transform + expansion (Figure 3: first call)
+    # ------------------------------------------------------------------
+    register_custom_distance(
+        "squared_chord", lambda x, y: x * y,
+        transform=lambda v: np.sqrt(np.clip(v, 0, None)),
+        norms=("l2sq",),
+        expansion=lambda dot, na, nb, k: np.clip(
+            na["l2sq"][:, None] + nb["l2sq"][None, :] - 2 * dot, 0, None),
+        formula="sum (sqrt(x_i) - sqrt(y_i))^2")
+
+    sq_chord = pairwise_distances(X, metric="squared_chord")
+    want = ((np.sqrt(X)[:, None, :] - np.sqrt(X)[None, :, :]) ** 2).sum(-1)
+    np.testing.assert_allclose(sq_chord, want, atol=1e-9)
+    print("Squared-chord via dot semiring + expansion: matches dense oracle")
+    print(f"  single pass (annihilating), mean: {sq_chord.mean():.4f}")
+
+    # ------------------------------------------------------------------
+    # The custom measures run on every engine, including the simulated
+    # load-balanced kernel — and the NAMM really costs two passes.
+    # ------------------------------------------------------------------
+    r1 = pairwise_distances(X, metric="squared_chord",
+                            engine="hybrid_coo", return_result=True)
+    r2 = pairwise_distances(X, metric="abs_diff_sum",
+                            engine="hybrid_coo", return_result=True)
+    print(f"\nsimulated kernel launches: squared_chord={int(r1.stats.kernel_launches)} "
+          f"(1 SPMV + norms + expansion), abs_diff_sum={int(r2.stats.kernel_launches)} "
+          f"(2 SPMV passes)")
+
+    for name in ("abs_diff_sum", "abs_plus_sum", "squared_chord"):
+        unregister_distance(name)
+
+
+if __name__ == "__main__":
+    main()

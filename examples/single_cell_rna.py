@@ -1,0 +1,77 @@
+"""Single-cell RNA neighborhoods: the human-cell-atlas use case.
+
+The paper's densest benchmark dataset is a 66K-cell, 26K-gene expression
+matrix from the human lung cell atlas, the substrate of a standard scRNA
+workflow: build a k-NN graph over cells, then cluster/embed (UMAP being the
+paper's cited downstream consumer). This example reproduces the workflow:
+
+1. simulate expression for three cell types (each type over-expresses its
+   own gene program);
+2. compare distance choices on biological signal — Hellinger and
+   correlation are common for expression data, and both run on the
+   dot-product semiring with expansion functions;
+3. build the symmetric k-NN connectivities graph (the object UMAP consumes)
+   and check that it recovers the cell types.
+
+Run:  python examples/single_cell_rna.py
+"""
+
+import numpy as np
+
+from repro import NearestNeighbors, pairwise_distances
+from repro.neighbors import knn_graph
+from repro.sparse import CSRMatrix
+
+
+def simulate_expression(n_per_type=120, n_genes=800, n_programs=3, seed=5):
+    """Poisson counts with per-type gene programs (log1p-normalized)."""
+    rng = np.random.default_rng(seed)
+    cells, labels = [], []
+    base = rng.gamma(0.4, 1.0, size=n_genes)  # housekeeping expression
+    programs = [rng.choice(n_genes, size=n_genes // 10, replace=False)
+                for _ in range(n_programs)]
+    for t in range(n_programs):
+        lam = np.tile(base, (n_per_type, 1))
+        lam[:, programs[t]] *= 8.0  # the type's program is up-regulated
+        counts = rng.poisson(lam)
+        cells.append(np.log1p(counts))
+        labels += [t] * n_per_type
+    return np.vstack(cells), np.asarray(labels)
+
+
+def neighbor_purity(indices: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of non-self neighbors sharing the query's cell type."""
+    return float((labels[indices[:, 1:]] == labels[:, None]).mean())
+
+
+def main() -> None:
+    dense, labels = simulate_expression()
+    X = CSRMatrix.from_dense(dense)
+    print(f"expression matrix: {X.shape[0]} cells x {X.shape[1]} genes, "
+          f"density {X.density:.1%} (scRNA-like)")
+
+    print("\nneighbor purity@14 by distance:")
+    for metric in ("hellinger", "correlation", "euclidean", "manhattan"):
+        nn = NearestNeighbors(n_neighbors=15, metric=metric).fit(X)
+        _, indices = nn.kneighbors()
+        purity = neighbor_purity(indices, labels)
+        sim = nn.last_report.simulated_seconds * 1e3
+        print(f"  {metric:12s} purity {purity:.1%}  "
+              f"(simulated {sim:.2f} ms, "
+              f"{'2-pass NAMM' if metric == 'manhattan' else '1-pass + expansion'})")
+        assert purity > 0.8, f"{metric} should separate the cell types"
+
+    # the UMAP-style input object: a symmetric k-NN connectivities graph
+    graph = knn_graph(X, n_neighbors=15, metric="hellinger", symmetric=True)
+    print(f"\nsymmetric kNN connectivities graph: {graph.shape}, "
+          f"{graph.nnz} edges, density {graph.density:.2%}")
+
+    # intra- vs inter-type edges
+    rows = np.repeat(np.arange(graph.n_rows), graph.row_degrees())
+    same = labels[rows] == labels[graph.indices]
+    print(f"edges within a cell type: {same.mean():.1%}")
+    assert same.mean() > 0.9
+
+
+if __name__ == "__main__":
+    main()

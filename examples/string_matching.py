@@ -1,0 +1,75 @@
+"""Fuzzy string matching: the SEC EDGAR company-names use case.
+
+The paper's sparsest benchmark dataset is TF-IDF over character n-grams of
+SEC EDGAR company names — the classic entity-resolution workload. This
+example reproduces it end to end:
+
+1. generate company names where ~40% are noisy variants (suffix swaps,
+   dropped words, typos) of earlier names;
+2. vectorize with character 3-grams (our from-scratch vectorizer);
+3. find each name's nearest neighbor under cosine and jaccard through the
+   semiring primitive;
+4. score entity resolution: does the top match share the canonical entity?
+
+Run:  python examples/string_matching.py
+"""
+
+import numpy as np
+
+from repro import NearestNeighbors
+from repro.datasets import CharNgramVectorizer, generate_company_names
+
+
+def resolution_accuracy(indices: np.ndarray, ids: np.ndarray,
+                        names) -> float:
+    """Fraction of names whose nearest non-self neighbor is a true variant,
+    measured over names that have at least one variant to find.
+
+    Distinct entities can draw byte-identical names (the generator composes
+    from a finite stem/sector/suffix pool, like real corporate registries);
+    those matches are string-perfect and unresolvable by any distance, so
+    they count as correct.
+    """
+    has_dup = np.array([np.sum(ids == ids[i]) > 1 for i in range(ids.size)])
+    top = indices[:, 1]  # column 0 is the self match
+    hit = (ids[top] == ids) | np.array(
+        [names[j] == names[i] for i, j in enumerate(top)])
+    return float(hit[has_dup].mean())
+
+
+def main() -> None:
+    names, ids = generate_company_names(600, seed=21, variant_fraction=0.45)
+    n_entities = np.unique(ids).size
+    print(f"{len(names)} company names covering {n_entities} entities")
+
+    vectorizer = CharNgramVectorizer(n=3)
+    X = vectorizer.fit_transform(names)
+    print(f"3-gram TF-IDF matrix: {X.shape[0]}x{X.shape[1]}, "
+          f"density {X.density:.3%} (SEC-EDGAR-like: tiny row degrees, "
+          f"max {X.max_degree()})")
+
+    for metric in ("cosine", "jaccard"):
+        nn = NearestNeighbors(n_neighbors=2, metric=metric).fit(X)
+        _, indices = nn.kneighbors()
+        acc = resolution_accuracy(indices, ids, names)
+        sim_ms = nn.last_report.simulated_seconds * 1e3
+        print(f"  {metric:8s}: top-1 entity match {acc:.1%} "
+              f"(simulated query {sim_ms:.2f} ms)")
+        assert acc > 0.6, "variants should resolve well above chance"
+
+    # show a few resolutions
+    nn = NearestNeighbors(n_neighbors=2, metric="cosine").fit(X)
+    _, indices = nn.kneighbors()
+    print("\nsample matches:")
+    shown = 0
+    for i in range(len(names)):
+        j = indices[i, 1]
+        if ids[i] == ids[j] and names[i] != names[j]:
+            print(f"  {names[i]!r:38s} <-> {names[j]!r}")
+            shown += 1
+            if shown == 5:
+                break
+
+
+if __name__ == "__main__":
+    main()

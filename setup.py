@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed in environments without the ``wheel`` package
+(offline PEP 660 editable installs fail there — ``python setup.py develop``
+and legacy ``pip install -e .`` still work).
+"""
+
+from setuptools import setup
+
+setup()

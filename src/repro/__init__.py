@@ -1,0 +1,73 @@
+"""repro — reproduction of *GPU Semiring Primitives for Sparse Neighborhood
+Methods* (Nolet et al., MLSys 2022).
+
+A sparse pairwise-distance library built on semirings, together with a
+simulated-GPU execution substrate that reproduces the paper's performance
+analysis without physical hardware. The two Figure-2 entry points:
+
+    from repro import NearestNeighbors, pairwise_distances
+
+    nn = NearestNeighbors(n_neighbors=10, metric="manhattan").fit(X)
+    distances, indices = nn.kneighbors(X)
+
+    dists = pairwise_distances(X, metric="cosine")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import (
+    DistanceMeasure,
+    PairwiseResult,
+    available_distances,
+    make_distance,
+    pairwise_distances,
+    pairwise_reference,
+    register_custom_distance,
+)
+from repro.errors import (
+    DeviceConfigError,
+    KernelLaunchError,
+    ReproError,
+    SemiringError,
+    ShapeMismatchError,
+    SparseFormatError,
+    UnknownDistanceError,
+)
+from repro.gpusim import AMPERE_A100, VOLTA_V100, DeviceSpec, get_device
+from repro.neighbors import NearestNeighbors, knn_graph
+from repro.sparse import COOMatrix, CSRMatrix, as_csr
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # distances
+    "pairwise_distances",
+    "pairwise_reference",
+    "PairwiseResult",
+    "DistanceMeasure",
+    "make_distance",
+    "available_distances",
+    "register_custom_distance",
+    # neighbors
+    "NearestNeighbors",
+    "knn_graph",
+    # sparse
+    "CSRMatrix",
+    "COOMatrix",
+    "as_csr",
+    # devices
+    "DeviceSpec",
+    "VOLTA_V100",
+    "AMPERE_A100",
+    "get_device",
+    # errors
+    "ReproError",
+    "SparseFormatError",
+    "ShapeMismatchError",
+    "SemiringError",
+    "UnknownDistanceError",
+    "DeviceConfigError",
+    "KernelLaunchError",
+]

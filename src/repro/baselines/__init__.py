@@ -1,0 +1,38 @@
+"""Baselines the paper compares against.
+
+- :class:`CsrGemmKernel` — cuSPARSE-style dot-product sparse matmul, used as
+  the GPU baseline for every *expanded* distance;
+- :class:`~repro.kernels.naive_csr.NaiveCsrKernel` — the naive full-union
+  CSR kernel, used as the GPU baseline for distances csrgemm cannot express;
+- :class:`CpuBruteForce` — the scikit-learn-style CPU reference.
+
+:func:`baseline_engine_for` applies the paper's §4.1 selection rule.
+"""
+
+from repro.baselines.cpu_bruteforce import DGX1_CPU, CpuBruteForce, CpuSpec
+from repro.baselines.csrgemm import CsrGemmKernel
+from repro.core.distances import DistanceMeasure
+from repro.gpusim.specs import DeviceSpec, VOLTA_V100
+from repro.kernels.base import PairwiseKernel
+from repro.kernels.naive_csr import NaiveCsrKernel
+
+__all__ = [
+    "CsrGemmKernel",
+    "CpuBruteForce",
+    "CpuSpec",
+    "DGX1_CPU",
+    "baseline_engine_for",
+]
+
+
+def baseline_engine_for(measure: DistanceMeasure,
+                        spec: DeviceSpec = VOLTA_V100) -> PairwiseKernel:
+    """The paper's baseline choice for a given distance.
+
+    csrgemm for every measure it can express (expanded form with the
+    arithmetic product), the naive full-union CSR kernel otherwise.
+    """
+    semiring = measure.semiring
+    if not semiring.requires_union and semiring.product.name == "times":
+        return CsrGemmKernel(spec)
+    return NaiveCsrKernel(spec)

@@ -1,0 +1,131 @@
+"""Command-line entry point: regenerate paper reports without pytest.
+
+    python -m repro.bench table2 fig1          # selected reports
+    python -m repro.bench --all                # everything (minutes)
+    python -m repro.bench --list
+
+Each report is printed and saved under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.bench.reporting import save_report
+from repro.bench.runner import (
+    bench_dataset,
+    run_baseline_cell,
+    run_cpu_cell,
+    run_knn_cell,
+)
+from repro.bench.tables import bold_min, format_seconds, render_table
+from repro.core.distances import DOT_PRODUCT_DISTANCES, NAMM_DISTANCES
+
+DATASETS = ("movielens", "scrna", "nytimes", "sec_edgar")
+
+
+def report_table2() -> str:
+    from repro.datasets.synthetic import DATASET_PAPER_FACTS
+
+    rows = []
+    for name in DATASETS:
+        ds = bench_dataset(name)
+        paper = DATASET_PAPER_FACTS[name]
+        rows.append([name, f"{ds.shape[0]}x{ds.shape[1]}",
+                     f"{ds.density:.4%}", str(ds.matrix.min_degree()),
+                     str(ds.matrix.max_degree()),
+                     f"{paper.shape[0] // 1000}Kx{paper.shape[1] // 1000}K",
+                     f"{paper.density:.4%}"])
+    return render_table(["dataset", "size", "density", "min", "max",
+                         "paper size", "paper density"], rows,
+                        title="Table 2 — datasets")
+
+
+def report_fig1() -> str:
+    from repro.datasets.degree import degree_percentile
+
+    qs = (0.25, 0.5, 0.75, 0.9, 0.95, 0.99)
+    rows = [[name] + [f"{degree_percentile(bench_dataset(name).matrix, q):.0f}"
+                      for q in qs] for name in DATASETS]
+    return render_table(["dataset"] + [f"p{int(q * 100)}" for q in qs], rows,
+                        title="Figure 1 — degree quantiles")
+
+
+def report_table3() -> str:
+    headers = ["group", "distance"]
+    for ds in DATASETS:
+        headers += [f"{ds} base", f"{ds} RAFT"]
+    rows = []
+    for group, metrics in (("dot", DOT_PRODUCT_DISTANCES),
+                           ("non-trivial", NAMM_DISTANCES)):
+        for metric in metrics:
+            row = [group, metric]
+            for ds in DATASETS:
+                base = run_baseline_cell(ds, metric)
+                ours = run_knn_cell(ds, metric, "hybrid_coo",
+                                    row_cache="hash")
+                pair = [base.simulated_seconds, ours.simulated_seconds]
+                row += bold_min(pair, [format_seconds(v) for v in pair])
+            rows.append(row)
+            print(f"  ... {metric} done", file=sys.stderr)
+    return render_table(headers, rows,
+                        title="Table 3 — end-to-end kNN (simulated V100)")
+
+
+def report_speedup() -> str:
+    rows = []
+    for group, metrics in (("dot", DOT_PRODUCT_DISTANCES),
+                           ("non-trivial", NAMM_DISTANCES)):
+        speeds = []
+        for metric in metrics:
+            for ds in DATASETS:
+                gpu = run_knn_cell(ds, metric, "hybrid_coo",
+                                   row_cache="hash")
+                cpu = run_cpu_cell(ds, metric)
+                speeds.append(cpu.simulated_seconds / gpu.simulated_seconds)
+        rows.append([group, f"{sum(speeds) / len(speeds):.2f}x",
+                     "28.78x" if group == "dot" else "29.17x"])
+    return render_table(["family", "measured avg speedup", "paper"],
+                        rows, title="§4.2 — GPU speedup vs CPU")
+
+
+REPORTS: Dict[str, Callable[[], str]] = {
+    "table2": report_table2,
+    "fig1": report_fig1,
+    "table3": report_table3,
+    "speedup": report_speedup,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("reports", nargs="*", choices=[*REPORTS, []],
+                        help="which reports to run")
+    parser.add_argument("--all", action="store_true", help="run everything")
+    parser.add_argument("--list", action="store_true",
+                        help="list available reports")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("\n".join(REPORTS))
+        return 0
+    names = list(REPORTS) if args.all else args.reports
+    if not names:
+        parser.error("nothing to run; pass report names or --all")
+    for name in names:
+        start = time.perf_counter()
+        content = REPORTS[name]()
+        elapsed = time.perf_counter() - start
+        path = save_report(f"cli_{name}", content)
+        print(content)
+        print(f"[{name}: {elapsed:.1f}s, saved to {path}]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""Result persistence for benchmark reports.
+
+Each benchmark writes its paper-style table under ``benchmarks/results/`` so
+the regenerated Tables/Figures survive pytest's stdout capture; the
+benchmarks' ``conftest.py`` replays them into the terminal summary.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["results_dir", "save_report", "session_reports"]
+
+_ENV_KEY = "REPRO_BENCH_RESULTS"
+
+#: (name, path) of every report saved in this process, in order — the
+#: benchmarks' conftest replays them into pytest's terminal summary.
+_SESSION_REPORTS = []
+
+
+def results_dir() -> Path:
+    """Directory where benchmark reports are written (created on demand)."""
+    root = os.environ.get(_ENV_KEY)
+    if root is None:
+        root = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+    path = Path(root)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def save_report(name: str, content: str) -> Path:
+    """Persist one report and return its path."""
+    path = results_dir() / f"{name}.txt"
+    path.write_text(content + "\n")
+    _SESSION_REPORTS.append((name, path))
+    return path
+
+
+def session_reports():
+    """Reports saved so far in this process, in save order."""
+    return list(_SESSION_REPORTS)

@@ -1,0 +1,98 @@
+"""Graph algorithms in the language of semirings (paper §2.2 / §5.2).
+
+The paper positions its primitive against GraphBLAS, where semirings
+implement graph algorithms. This module demonstrates that our semiring
+machinery covers that ground too: the **boolean (OR, AND) semiring** is
+annihilating (``AND(x, 0) = 0 = id_OR``), so the very same
+intersection-only kernel path that computes dot products computes
+single-source reachability, BFS levels, and triangle counting on sparse
+adjacency matrices.
+
+(The tropical (min, +) semiring of the paper's Eq. 1 needs ``+inf`` as the
+implicit value of missing entries, which a zero-implicit sparse format
+cannot express directly — exactly the GraphBLAS "re-interpretation of the
+zeroth element" the paper discusses. We therefore stick to semirings whose
+⊕-identity is 0 here; Eq. 1 itself is exercised in the semiring unit
+tests via explicit vectors.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.monoid import MAX, TIMES
+from repro.core.semiring import Semiring
+from repro.kernels.functional import intersection_block
+from repro.sparse.convert import as_csr
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["boolean_semiring", "bfs_levels", "reachable_within",
+           "count_triangles"]
+
+
+def boolean_semiring() -> Semiring:
+    """The (OR, AND) semiring on {0, 1}: OR = max, AND = multiply.
+
+    AND annihilates on 0 = id_OR, so sparse evaluation needs only the
+    intersection of nonzero columns — the fast single-pass kernel path.
+    """
+    return Semiring("boolean", reduce=MAX, product=TIMES)
+
+
+def _binarize(adj: CSRMatrix) -> CSRMatrix:
+    return adj.map_values(lambda v: (v != 0.0).astype(np.float64))
+
+
+def bfs_levels(adjacency, source: int) -> np.ndarray:
+    """Breadth-first levels from ``source`` via repeated (OR, AND) products.
+
+    Level ``l`` vertices are those first reached by the l-th semiring
+    product of the frontier with the adjacency matrix. Unreachable vertices
+    get level -1.
+    """
+    adj = _binarize(as_csr(adjacency))
+    if adj.n_rows != adj.n_cols:
+        raise ValueError("adjacency must be square")
+    n = adj.n_rows
+    if not 0 <= source < n:
+        raise IndexError(f"source {source} out of range for {n} vertices")
+    sr = boolean_semiring()
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[source] = 0
+    frontier = CSRMatrix(np.array([0, 1]), np.array([source]),
+                         np.array([1.0]), (1, n), check=False, sort=False)
+    adj_t = adj.transpose()
+    for level in range(1, n + 1):
+        # next = frontier (OR.AND) A : one sparse semiring product
+        nxt = intersection_block(frontier, adj_t, sr)[0]
+        new = np.flatnonzero((nxt > 0) & (levels < 0))
+        if new.size == 0:
+            break
+        levels[new] = level
+        indptr = np.array([0, new.size], dtype=np.int64)
+        frontier = CSRMatrix(indptr, new, np.ones(new.size), (1, n),
+                             check=False, sort=False)
+    return levels
+
+
+def reachable_within(adjacency, source: int, n_hops: int) -> np.ndarray:
+    """Boolean mask of vertices reachable from ``source`` in <= n_hops."""
+    levels = bfs_levels(adjacency, source)
+    return (levels >= 0) & (levels <= n_hops)
+
+
+def count_triangles(adjacency) -> int:
+    """Triangle count of an undirected graph via the dot-product semiring.
+
+    ``trace(A·A·A) / 6`` specialized to sparse row form: for each edge
+    (i, j), the dot product of rows i and j counts the shared neighbors.
+    """
+    adj = _binarize(as_csr(adjacency))
+    if adj.n_rows != adj.n_cols:
+        raise ValueError("adjacency must be square")
+    from repro.core.semiring import dot_product_semiring
+
+    block = intersection_block(adj, adj, dot_product_semiring())
+    dense = adj.to_dense()
+    paths_through_edges = float((block * dense).sum())
+    return int(round(paths_through_edges / 6.0))

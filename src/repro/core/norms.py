@@ -1,0 +1,39 @@
+"""Row-norm computation for expansion functions (paper §3.4).
+
+Expanded-form distances combine the dot-product block with one or more
+vectors of row norms. On the GPU these are warp-per-row collective
+reductions (already a GraphBLAS reduction primitive); here they are
+``reduceat`` segment sums over the CSR value array.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import row_norms, row_sums
+
+__all__ = ["compute_norms", "NORM_KINDS"]
+
+#: Supported norm kinds: the Table-1 "Norm" column plus the signed row sum
+#: and squared-L2 convenience kinds the correlation/euclidean expansions use.
+NORM_KINDS = ("l0", "l1", "l2", "l2sq", "sum")
+
+
+def compute_norms(x: CSRMatrix, kinds: Iterable[str]) -> Dict[str, np.ndarray]:
+    """Compute each requested row-norm kind once and return them by name."""
+    out: Dict[str, np.ndarray] = {}
+    for kind in kinds:
+        kind = kind.lower()
+        if kind in out:
+            continue
+        if kind == "sum":
+            out[kind] = row_sums(x)
+        elif kind in ("l0", "l1", "l2", "l2sq"):
+            out[kind] = row_norms(x, kind)
+        else:
+            raise ValueError(
+                f"unknown norm kind {kind!r}; expected one of {NORM_KINDS}")
+    return out

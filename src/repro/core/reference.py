@@ -1,0 +1,241 @@
+"""Dense, obviously-correct reference implementations of every distance.
+
+These operate directly on dense arrays with no semiring machinery and serve
+two roles:
+
+1. the **oracle** the sparse kernels are tested against (same conventions as
+   :mod:`repro.core.distances`, including the KL intersection-only rule and
+   the degenerate-denominator resolutions), and
+2. the computational core of the **CPU brute-force baseline**
+   (:mod:`repro.baselines.cpu_bruteforce`), the stand-in for the paper's
+   scikit-learn comparison.
+
+Everything here is vectorized over row *blocks* — ``pairwise_reference``
+broadcasts an ``(m, 1, k)`` against a ``(1, n, k)`` slab for the union
+metrics, so callers batch rows to bound memory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import ShapeMismatchError, UnknownDistanceError
+
+__all__ = ["pairwise_reference", "reference_distance_names"]
+
+_EPS = 1e-300
+
+
+def _dot(x, y, **kw):
+    return x @ y.T
+
+
+def _cosine(x, y, **kw):
+    nx = np.linalg.norm(x, axis=1)
+    ny = np.linalg.norm(y, axis=1)
+    denom = nx[:, None] * ny[None, :]
+    dot = x @ y.T
+    sim = np.zeros_like(dot)
+    np.divide(dot, denom, out=sim, where=denom > _EPS)
+    out = 1.0 - sim
+    both_zero = (nx[:, None] <= _EPS) & (ny[None, :] <= _EPS)
+    out[both_zero] = 0.0
+    return np.clip(out, 0.0, 2.0)
+
+
+def _euclidean(x, y, **kw):
+    return np.sqrt(_sqeuclidean(x, y))
+
+
+def _sqeuclidean(x, y, **kw):
+    sq = (np.sum(x * x, axis=1)[:, None] + np.sum(y * y, axis=1)[None, :]
+          - 2.0 * (x @ y.T))
+    return np.clip(sq, 0.0, None)
+
+
+def _hellinger(x, y, **kw):
+    sx, sy = np.sqrt(np.clip(x, 0, None)), np.sqrt(np.clip(y, 0, None))
+    return math.sqrt(0.5) * _euclidean(sx, sy)
+
+
+def _correlation(x, y, **kw):
+    k = x.shape[1]
+    sx, sy = x.sum(axis=1), y.sum(axis=1)
+    qx, qy = np.sum(x * x, axis=1), np.sum(y * y, axis=1)
+    dot = x @ y.T
+    num = k * dot - sx[:, None] * sy[None, :]
+    var_x = np.clip(k * qx - sx * sx, 0.0, None)
+    var_y = np.clip(k * qy - sy * sy, 0.0, None)
+    den = np.sqrt(var_x[:, None] * var_y[None, :])
+    corr = np.zeros_like(dot)
+    np.divide(num, den, out=corr, where=den > _EPS)
+    out = 1.0 - corr
+    # degenerate (zero-variance) pairs: d = 0 by convention — see the
+    # matching comment in repro.core.distances._expand_correlation.
+    out[den <= _EPS] = 0.0
+    return np.clip(out, 0.0, 2.0)
+
+
+def _dice(x, y, **kw):
+    bx, by = (x != 0).astype(np.float64), (y != 0).astype(np.float64)
+    inter = bx @ by.T
+    denom = bx.sum(axis=1)[:, None] + by.sum(axis=1)[None, :]
+    out = np.zeros_like(inter)
+    np.divide(2.0 * inter, denom, out=out, where=denom > _EPS)
+    out = 1.0 - out
+    out[denom <= _EPS] = 0.0
+    return out
+
+
+def _jaccard(x, y, **kw):
+    bx, by = (x != 0).astype(np.float64), (y != 0).astype(np.float64)
+    inter = bx @ by.T
+    union = bx.sum(axis=1)[:, None] + by.sum(axis=1)[None, :] - inter
+    sim = np.zeros_like(inter)
+    np.divide(inter, union, out=sim, where=union > _EPS)
+    out = 1.0 - sim
+    out[union <= _EPS] = 0.0  # both empty -> identical -> distance 0
+    return out
+
+
+def _russellrao(x, y, **kw):
+    k = x.shape[1]
+    if k == 0:
+        return np.zeros((x.shape[0], y.shape[0]))
+    bx, by = (x != 0).astype(np.float64), (y != 0).astype(np.float64)
+    return (k - bx @ by.T) / float(k)
+
+
+def _kl_divergence(x, y, **kw):
+    # Paper semantics: contributions only where both entries are positive
+    # (annihilating semiring with a replaced product op).
+    out = np.zeros((x.shape[0], y.shape[0]))
+    for i in range(x.shape[0]):
+        xi = x[i]
+        valid = (xi > 0) & (y > 0)
+        ratio = np.ones_like(y)
+        np.divide(xi[None, :], y, out=ratio, where=valid)
+        term = np.zeros_like(y)
+        np.log(ratio, out=term, where=valid)
+        term *= xi[None, :]
+        term[~valid] = 0.0
+        out[i] = term.sum(axis=1)
+    return out
+
+
+def _manhattan(x, y, **kw):
+    return _blockwise_union(x, y, lambda d: np.abs(d).sum(axis=-1))
+
+
+def _chebyshev(x, y, **kw):
+    if x.shape[1] == 0:
+        return np.zeros((x.shape[0], y.shape[0]))
+    return _blockwise_union(x, y, lambda d: np.abs(d).max(axis=-1))
+
+
+def _canberra(x, y, **kw):
+    out = np.zeros((x.shape[0], y.shape[0]))
+    for i in range(x.shape[0]):
+        num = np.abs(x[i][None, :] - y)
+        den = np.abs(x[i])[None, :] + np.abs(y)
+        frac = np.zeros_like(num)
+        np.divide(num, den, out=frac, where=den > _EPS)
+        out[i] = frac.sum(axis=1)
+    return out
+
+
+def _hamming(x, y, **kw):
+    k = x.shape[1]
+    if k == 0:
+        return np.zeros((x.shape[0], y.shape[0]))
+    out = np.zeros((x.shape[0], y.shape[0]))
+    for i in range(x.shape[0]):
+        out[i] = (x[i][None, :] != y).sum(axis=1)
+    return out / float(k)
+
+
+def _jensen_shannon(x, y, **kw):
+    out = np.zeros((x.shape[0], y.shape[0]))
+    for i in range(x.shape[0]):
+        xi = x[i][None, :]
+        mu = 0.5 * (xi + y)
+        out[i] = (_xlog(xi, mu) + _xlog(y, mu)).sum(axis=1)
+    return np.sqrt(np.clip(0.5 * out, 0.0, None))
+
+
+def _xlog(v, m):
+    term = np.zeros(np.broadcast_shapes(v.shape, m.shape))
+    valid = (v > 0) & (m > 0)
+    ratio = np.ones_like(term)
+    np.divide(np.broadcast_to(v, term.shape), np.broadcast_to(m, term.shape),
+              out=ratio, where=valid)
+    np.log(ratio, out=term, where=valid)
+    term *= v
+    term[~valid] = 0.0
+    return term
+
+
+def _minkowski(x, y, *, p: float = 3.0, **kw):
+    p = float(p)
+    return _blockwise_union(
+        x, y, lambda d: (np.abs(d) ** p).sum(axis=-1)) ** (1.0 / p)
+
+
+def _blockwise_union(x, y, row_reduce, block: int = 64):
+    """Evaluate a |x - y| style reduction in row blocks to bound memory."""
+    out = np.empty((x.shape[0], y.shape[0]))
+    for start in range(0, x.shape[0], block):
+        stop = min(start + block, x.shape[0])
+        diff = x[start:stop, None, :] - y[None, :, :]
+        out[start:stop] = row_reduce(diff)
+    return out
+
+
+_REFERENCE: Dict[str, Callable] = {
+    "dot": _dot,
+    "cosine": _cosine,
+    "euclidean": _euclidean,
+    "sqeuclidean": _sqeuclidean,
+    "hellinger": _hellinger,
+    "correlation": _correlation,
+    "dice": _dice,
+    "jaccard": _jaccard,
+    "russellrao": _russellrao,
+    "kl_divergence": _kl_divergence,
+    "manhattan": _manhattan,
+    "chebyshev": _chebyshev,
+    "canberra": _canberra,
+    "hamming": _hamming,
+    "jensen_shannon": _jensen_shannon,
+    "minkowski": _minkowski,
+}
+
+
+def reference_distance_names():
+    """Names covered by the dense oracle."""
+    return tuple(sorted(_REFERENCE))
+
+
+def pairwise_reference(x: np.ndarray, y: np.ndarray, metric: str,
+                       **params) -> np.ndarray:
+    """Dense pairwise distances between the rows of ``x`` and ``y``.
+
+    This is the ground-truth the sparse semiring implementations must match
+    (up to floating-point tolerance).
+    """
+    from repro.core.distances import canonical_name
+
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    y = np.atleast_2d(np.asarray(y, dtype=np.float64))
+    if x.shape[1] != y.shape[1]:
+        raise ShapeMismatchError(
+            f"feature dimensions differ: {x.shape[1]} != {y.shape[1]}")
+    name = canonical_name(metric)
+    try:
+        fn = _REFERENCE[name]
+    except KeyError:  # pragma: no cover - registry and oracle kept in sync
+        raise UnknownDistanceError(f"no dense reference for {metric!r}")
+    return np.asarray(fn(x, y, **params), dtype=np.float64)

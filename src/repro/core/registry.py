@@ -1,0 +1,118 @@
+"""User-facing registry for custom semiring distances.
+
+The paper's Figure 3 shows the two-call C++ API for constructing new
+semirings: dot-product-based semirings invoke only the product-op call,
+NAMMs invoke both. :func:`register_custom_distance` is the Python analogue —
+hand it a product op (and optionally a reduce monoid + finalize) and the new
+measure becomes available to :func:`repro.pairwise_distances` and the
+nearest-neighbor estimators by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.core import distances as _dist
+from repro.core.distances import EXPANDED, NAMM, DistanceMeasure
+from repro.core.monoid import PLUS, Monoid
+from repro.core.semiring import dot_product_semiring, namm_semiring
+from repro.errors import SemiringError
+
+__all__ = [
+    "register_custom_distance",
+    "unregister_distance",
+    "get_distance",
+    "list_distances",
+]
+
+
+def get_distance(name: str, **params) -> DistanceMeasure:
+    """Instantiate a registered distance (catalogue or custom) by name."""
+    return _dist.make_distance(name, **params)
+
+
+def list_distances() -> Tuple[str, ...]:
+    """All registered distance names (canonical, sorted)."""
+    return _dist.available_distances()
+
+
+def register_custom_distance(
+    name: str,
+    product_op: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    *,
+    non_annihilating: bool = False,
+    reduce: Monoid = PLUS,
+    norms: Tuple[str, ...] = (),
+    expansion: Optional[Callable] = None,
+    finalize: Optional[Callable] = None,
+    transform: Optional[Callable] = None,
+    binarize: bool = False,
+    formula: str = "",
+    overwrite: bool = False,
+) -> DistanceMeasure:
+    """Register a new distance built from a custom semiring.
+
+    Parameters mirror the paper's two-call construction:
+
+    - ``product_op`` alone (``non_annihilating=False``) builds an
+      annihilating dot-product-style semiring — single pass over the
+      intersection of nonzero columns.
+    - ``non_annihilating=True`` additionally relaxes the annihilator
+      (the NAMM), scheduling two passes over the full nonzero union;
+      ``reduce`` may then also be overridden (e.g. ``MAX`` for
+      Chebyshev-like measures).
+
+    Returns the registered prototype measure. The name becomes available to
+    every API accepting a ``metric`` string.
+    """
+    key = name.strip().lower().replace(" ", "_")
+    if not key:
+        raise ValueError("distance name must be non-empty")
+    if not overwrite and key in _dist.available_distances():
+        raise SemiringError(
+            f"distance {key!r} already registered; pass overwrite=True "
+            "to replace it")
+
+    if non_annihilating:
+        semiring = namm_semiring(product_op, reduce=reduce, name=key)
+        kind = NAMM
+        if expansion is not None:
+            raise SemiringError(
+                "NAMM distances reduce in-kernel; use finalize, not expansion")
+    else:
+        semiring = dot_product_semiring(product_op=product_op, name=key)
+        kind = EXPANDED
+        if expansion is None:
+            expansion = _identity_expansion
+
+    measure = DistanceMeasure(
+        name=key, formula=formula or f"custom semiring {key}", kind=kind,
+        semiring=semiring, norms=tuple(norms), transform=transform,
+        binarize=binarize, expansion=expansion, finalize=finalize,
+        is_metric=False, symmetric=False)
+
+    def factory(**_params) -> DistanceMeasure:
+        return measure
+
+    _dist._FACTORIES[key] = factory
+    return measure
+
+
+def unregister_distance(name: str) -> None:
+    """Remove a previously registered custom distance."""
+    key = name.strip().lower().replace(" ", "_")
+    builtin = {
+        "dot", "cosine", "euclidean", "sqeuclidean", "hellinger",
+        "correlation", "dice", "jaccard", "russellrao", "kl_divergence",
+        "manhattan", "chebyshev", "canberra", "hamming", "jensen_shannon",
+        "minkowski",
+    }
+    if key in builtin:
+        raise SemiringError(f"refusing to unregister built-in distance {key!r}")
+    _dist._FACTORIES.pop(key, None)
+
+
+def _identity_expansion(dot, na, nb, k):
+    return dot

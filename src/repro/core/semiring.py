@@ -1,0 +1,174 @@
+"""Semirings, including the paper's non-annihilating extension.
+
+A semiring ``(S, R, {⊕, id⊕}, {⊗, id⊗})`` pairs two monoids. Classical
+definitions (and the GraphBLAS spec) assume the multiplicative annihilator
+equals the additive identity, which lets sparse kernels evaluate ⊗ only over
+the *intersection* of nonzero columns. The paper relaxes this: when ⊗ is
+non-annihilating with ``id⊗ = 0`` (a **NAMM**), ⊗ must instead be evaluated
+over the full *union* of nonzero columns, which the kernel realizes with the
+set decomposition
+
+    a ∪ b = {a ∩ b} ∪ {a̅ ∩ b} ∪ {a ∩ b̅}        (paper Eq. 3)
+
+executed as two SPMV passes (Section 3.3.1). :class:`Semiring` carries
+enough metadata for the execution layer to pick the right number of passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.monoid import PLUS, TIMES, BinaryOp, Monoid
+from repro.errors import SemiringError
+
+__all__ = ["Semiring", "dot_product_semiring", "tropical_semiring", "namm_semiring"]
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A pair of monoids driving the sparse pairwise primitive.
+
+    The ``reduce`` monoid is ⊕ and the ``product`` monoid is ⊗. The flags
+    derived below are what the kernels consult:
+
+    - :attr:`is_annihilating` — ⊗ has an annihilator equal to ``id⊕``, so the
+      kernel may skip every column where either operand is zero
+      (intersection-only, single pass).
+    - :attr:`requires_union` — the NAMM case: ⊗ must see every column where
+      *either* operand is nonzero (two passes).
+    """
+
+    name: str
+    reduce: Monoid
+    product: Monoid
+
+    def __post_init__(self):
+        if self.requires_union:
+            if self.product.identity != 0.0:
+                raise SemiringError(
+                    f"semiring {self.name!r}: a non-annihilating ⊗ must have "
+                    f"id⊗ = 0 (got {self.product.identity}); see paper §2.2")
+            if not self.product.commutative:
+                raise SemiringError(
+                    f"semiring {self.name!r}: a NAMM ⊗ must be commutative "
+                    "so the two-pass union decomposition can commute A and B")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_annihilating(self) -> bool:
+        """⊗ annihilates on the additive identity → intersection suffices."""
+        return (self.product.annihilator is not None
+                and self.product.annihilator == self.reduce.identity)
+
+    @property
+    def requires_union(self) -> bool:
+        """True when ⊗ is a NAMM and the full nonzero union is required."""
+        return not self.is_annihilating
+
+    @property
+    def n_passes(self) -> int:
+        """SPMV passes the execution layer needs: 1 (intersection) or 2."""
+        return 2 if self.requires_union else 1
+
+    # ------------------------------------------------------------------
+    def combine(self, a, b) -> np.ndarray:
+        """Apply ⊗ element-wise (vectorized)."""
+        return self.product(a, b)
+
+    def reduce_array(self, values: np.ndarray, axis=None) -> np.ndarray:
+        """Fold an array with ⊕ along ``axis`` (ufunc reduce)."""
+        values = np.asarray(values, dtype=np.float64)
+        ufunc = _as_ufunc(self.reduce)
+        if values.size == 0:
+            shape = () if axis is None else tuple(
+                s for i, s in enumerate(values.shape) if i != axis % values.ndim)
+            return np.full(shape, self.reduce.identity)
+        return ufunc.reduce(values, axis=axis)
+
+    def vector_inner(self, a_cols: np.ndarray, a_vals: np.ndarray,
+                     b_cols: np.ndarray, b_vals: np.ndarray) -> float:
+        """Reference inner product of two sparse vectors under this semiring.
+
+        Walks the merged union of nonzero columns (a textbook two-pointer
+        merge — intentionally simple and obviously correct; the fast kernels
+        are tested against this).
+        """
+        i = j = 0
+        acc = self.reduce.identity
+        intersect_only = self.is_annihilating
+        while i < a_cols.size or j < b_cols.size:
+            ca = a_cols[i] if i < a_cols.size else np.iinfo(np.int64).max
+            cb = b_cols[j] if j < b_cols.size else np.iinfo(np.int64).max
+            if ca == cb:
+                term = self.product(a_vals[i], b_vals[j])
+                i += 1
+                j += 1
+            elif ca < cb:
+                term = None if intersect_only else self.product(a_vals[i], 0.0)
+                i += 1
+            else:
+                term = None if intersect_only else self.product(0.0, b_vals[j])
+                j += 1
+            if term is not None:
+                acc = float(self.reduce(acc, term))
+        return float(acc)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "intersection/1-pass" if self.is_annihilating else "NAMM/2-pass"
+        return (f"Semiring({self.name!r}, ⊕={self.reduce.name}, "
+                f"⊗={self.product.name}, {kind})")
+
+
+def _as_ufunc(monoid: Monoid):
+    """Map a built-in monoid onto its numpy ufunc for fast reductions."""
+    table = {"plus": np.add, "times": np.multiply,
+             "min": np.minimum, "max": np.maximum}
+    try:
+        return table[monoid.name]
+    except KeyError:
+        raise SemiringError(
+            f"reduce monoid {monoid.name!r} has no ufunc mapping; "
+            "custom ⊕ monoids must be one of plus/times/min/max") from None
+
+
+# ----------------------------------------------------------------------
+# constructors mirroring the paper's Figure 3 two-call API
+# ----------------------------------------------------------------------
+def dot_product_semiring(product_op: Optional[BinaryOp] = None,
+                         name: str = "dot") -> Semiring:
+    """The classical ``(+, ×)`` semiring, optionally with a replaced ⊗.
+
+    Mirrors the first Figure-3 call: dot-product-based semirings only need
+    the product op. KL-divergence, for example, replaces ⊗ with
+    ``x · log(x / y)`` while keeping annihilation (intersection-only).
+    """
+    if product_op is None:
+        product = TIMES
+    else:
+        product = Monoid(f"{name}-product", product_op, identity=1.0,
+                         commutative=False, annihilator=0.0)
+    return Semiring(name, reduce=PLUS, product=product)
+
+
+def namm_semiring(product_op: BinaryOp, *, reduce: Monoid = PLUS,
+                  name: str = "namm") -> Semiring:
+    """A full-union semiring built from a non-annihilating ⊗.
+
+    Mirrors invoking *both* Figure-3 calls: the ⊗ has identity 0 and no
+    annihilator, so the execution layer schedules two passes.
+    """
+    product = Monoid(f"{name}-product", product_op, identity=0.0,
+                     commutative=True, annihilator=None)
+    return Semiring(name, reduce=reduce, product=product)
+
+
+def tropical_semiring() -> Semiring:
+    """The ``(min, +)`` tropical semiring of the paper's Equation 1."""
+    from repro.core.monoid import MIN
+
+    product = Monoid("tropical-plus", np.add, identity=0.0, commutative=True,
+                     annihilator=None)
+    return Semiring("tropical", reduce=MIN, product=product)

@@ -1,0 +1,48 @@
+"""Benchmark datasets and text featurization.
+
+Synthetic structural replicas of the paper's four Table-2 corpora
+(:mod:`~repro.datasets.synthetic`), degree-distribution analysis for
+Figure 1 (:mod:`~repro.datasets.degree`), and the TF-IDF / n-gram
+vectorizers plus text generators the examples use
+(:mod:`~repro.datasets.featurize`, :mod:`~repro.datasets.corpus`).
+"""
+
+from repro.datasets.corpus import generate_company_names, generate_documents
+from repro.datasets.degree import (
+    degree_cdf,
+    degree_percentile,
+    degree_summary,
+    fraction_below,
+)
+from repro.datasets.featurize import CharNgramVectorizer, TfidfVectorizer
+from repro.datasets.loaders import (
+    load_csr,
+    load_saved_dataset,
+    save_csr,
+    save_dataset,
+)
+from repro.datasets.synthetic import (
+    DATASET_PAPER_FACTS,
+    SyntheticDataset,
+    available_datasets,
+    load_dataset,
+)
+
+__all__ = [
+    "load_dataset",
+    "available_datasets",
+    "SyntheticDataset",
+    "DATASET_PAPER_FACTS",
+    "degree_cdf",
+    "degree_percentile",
+    "fraction_below",
+    "degree_summary",
+    "TfidfVectorizer",
+    "CharNgramVectorizer",
+    "save_csr",
+    "load_csr",
+    "save_dataset",
+    "load_saved_dataset",
+    "generate_documents",
+    "generate_company_names",
+]

@@ -1,0 +1,113 @@
+"""Synthetic text corpora for the runnable examples.
+
+Deterministic generators for (a) topic-mixture documents, standing in for
+the NY Times articles the document-similarity example mimics, and (b)
+company names with realistic noise (suffix changes, typos, word drops),
+standing in for the SEC EDGAR names the string-matching example mimics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["generate_documents", "generate_company_names"]
+
+_TOPIC_VOCAB = {
+    "politics": ["senate", "election", "policy", "governor", "congress",
+                 "campaign", "vote", "legislation", "debate", "candidate"],
+    "sports": ["season", "coach", "playoff", "score", "league", "stadium",
+               "team", "injury", "championship", "draft"],
+    "tech": ["startup", "software", "chip", "platform", "data", "cloud",
+             "network", "device", "algorithm", "privacy"],
+    "finance": ["market", "shares", "earnings", "investor", "fund", "bond",
+                "inflation", "bank", "merger", "dividend"],
+    "science": ["research", "study", "cells", "climate", "genome", "particle",
+                "telescope", "vaccine", "species", "experiment"],
+}
+
+_COMMON = ["the", "a", "of", "in", "to", "and", "on", "for", "with", "as",
+           "new", "said", "year", "report", "city"]
+
+
+def generate_documents(n_docs: int, *, words_per_doc: int = 60,
+                       seed: int = 7) -> Tuple[List[str], List[str]]:
+    """Topic-mixture documents; returns ``(texts, dominant_topics)``.
+
+    Each document draws ~80% of its content words from one dominant topic
+    and the rest from a second topic plus common filler, so nearest-neighbor
+    queries have a meaningful ground truth (same-topic documents are close).
+    """
+    rng = np.random.default_rng(seed)
+    topics = list(_TOPIC_VOCAB)
+    texts, labels = [], []
+    for _ in range(n_docs):
+        main, other = rng.choice(len(topics), size=2, replace=False)
+        words = []
+        for _ in range(words_per_doc):
+            u = rng.random()
+            if u < 0.55:
+                pool = _TOPIC_VOCAB[topics[main]]
+            elif u < 0.70:
+                pool = _TOPIC_VOCAB[topics[other]]
+            else:
+                pool = _COMMON
+            words.append(pool[rng.integers(len(pool))])
+        texts.append(" ".join(words))
+        labels.append(topics[main])
+    return texts, labels
+
+
+_NAME_STEMS = ["acme", "global", "northern", "pacific", "summit", "vertex",
+               "pioneer", "liberty", "crescent", "atlas", "beacon", "cedar",
+               "delta", "ember", "falcon", "granite", "harbor", "ivory",
+               "juniper", "keystone"]
+_NAME_SECTORS = ["energy", "holdings", "partners", "systems", "capital",
+                 "industries", "logistics", "media", "pharma", "robotics"]
+_NAME_SUFFIXES = ["inc", "corp", "llc", "ltd", "group", "co"]
+
+
+def generate_company_names(n_names: int, *, seed: int = 11,
+                           variant_fraction: float = 0.4,
+                           ) -> Tuple[List[str], np.ndarray]:
+    """Company names where a fraction are noisy variants of earlier names.
+
+    Returns ``(names, canonical_ids)`` — variants share their source's
+    canonical id, giving the string-matching example a ground truth to score
+    against.
+    """
+    rng = np.random.default_rng(seed)
+    names: List[str] = []
+    ids = np.empty(n_names, dtype=np.int64)
+    n_canonical = 0
+    for i in range(n_names):
+        if names and rng.random() < variant_fraction:
+            src = int(rng.integers(len(names)))
+            names.append(_perturb(names[src], rng))
+            ids[i] = ids[src]
+        else:
+            stem = _NAME_STEMS[rng.integers(len(_NAME_STEMS))]
+            sector = _NAME_SECTORS[rng.integers(len(_NAME_SECTORS))]
+            suffix = _NAME_SUFFIXES[rng.integers(len(_NAME_SUFFIXES))]
+            names.append(f"{stem} {sector} {suffix}")
+            ids[i] = n_canonical
+            n_canonical += 1
+    return names, ids
+
+
+def _perturb(name: str, rng: np.random.Generator) -> str:
+    """Suffix swap, word drop, or a single-character typo."""
+    words = name.split()
+    kind = rng.integers(3)
+    if kind == 0 and len(words) > 1:  # swap the legal suffix
+        words[-1] = _NAME_SUFFIXES[rng.integers(len(_NAME_SUFFIXES))]
+    elif kind == 1 and len(words) > 2:  # drop a middle word
+        del words[int(rng.integers(1, len(words) - 1))]
+    else:  # typo in the longest word
+        w = max(range(len(words)), key=lambda j: len(words[j]))
+        chars = list(words[w])
+        pos = int(rng.integers(len(chars)))
+        chars[pos] = "abcdefghijklmnopqrstuvwxyz"[rng.integers(26)]
+        words[w] = "".join(chars)
+    return " ".join(words)

@@ -1,0 +1,120 @@
+"""Text featurizers used by the example applications.
+
+The paper's NLP benchmarks use TF-IDF vectors — bag-of-words for document
+similarity (NY Times) and character n-grams for string matching (SEC EDGAR
+company names). These small from-scratch vectorizers produce the same kinds
+of matrices from raw strings so the examples run end to end without
+external dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["TfidfVectorizer", "CharNgramVectorizer"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def _tokenize(text: str) -> List[str]:
+    return _TOKEN_RE.findall(text.lower())
+
+
+class _CountVectorizerBase:
+    """Shared vocabulary/fit/transform plumbing for both vectorizers."""
+
+    def __init__(self, *, min_df: int = 1, use_idf: bool = True,
+                 sublinear_tf: bool = False):
+        self.min_df = int(min_df)
+        self.use_idf = bool(use_idf)
+        self.sublinear_tf = bool(sublinear_tf)
+        self.vocabulary_: Dict[str, int] = {}
+        self.idf_: np.ndarray = np.zeros(0)
+
+    def _analyze(self, text: str) -> List[str]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def fit(self, documents: Sequence[str]) -> "_CountVectorizerBase":
+        df: Dict[str, int] = {}
+        for doc in documents:
+            for term in set(self._analyze(doc)):
+                df[term] = df.get(term, 0) + 1
+        terms = sorted(t for t, c in df.items() if c >= self.min_df)
+        self.vocabulary_ = {t: i for i, t in enumerate(terms)}
+        n_docs = max(1, len(documents))
+        if self.use_idf:
+            # Smoothed idf, matching the scikit-learn convention.
+            self.idf_ = np.array(
+                [math.log((1 + n_docs) / (1 + df[t])) + 1.0 for t in terms])
+        else:
+            self.idf_ = np.ones(len(terms))
+        return self
+
+    def transform(self, documents: Sequence[str]) -> CSRMatrix:
+        if not self.vocabulary_ and documents:
+            raise RuntimeError("vectorizer must be fitted before transform")
+        indptr = [0]
+        indices: List[int] = []
+        data: List[float] = []
+        for doc in documents:
+            counts: Dict[int, float] = {}
+            for term in self._analyze(doc):
+                col = self.vocabulary_.get(term)
+                if col is not None:
+                    counts[col] = counts.get(col, 0.0) + 1.0
+            cols = sorted(counts)
+            row = np.array([counts[c] for c in cols], dtype=np.float64)
+            if self.sublinear_tf and row.size:
+                row = 1.0 + np.log(row)
+            if self.use_idf and row.size:
+                row = row * self.idf_[cols]
+            # L2-normalize rows (the standard TF-IDF configuration).
+            norm = float(np.sqrt(np.sum(row * row)))
+            if norm > 0:
+                row = row / norm
+            indices.extend(cols)
+            data.extend(row.tolist())
+            indptr.append(len(indices))
+        return CSRMatrix(np.asarray(indptr, dtype=np.int64),
+                         np.asarray(indices, dtype=np.int64),
+                         np.asarray(data, dtype=np.float64),
+                         (len(documents), len(self.vocabulary_)),
+                         check=False, sort=False)
+
+    def fit_transform(self, documents: Sequence[str]) -> CSRMatrix:
+        return self.fit(documents).transform(documents)
+
+
+class TfidfVectorizer(_CountVectorizerBase):
+    """Word-level TF-IDF (the NY Times document-similarity configuration)."""
+
+    def _analyze(self, text: str) -> List[str]:
+        return _tokenize(text)
+
+
+class CharNgramVectorizer(_CountVectorizerBase):
+    """Character n-gram TF-IDF (the SEC EDGAR string-matching configuration).
+
+    N-grams are drawn over each whitespace-joined token stream with boundary
+    markers, the usual recipe for fuzzy name matching.
+    """
+
+    def __init__(self, n: int = 3, **kwargs):
+        super().__init__(**kwargs)
+        if n <= 0:
+            raise ValueError("n-gram size must be positive")
+        self.n = int(n)
+
+    def _analyze(self, text: str) -> List[str]:
+        joined = "_" + "_".join(_tokenize(text)) + "_"
+        if len(joined) < self.n:
+            return [joined]
+        return [joined[i:i + self.n]
+                for i in range(len(joined) - self.n + 1)]

@@ -1,0 +1,31 @@
+"""Exception types shared across the :mod:`repro` package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SparseFormatError(ReproError):
+    """A sparse container's arrays are malformed or inconsistent."""
+
+
+class ShapeMismatchError(ReproError):
+    """Two operands have incompatible shapes."""
+
+
+class SemiringError(ReproError):
+    """A semiring definition violates the required algebraic structure."""
+
+
+class UnknownDistanceError(ReproError, KeyError):
+    """A distance name was not found in the registry."""
+
+
+class DeviceConfigError(ReproError):
+    """A simulated device configuration is invalid or unsatisfiable."""
+
+
+class KernelLaunchError(ReproError):
+    """A simulated kernel could not be scheduled with the requested resources."""

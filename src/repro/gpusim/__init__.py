@@ -1,0 +1,46 @@
+"""Simulated GPU substrate.
+
+No physical GPU is available in this reproduction, so the architectural
+behaviour the paper's Section 3 reasons about — SIMT warps, occupancy,
+shared-memory capacity and bank conflicts, global-memory coalescing — is
+modeled as data plus an analytic cost model. Kernels count the work they
+would issue; the model prices it; the benchmarks report the priced
+("simulated") times alongside host wall-clock.
+
+See DESIGN.md §2 for why this substitution preserves the paper's claims.
+"""
+
+from repro.gpusim.cost_model import CostModel, SimulatedTime
+from repro.gpusim.executor import LaunchResult, simulate_launch
+from repro.gpusim.memory import (
+    TRANSACTION_BYTES,
+    bank_conflicts_for_offsets,
+    coalesced_transactions,
+    strided_transactions,
+    uncoalesced_transactions,
+    warp_bank_conflicts,
+)
+from repro.gpusim.occupancy import Occupancy, compute_occupancy
+from repro.gpusim.specs import AMPERE_A100, KIB, VOLTA_V100, DeviceSpec, get_device
+from repro.gpusim.stats import KernelStats
+
+__all__ = [
+    "DeviceSpec",
+    "VOLTA_V100",
+    "AMPERE_A100",
+    "KIB",
+    "get_device",
+    "KernelStats",
+    "Occupancy",
+    "compute_occupancy",
+    "CostModel",
+    "SimulatedTime",
+    "LaunchResult",
+    "simulate_launch",
+    "TRANSACTION_BYTES",
+    "coalesced_transactions",
+    "uncoalesced_transactions",
+    "strided_transactions",
+    "warp_bank_conflicts",
+    "bank_conflicts_for_offsets",
+]

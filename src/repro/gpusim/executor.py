@@ -1,0 +1,55 @@
+"""Launch bookkeeping for simulated kernels.
+
+A kernel implementation counts its own algorithmic work into a
+:class:`KernelStats`; :func:`simulate_launch` then stamps the launch shape
+onto the stats (blocks, warps, shared memory), validates it against the
+device, and prices it with the cost model. Kernels that launch several
+sub-kernels (e.g. the two-pass NAMM driver, or norms + expansion) merge the
+per-launch stats and sum the simulated times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.cost_model import CostModel, SimulatedTime
+from repro.gpusim.occupancy import Occupancy, compute_occupancy
+from repro.gpusim.specs import DeviceSpec
+from repro.gpusim.stats import KernelStats
+
+__all__ = ["LaunchResult", "simulate_launch"]
+
+
+@dataclass(frozen=True)
+class LaunchResult:
+    """Everything known about one simulated kernel launch."""
+
+    stats: KernelStats
+    occupancy: Occupancy
+    time: SimulatedTime
+
+    @property
+    def seconds(self) -> float:
+        return self.time.seconds
+
+
+def simulate_launch(spec: DeviceSpec, stats: KernelStats, *,
+                    grid_blocks: int, block_threads: int,
+                    smem_per_block: int = 0,
+                    regs_per_thread: int = 32) -> LaunchResult:
+    """Validate a launch shape, stamp it onto ``stats``, and price it.
+
+    Raises :class:`repro.errors.KernelLaunchError` when the block shape or
+    shared-memory request can never be scheduled on ``spec`` — the same
+    failure a real ``cudaLaunchKernel`` would report.
+    """
+    occupancy = compute_occupancy(spec, block_threads=block_threads,
+                                  smem_per_block=smem_per_block,
+                                  regs_per_thread=regs_per_thread)
+    stats.kernel_launches += 1
+    stats.blocks_launched += grid_blocks
+    stats.warps_launched += grid_blocks * occupancy.warps_per_block
+    stats.smem_bytes_per_block = max(stats.smem_bytes_per_block,
+                                     float(smem_per_block))
+    time = CostModel(spec).simulate(stats, occupancy=occupancy)
+    return LaunchResult(stats=stats, occupancy=occupancy, time=time)

@@ -1,0 +1,81 @@
+"""Occupancy calculation for the simulated device.
+
+Occupancy — resident warps per SM relative to the hardware maximum — is the
+lever behind most of the paper's shared-memory trade-offs: a block that
+allocates more than half the SM's shared memory halves the number of
+resident blocks, and with 32-warp blocks that halves occupancy (§3.3.2).
+This module reproduces the standard CUDA occupancy calculation for our
+:class:`~repro.gpusim.specs.DeviceSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KernelLaunchError
+from repro.gpusim.specs import DeviceSpec
+
+__all__ = ["Occupancy", "compute_occupancy"]
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """The result of an occupancy calculation for one launch shape."""
+
+    blocks_per_sm: int
+    warps_per_block: int
+    limiting_factor: str  # "warps" | "blocks" | "smem" | "registers"
+
+    @property
+    def active_warps_per_sm(self) -> int:
+        return self.blocks_per_sm * self.warps_per_block
+
+    def fraction(self, spec: DeviceSpec) -> float:
+        """Occupancy as a fraction of the SM's warp capacity."""
+        if spec.max_warps_per_sm == 0:
+            return 0.0
+        return min(1.0, self.active_warps_per_sm / spec.max_warps_per_sm)
+
+
+def compute_occupancy(spec: DeviceSpec, *, block_threads: int,
+                      smem_per_block: int = 0,
+                      regs_per_thread: int = 32) -> Occupancy:
+    """How many blocks of the given shape fit concurrently on one SM.
+
+    Raises :class:`KernelLaunchError` when the shape can never be scheduled
+    (block too large, shared-memory request over the per-block cap).
+    """
+    if block_threads <= 0:
+        raise KernelLaunchError("block_threads must be positive")
+    if block_threads > spec.max_threads_per_block:
+        raise KernelLaunchError(
+            f"block of {block_threads} threads exceeds device max "
+            f"{spec.max_threads_per_block}")
+    if block_threads % spec.warp_size:
+        # Hardware rounds partial warps up; we model the padded shape.
+        block_threads = (block_threads // spec.warp_size + 1) * spec.warp_size
+    if smem_per_block > spec.smem_per_block_max_bytes:
+        raise KernelLaunchError(
+            f"block requests {smem_per_block} B shared memory; device "
+            f"allows at most {spec.smem_per_block_max_bytes} B per block")
+
+    warps_per_block = block_threads // spec.warp_size
+
+    limits = {
+        "warps": spec.max_warps_per_sm // warps_per_block,
+        "blocks": spec.max_blocks_per_sm,
+    }
+    if smem_per_block > 0:
+        limits["smem"] = spec.smem_per_sm_bytes // smem_per_block
+    if regs_per_thread > 0:
+        limits["registers"] = spec.registers_per_sm // (
+            regs_per_thread * block_threads)
+
+    limiting = min(limits, key=lambda k: limits[k])
+    blocks = max(0, limits[limiting])
+    if blocks == 0:
+        raise KernelLaunchError(
+            f"launch shape cannot be scheduled: limited by {limiting} "
+            f"({limits})")
+    return Occupancy(blocks_per_sm=blocks, warps_per_block=warps_per_block,
+                     limiting_factor=limiting)

@@ -1,0 +1,103 @@
+"""Execution strategies for the sparse pairwise-semiring primitive.
+
+One class per strategy the paper discusses:
+
+- :class:`LoadBalancedCooKernel` — Algorithm 3, the contribution (§3.3);
+- :class:`NaiveCsrKernel` — Algorithm 2, the exhaustive per-pair merge used
+  as the NAMM baseline (§3.2.2);
+- :class:`ExpandSortContractKernel` — Algorithm 1, kept for the ablation
+  narrative (§3.2.1);
+- :class:`HostKernel` — exact math with no device accounting.
+
+The csrgemm baseline lives in :mod:`repro.baselines.csrgemm` but registers
+itself here so every engine is addressable by name.
+"""
+
+from typing import Dict, Type
+
+from repro.errors import ReproError
+from repro.gpusim.specs import DeviceSpec, VOLTA_V100
+from repro.kernels.base import KernelResult, PairwiseKernel, product_cost_profile
+from repro.kernels.bloom_filter import BlockBloomFilter
+from repro.kernels.coo_spmv import LoadBalancedCooKernel, PassProfile
+from repro.kernels.expand_sort_contract import ExpandSortContractKernel
+from repro.kernels.functional import (
+    co_occurrence_counts,
+    intersection_block,
+    semiring_block,
+    union_block,
+)
+from repro.kernels.hash_table import BlockHashTable, murmur_hash_32
+from repro.kernels.host import HostKernel
+from repro.kernels.naive_csr import NaiveCsrKernel
+from repro.kernels.segmented import segment_boundaries, warp_segmented_reduce
+from repro.kernels.strategy import (
+    PartitionPlan,
+    RowCacheStrategy,
+    choose_strategy,
+    plan_partitions,
+)
+
+__all__ = [
+    "PairwiseKernel",
+    "KernelResult",
+    "LoadBalancedCooKernel",
+    "NaiveCsrKernel",
+    "ExpandSortContractKernel",
+    "HostKernel",
+    "PassProfile",
+    "BlockHashTable",
+    "BlockBloomFilter",
+    "murmur_hash_32",
+    "RowCacheStrategy",
+    "PartitionPlan",
+    "choose_strategy",
+    "plan_partitions",
+    "intersection_block",
+    "union_block",
+    "semiring_block",
+    "co_occurrence_counts",
+    "warp_segmented_reduce",
+    "segment_boundaries",
+    "product_cost_profile",
+    "make_engine",
+    "register_engine",
+    "available_engines",
+]
+
+_ENGINES: Dict[str, Type[PairwiseKernel]] = {
+    LoadBalancedCooKernel.name: LoadBalancedCooKernel,
+    NaiveCsrKernel.name: NaiveCsrKernel,
+    ExpandSortContractKernel.name: ExpandSortContractKernel,
+    HostKernel.name: HostKernel,
+}
+
+
+def register_engine(cls: Type[PairwiseKernel]) -> Type[PairwiseKernel]:
+    """Register an execution strategy under its ``name`` attribute."""
+    _ENGINES[cls.name] = cls
+    return cls
+
+
+def available_engines():
+    """Names of all registered execution strategies."""
+    _ensure_baselines_loaded()
+    return tuple(sorted(_ENGINES))
+
+
+def make_engine(name: str, spec: DeviceSpec = VOLTA_V100,
+                **kwargs) -> PairwiseKernel:
+    """Instantiate an execution strategy by name."""
+    _ensure_baselines_loaded()
+    try:
+        cls = _ENGINES[name.lower()]
+    except KeyError:
+        raise ReproError(
+            f"unknown engine {name!r}; available: {sorted(_ENGINES)}"
+        ) from None
+    return cls(spec, **kwargs)
+
+
+def _ensure_baselines_loaded() -> None:
+    # csrgemm registers on import; import lazily to avoid a cycle.
+    import repro.baselines.csrgemm  # noqa: F401

@@ -1,0 +1,97 @@
+"""Common interface for simulated pairwise-semiring kernels.
+
+A kernel computes the semiring inner-product block
+
+    C[i, j] = ⊕_{c ∈ cols(A_i) ∩/∪ cols(B_j)} ⊗(A[i, c], B[j, c])
+
+for all row pairs, returning both the numeric block and the
+:class:`~repro.gpusim.stats.KernelStats` its schedule would incur on the
+simulated device. The distance layer (:mod:`repro.core.pairwise`) wraps the
+block with transforms, norms, expansion and finalize.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.semiring import Semiring
+from repro.gpusim.specs import DeviceSpec, VOLTA_V100
+from repro.gpusim.stats import KernelStats
+from repro.sparse.csr import CSRMatrix, check_same_n_cols
+
+__all__ = ["KernelResult", "PairwiseKernel", "product_cost_profile"]
+
+
+@dataclass
+class KernelResult:
+    """Numeric output plus the simulated execution record."""
+
+    block: np.ndarray
+    stats: KernelStats
+    seconds: float
+
+    def merge(self, other: "KernelResult", combine=None) -> "KernelResult":
+        """Fold a subsequent launch into this result.
+
+        ``combine`` merges the numeric blocks (defaults to element-wise add,
+        which is correct for ⊕ = + two-pass accumulation).
+        """
+        block = (self.block + other.block if combine is None
+                 else combine(self.block, other.block))
+        stats = self.stats.merge(other.stats)
+        return KernelResult(block=block, stats=stats,
+                            seconds=self.seconds + other.seconds)
+
+
+class PairwiseKernel(abc.ABC):
+    """Base class for every execution strategy (Algorithms 1-3 + baselines)."""
+
+    #: registry / CLI name of the strategy
+    name: str = "abstract"
+
+    def __init__(self, spec: DeviceSpec = VOLTA_V100):
+        self.spec = spec
+
+    @abc.abstractmethod
+    def run(self, a: CSRMatrix, b: CSRMatrix, semiring: Semiring) -> KernelResult:
+        """Compute the full ``(a.n_rows, b.n_rows)`` semiring block."""
+
+    def _check_inputs(self, a: CSRMatrix, b: CSRMatrix) -> None:
+        check_same_n_cols(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(spec={self.spec.name})"
+
+
+#: Per-application ⊗ cost hints (alu ops, special-function ops) for the cost
+#: model, keyed by the product-monoid name prefix. Unknown ops fall back to
+#: a generic 2-alu estimate.
+_PRODUCT_COSTS = {
+    "times": (1.0, 0.0),
+    "dot": (1.0, 0.0),
+    "cosine": (1.0, 0.0),
+    "euclidean": (1.0, 0.0),
+    "sqeuclidean": (1.0, 0.0),
+    "hellinger": (1.0, 0.0),
+    "correlation": (1.0, 0.0),
+    "dice": (1.0, 0.0),
+    "jaccard": (1.0, 0.0),
+    "russellrao": (1.0, 0.0),
+    "manhattan": (2.0, 0.0),
+    "chebyshev": (2.0, 0.0),
+    "hamming": (1.0, 0.0),
+    "canberra": (5.0, 0.0),
+    "minkowski": (3.0, 2.0),
+    "kl_divergence": (3.0, 2.0),
+    "jensen_shannon": (8.0, 6.0),
+    "tropical": (1.0, 0.0),
+}
+
+
+def product_cost_profile(semiring: Semiring):
+    """(alu, special) lane-op estimate for one ⊗ application."""
+    key = semiring.name.split("(")[0]
+    return _PRODUCT_COSTS.get(key, (2.0, 0.0))

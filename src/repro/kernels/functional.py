@@ -1,0 +1,226 @@
+"""Numerically-exact semiring block computation (shared kernel math).
+
+Every execution strategy in this package produces the same numbers — they
+differ in *schedule*, which is what their :class:`KernelStats` capture. The
+routines here are the shared, vectorized host implementations of that math:
+
+- :func:`intersection_block` — ⊕ over ``cols(a_i) ∩ cols(b_j)`` of
+  ``⊗(a, b)``; the annihilating (dot-product-family) case.
+- :func:`union_block` — ⊕ over the full nonzero union; the NAMM case,
+  realized exactly as the paper's Eq. 3 decomposition.
+
+For ⊕ = + the union decomposes algebraically:
+
+    Σ_{∪} ⊗(a,b) = Σ_{a} ⊗(a,0) + Σ_{b} ⊗(0,b)
+                   + Σ_{∩} [⊗(a,b) − ⊗(a,0) − ⊗(0,b)]
+
+so one intersection sweep plus two per-row reductions suffices. For
+idempotent ⊕ (max), two overlapping full sweeps — each staging one side's
+row dense, exactly like the kernel's shared-memory pass — give the union
+without exclusion bookkeeping, because re-reducing the intersection is
+harmless under idempotence.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.core.semiring import Semiring
+from repro.errors import SemiringError
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "intersection_block",
+    "union_block",
+    "semiring_block",
+    "co_occurrence_counts",
+    "gather_intersections",
+]
+
+#: Cap on gathered intersection elements per vectorized chunk (bounds the
+#: temporary memory of the multi-range gather at ~8 arrays x 8 B x this).
+_CHUNK_ELEMENTS = 1 << 22
+
+
+def _multi_range_gather(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Indices covering ``[starts[i], starts[i] + lengths[i])`` concatenated.
+
+    The standard vectorized expansion of many index ranges: repeat each
+    start, then add a ramp that resets at every segment boundary.
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.cumsum(lengths) - lengths
+    ramp = np.arange(total, dtype=np.int64) - np.repeat(offsets, lengths)
+    return np.repeat(starts, lengths) + ramp
+
+
+def gather_intersections(
+    a: CSRMatrix, b: CSRMatrix, *, chunk_elements: int = _CHUNK_ELEMENTS,
+) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Stream all nonzero-column co-occurrences between rows of a and b.
+
+    Yields chunks of parallel arrays ``(i, j, a_val, b_val)`` — one entry per
+    (row-of-a, row-of-b, shared column) triple. This is the host analogue of
+    the kernel's shared-memory lookup hit stream.
+    """
+    bt = b.transpose()  # k x n: column -> rows of b holding it
+    a_rows = np.repeat(np.arange(a.n_rows, dtype=np.int64), a.row_degrees())
+    bt_deg = bt.row_degrees()
+    hit_lens = bt_deg[a.indices]  # per a-nonzero: matching b rows
+    if a.nnz == 0:
+        return
+    # Chunk boundaries over a's nonzeros so each gather stays bounded.
+    cum = np.cumsum(hit_lens)
+    start_nz = 0
+    while start_nz < a.nnz:
+        base = cum[start_nz - 1] if start_nz else 0
+        stop_nz = int(np.searchsorted(cum, base + chunk_elements,
+                                      side="left")) + 1
+        stop_nz = min(max(stop_nz, start_nz + 1), a.nnz)
+        sl = slice(start_nz, stop_nz)
+        lens = hit_lens[sl]
+        gather = _multi_range_gather(bt.indptr[a.indices[sl]], lens)
+        if gather.size:
+            yield (np.repeat(a_rows[sl], lens),
+                   bt.indices[gather],
+                   np.repeat(a.data[sl], lens),
+                   bt.data[gather])
+        start_nz = stop_nz
+
+
+def intersection_block(a: CSRMatrix, b: CSRMatrix, semiring: Semiring,
+                       product_op: Optional[Callable] = None) -> np.ndarray:
+    """⊕-reduce ⊗ over intersecting nonzero columns for every row pair."""
+    op = product_op if product_op is not None else semiring.product
+    m, n = a.n_rows, b.n_rows
+    reduce_name = semiring.reduce.name
+    if reduce_name == "plus":
+        flat = np.zeros(m * n, dtype=np.float64)
+        for i_rows, j_rows, a_vals, b_vals in gather_intersections(a, b):
+            prods = np.asarray(op(a_vals, b_vals), dtype=np.float64)
+            flat += np.bincount(i_rows * n + j_rows, weights=prods,
+                                minlength=m * n)
+        return flat.reshape(m, n)
+    if reduce_name == "max":
+        flat = np.full(m * n, semiring.reduce.identity, dtype=np.float64)
+        for i_rows, j_rows, a_vals, b_vals in gather_intersections(a, b):
+            prods = np.asarray(op(a_vals, b_vals), dtype=np.float64)
+            np.maximum.at(flat, i_rows * n + j_rows, prods)
+        return flat.reshape(m, n)
+    if reduce_name == "min":
+        flat = np.full(m * n, semiring.reduce.identity, dtype=np.float64)
+        for i_rows, j_rows, a_vals, b_vals in gather_intersections(a, b):
+            prods = np.asarray(op(a_vals, b_vals), dtype=np.float64)
+            np.minimum.at(flat, i_rows * n + j_rows, prods)
+        return flat.reshape(m, n)
+    raise SemiringError(
+        f"unsupported reduce monoid {reduce_name!r} for block computation")
+
+
+def co_occurrence_counts(a: CSRMatrix, b: CSRMatrix) -> np.ndarray:
+    """Number of shared nonzero columns for every row pair (int matrix).
+
+    This is the structural nonzero pattern a csrgemm-style sparse matmul
+    would materialize; the §4.3 memory bench derives output density from it.
+    """
+    m, n = a.n_rows, b.n_rows
+    flat = np.zeros(m * n, dtype=np.int64)
+    for i_rows, j_rows, _, _ in gather_intersections(a, b):
+        flat += np.bincount(i_rows * n + j_rows, minlength=m * n).astype(np.int64)
+    return flat.reshape(m, n)
+
+
+def _union_block_sum(a: CSRMatrix, b: CSRMatrix, semiring: Semiring) -> np.ndarray:
+    op = semiring.product
+
+    def corrected(x, y):
+        return (np.asarray(op(x, y), dtype=np.float64)
+                - np.asarray(op(x, np.zeros_like(x)), dtype=np.float64)
+                - np.asarray(op(np.zeros_like(y), y), dtype=np.float64))
+
+    inter = intersection_block(a, b, semiring, product_op=corrected)
+    ra = _row_side_sums(a, lambda v: op(v, np.zeros_like(v)))
+    rb = _row_side_sums(b, lambda v: op(np.zeros_like(v), v))
+    return inter + ra[:, None] + rb[None, :]
+
+
+def _row_side_sums(x: CSRMatrix, side_op: Callable) -> np.ndarray:
+    """Per-row Σ of ⊗ applied against an implicit zero operand."""
+    out = np.zeros(x.n_rows, dtype=np.float64)
+    if x.nnz == 0:
+        return out
+    terms = np.asarray(side_op(x.data), dtype=np.float64)
+    nonempty = np.flatnonzero(np.diff(x.indptr) > 0)
+    out[nonempty] = np.add.reduceat(terms, x.indptr[nonempty])
+    return out
+
+
+def _union_block_idempotent(a: CSRMatrix, b: CSRMatrix, semiring: Semiring,
+                            row_batch: int = 64) -> np.ndarray:
+    """Union reduce for idempotent ⊕ (max/min) via two dense-staged sweeps.
+
+    Sweep 1 stages rows of ``a`` dense and streams ``b``'s nonzeros
+    (covering a∩b and a̅∩b per output entry); sweep 2 stages rows of ``b``
+    and streams ``a`` (covering a∩b̅, and harmlessly re-reducing a∩b —
+    idempotence makes the overlap free).
+    """
+    op = semiring.product
+    ufunc = {"max": np.maximum, "min": np.minimum}[semiring.reduce.name]
+    out = np.full((a.n_rows, b.n_rows), semiring.reduce.identity,
+                  dtype=np.float64)
+    _sweep_dense_rows(out, a, b, op, ufunc, row_batch, staged_is_b=False)
+    _sweep_dense_rows(out, b, a, op, ufunc, row_batch, staged_is_b=True)
+    return out
+
+
+def _sweep_dense_rows(out, staged: CSRMatrix, streamed: CSRMatrix, op, ufunc,
+                      row_batch: int, *, staged_is_b: bool) -> None:
+    """One full SPMV sweep: stage ``staged`` rows dense (the kernel's
+    shared-memory vector), stream the other side's nonzeros, segment-reduce
+    per streamed row, and ⊕-fold into ``out``."""
+    nonempty = np.flatnonzero(streamed.row_degrees() > 0)
+    if nonempty.size == 0 or staged.n_rows == 0:
+        return
+    seg_starts = streamed.indptr[nonempty]
+    for start in range(0, staged.n_rows, row_batch):
+        stop = min(start + row_batch, staged.n_rows)
+        dense = staged.slice_rows(start, stop).to_dense()  # (r, k)
+        gathered = dense[:, streamed.indices]  # (r, nnz_streamed)
+        if staged_is_b:
+            prods = np.asarray(op(streamed.data[None, :], gathered),
+                               dtype=np.float64)
+        else:
+            prods = np.asarray(op(gathered, streamed.data[None, :]),
+                               dtype=np.float64)
+        reduced = ufunc.reduceat(prods, seg_starts, axis=1)  # (r, n_nonempty)
+        if staged_is_b:
+            # staged rows are output *columns*; streamed rows are output rows.
+            sub = out[np.ix_(nonempty, np.arange(start, stop))]
+            ufunc(sub, reduced.T, out=sub)
+            out[np.ix_(nonempty, np.arange(start, stop))] = sub
+        else:
+            sub = out[start:stop][:, nonempty]
+            ufunc(sub, reduced, out=sub)
+            out[start:stop][:, nonempty] = sub
+
+
+def union_block(a: CSRMatrix, b: CSRMatrix, semiring: Semiring) -> np.ndarray:
+    """⊕-reduce ⊗ over the full union of nonzero columns (NAMM)."""
+    name = semiring.reduce.name
+    if name == "plus":
+        return _union_block_sum(a, b, semiring)
+    if name in ("max", "min"):
+        return _union_block_idempotent(a, b, semiring)
+    raise SemiringError(
+        f"unsupported reduce monoid {name!r} for union computation")
+
+
+def semiring_block(a: CSRMatrix, b: CSRMatrix, semiring: Semiring) -> np.ndarray:
+    """Dispatch to intersection or union per the semiring's annihilation."""
+    if semiring.is_annihilating:
+        return intersection_block(a, b, semiring)
+    return union_block(a, b, semiring)

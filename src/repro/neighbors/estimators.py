@@ -1,0 +1,129 @@
+"""k-NN classification and regression on the sparse semiring primitive.
+
+The paper motivates the primitive with "classification, retrieval, and
+visualization applications" built on nearest-neighbor queries. These two
+estimators close the classification loop with the standard scikit-learn
+semantics (uniform or distance weighting), running every query through the
+same batched, simulated-device pairwise machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.neighbors.brute_force import NearestNeighbors
+
+__all__ = ["KNeighborsClassifier", "KNeighborsRegressor"]
+
+
+def _distance_weights(distances: np.ndarray) -> np.ndarray:
+    """1/d weights with exact matches (d == 0) taking all the mass."""
+    with np.errstate(divide="ignore"):
+        w = 1.0 / distances
+    exact = distances <= 1e-12
+    has_exact = exact.any(axis=1)
+    w[has_exact] = 0.0
+    w[exact] = 1.0
+    return w
+
+
+class _KnnBase:
+    def __init__(self, n_neighbors: int = 5, *, metric: str = "euclidean",
+                 weights: str = "uniform", metric_params: Optional[dict] = None,
+                 engine="hybrid_coo", device="volta", batch_rows: int = 4096):
+        if weights not in ("uniform", "distance"):
+            raise ValueError("weights must be 'uniform' or 'distance'")
+        self.weights = weights
+        self._nn = NearestNeighbors(n_neighbors=n_neighbors, metric=metric,
+                                    metric_params=metric_params,
+                                    engine=engine, device=device,
+                                    batch_rows=batch_rows)
+        self._targets: Optional[np.ndarray] = None
+
+    def _fit(self, x, y) -> None:
+        y = np.asarray(y)
+        self._nn.fit(x)
+        if y.shape[0] != self._nn.n_samples_fit:
+            raise ReproError(
+                f"X has {self._nn.n_samples_fit} rows but y has "
+                f"{y.shape[0]} targets")
+        self._targets = y
+
+    def _neighbors(self, x):
+        if self._targets is None:
+            raise ReproError("estimator is not fitted; call .fit(X, y)")
+        return self._nn.kneighbors(x)
+
+    def _weight_matrix(self, distances: np.ndarray) -> np.ndarray:
+        if self.weights == "uniform":
+            return np.ones_like(distances)
+        return _distance_weights(distances)
+
+    @property
+    def last_report(self):
+        """Execution record of the most recent query (see NearestNeighbors)."""
+        return self._nn.last_report
+
+
+class KNeighborsClassifier(_KnnBase):
+    """Majority-vote (optionally distance-weighted) k-NN classification."""
+
+    def fit(self, x, y) -> "KNeighborsClassifier":
+        self._fit(x, y)
+        self.classes_ = np.unique(self._targets)
+        self._class_index = {c: i for i, c in enumerate(self.classes_)}
+        return self
+
+    def predict_proba(self, x=None) -> np.ndarray:
+        distances, indices = self._neighbors(x)
+        weights = self._weight_matrix(distances)
+        n_queries = indices.shape[0]
+        proba = np.zeros((n_queries, self.classes_.size))
+        neighbor_classes = np.vectorize(self._class_index.get)(
+            self._targets[indices])
+        for c in range(self.classes_.size):
+            proba[:, c] = np.where(neighbor_classes == c, weights, 0.0).sum(1)
+        totals = proba.sum(axis=1, keepdims=True)
+        np.divide(proba, totals, out=proba, where=totals > 0)
+        return proba
+
+    def predict(self, x=None) -> np.ndarray:
+        proba = self.predict_proba(x)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def score(self, x, y) -> float:
+        """Mean accuracy on the given queries."""
+        return float(np.mean(self.predict(x) == np.asarray(y)))
+
+
+class KNeighborsRegressor(_KnnBase):
+    """Mean (optionally distance-weighted) k-NN regression."""
+
+    def fit(self, x, y) -> "KNeighborsRegressor":
+        y = np.asarray(y, dtype=np.float64)
+        self._fit(x, y)
+        return self
+
+    def predict(self, x=None) -> np.ndarray:
+        distances, indices = self._neighbors(x)
+        weights = self._weight_matrix(distances)
+        neighbor_targets = self._targets[indices]
+        totals = weights.sum(axis=1)
+        out = (weights * neighbor_targets).sum(axis=1)
+        np.divide(out, totals, out=out, where=totals > 0)
+        # all-zero weights (shouldn't happen for k >= 1): fall back to mean
+        fallback = totals <= 0
+        if fallback.any():
+            out[fallback] = neighbor_targets[fallback].mean(axis=1)
+        return out
+
+    def score(self, x, y) -> float:
+        """Coefficient of determination R^2."""
+        y = np.asarray(y, dtype=np.float64)
+        pred = self.predict(x)
+        ss_res = float(((y - pred) ** 2).sum())
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0

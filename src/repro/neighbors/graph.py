@@ -1,0 +1,90 @@
+"""k-NN graph construction helpers.
+
+Downstream neighborhood methods the paper motivates (UMAP, t-SNE, spectral
+methods) consume a k-NN *connectivities graph*; :func:`knn_graph` is the
+one-call path from a raw sparse dataset to that graph, with optional
+symmetrization (an edge survives if it appears in either direction — the
+UMAP-style fuzzy union simplified to its set skeleton).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neighbors.brute_force import NearestNeighbors
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["knn_graph", "symmetrize"]
+
+
+def knn_graph(x, n_neighbors: int = 15, *, metric: str = "euclidean",
+              mode: str = "connectivity", include_self: bool = False,
+              symmetric: bool = False, engine: str = "hybrid_coo",
+              device="volta", **metric_params) -> CSRMatrix:
+    """Build the k-NN graph of the rows of ``x``.
+
+    ``include_self=False`` (the default, matching scikit-learn) drops each
+    row's self edge by querying one extra neighbor and filtering.
+    """
+    extra = 0 if include_self else 1
+    nn = NearestNeighbors(n_neighbors=n_neighbors + extra, metric=metric,
+                          metric_params=metric_params, engine=engine,
+                          device=device)
+    nn.fit(x)
+    distances, indices = nn.kneighbors()
+    if not include_self:
+        distances, indices = _drop_self(distances, indices, n_neighbors)
+    n, k = indices.shape
+    indptr = np.arange(0, n * k + 1, k, dtype=np.int64)
+    data = np.ones(n * k) if mode == "connectivity" else distances.ravel()
+    graph = CSRMatrix(indptr, indices.ravel(), data, (n, nn.n_samples_fit))
+    return symmetrize(graph) if symmetric else graph
+
+
+def _drop_self(distances: np.ndarray, indices: np.ndarray, k: int):
+    """Remove each row's own index (keeping k entries per row).
+
+    The self match is usually the first column, but duplicate points can
+    push it elsewhere — or omit it entirely when ties overflow k+1.
+    """
+    n = indices.shape[0]
+    rows = np.arange(n)[:, None]
+    self_mask = indices == rows
+    # Keep the first k non-self entries per row; if a row has no self match
+    # (duplicates), drop its last entry instead.
+    keep = ~self_mask
+    no_self = keep.all(axis=1)
+    out_d = np.empty((n, k))
+    out_i = np.empty((n, k), dtype=np.int64)
+    for i in range(n):
+        cols = np.flatnonzero(keep[i])[:k] if not no_self[i] \
+            else np.arange(k)
+        out_d[i] = distances[i, cols]
+        out_i[i] = indices[i, cols]
+    return out_d, out_i
+
+
+def symmetrize(graph: CSRMatrix) -> CSRMatrix:
+    """Undirected closure: keep an edge if present in either direction.
+
+    Duplicate edges keep the *smaller* weight (distances) — for
+    connectivity graphs all weights are 1 so this is a plain set union.
+    Requires a square graph.
+    """
+    if graph.n_rows != graph.n_cols:
+        raise ValueError("symmetrize requires a square graph")
+    coo = COOMatrix.from_csr(graph)
+    rows = np.concatenate([coo.rows, coo.cols])
+    cols = np.concatenate([coo.cols, coo.rows])
+    data = np.concatenate([coo.data, coo.data])
+    # Deduplicate by (row, col), keeping the minimum weight.
+    keys = rows * graph.n_cols + cols
+    order = np.argsort(keys, kind="stable")
+    keys, rows, cols, data = keys[order], rows[order], cols[order], data[order]
+    first = np.ones(keys.size, dtype=bool)
+    first[1:] = keys[1:] != keys[:-1]
+    group_ids = np.cumsum(first) - 1
+    mins = np.full(int(group_ids[-1]) + 1 if keys.size else 0, np.inf)
+    np.minimum.at(mins, group_ids, data)
+    return COOMatrix(rows[first], cols[first], mins, graph.shape).to_csr()

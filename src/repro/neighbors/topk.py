@@ -1,0 +1,85 @@
+"""Row-wise top-k selection over distance blocks.
+
+The end-to-end k-NN benchmark (paper §4.2) computes the pairwise block in
+row batches and keeps only each query's k nearest — that is what lets the
+primitive "scale to datasets where the dense pairwise distance matrix may
+not otherwise fit in the memory of the GPU". :class:`TopKAccumulator`
+maintains the running k-best across batches of *candidate columns*.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["select_topk", "TopKAccumulator"]
+
+
+def select_topk(distances: np.ndarray, k: int,
+                ascending: bool = True) -> Tuple[np.ndarray, np.ndarray]:
+    """The ``k`` smallest (or largest) entries of each row, sorted.
+
+    Returns ``(values, indices)`` of shape ``(n_rows, k)``. Ties are broken
+    by index order (stable), so results are deterministic.
+    """
+    distances = np.asarray(distances, dtype=np.float64)
+    if distances.ndim != 2:
+        raise ValueError("select_topk expects a 2-D block")
+    n_rows, n_cols = distances.shape
+    if k <= 0:
+        raise ValueError("k must be positive")
+    k = min(k, n_cols)
+    keyed = distances if ascending else -distances
+    if k < n_cols:
+        part_idx = np.argpartition(keyed, kth=k - 1, axis=1)[:, :k]
+    else:
+        part_idx = np.tile(np.arange(n_cols), (n_rows, 1))
+    part_val = np.take_along_axis(keyed, part_idx, axis=1)
+    # Sort by (value, index) for deterministic tie-breaks.
+    order = np.lexsort((part_idx, part_val), axis=1)
+    idx = np.take_along_axis(part_idx, order, axis=1)
+    val = np.take_along_axis(part_val, order, axis=1)
+    return (val if ascending else -val), idx
+
+
+class TopKAccumulator:
+    """Running k-nearest merge across column batches of the distance block."""
+
+    def __init__(self, n_rows: int, k: int):
+        if n_rows < 0 or k <= 0:
+            raise ValueError("need n_rows >= 0 and k > 0")
+        self.n_rows = int(n_rows)
+        self.k = int(k)
+        self._values = np.full((n_rows, 0), np.inf)
+        self._indices = np.zeros((n_rows, 0), dtype=np.int64)
+
+    def update(self, distances: np.ndarray, col_offset: int) -> None:
+        """Merge a new batch of columns ``[col_offset, ...)`` into the
+        running best."""
+        distances = np.asarray(distances, dtype=np.float64)
+        if distances.shape[0] != self.n_rows:
+            raise ValueError(
+                f"batch has {distances.shape[0]} rows, expected {self.n_rows}")
+        k_local = min(self.k, distances.shape[1])
+        if k_local == 0:
+            return
+        val, idx = select_topk(distances, k_local)
+        idx = idx + col_offset
+        self._values = np.concatenate([self._values, val], axis=1)
+        self._indices = np.concatenate([self._indices, idx], axis=1)
+        if self._values.shape[1] > self.k:
+            self._compact()
+
+    def _compact(self) -> None:
+        val, local = select_topk(self._values, self.k)
+        self._values = val
+        self._indices = np.take_along_axis(self._indices, local, axis=1)
+
+    def finalize(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Sorted ``(distances, indices)`` of the k best seen so far."""
+        if self._values.shape[1] > self.k:
+            self._compact()
+        order = np.lexsort((self._indices, self._values), axis=1)
+        return (np.take_along_axis(self._values, order, axis=1),
+                np.take_along_axis(self._indices, order, axis=1))

@@ -1,0 +1,49 @@
+"""From-scratch sparse-matrix substrate (CSR + COO).
+
+The paper's primitive operates directly on CSR inputs and internally views
+the second operand through a COO row index (Section 3.3). This subpackage is
+that substrate: containers, validated construction, conversions, and the
+GraphBLAS-style helper reductions (row norms) the expansion functions need.
+"""
+
+from repro.sparse.bsr import BSRMatrix
+from repro.sparse.coo import COOMatrix
+from repro.sparse.convert import as_csr, from_scipy, to_scipy_csr
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.elementwise import (
+    diagonal,
+    ewise_add,
+    ewise_mult,
+    scale_rows,
+    total_sum,
+)
+from repro.sparse.ops import (
+    iter_row_batches,
+    n_row_batches,
+    row_means,
+    row_norms,
+    row_sums,
+    sparse_equal_dense,
+    vstack,
+)
+
+__all__ = [
+    "CSRMatrix",
+    "COOMatrix",
+    "BSRMatrix",
+    "as_csr",
+    "from_scipy",
+    "to_scipy_csr",
+    "row_norms",
+    "row_sums",
+    "row_means",
+    "vstack",
+    "iter_row_batches",
+    "n_row_batches",
+    "sparse_equal_dense",
+    "ewise_mult",
+    "ewise_add",
+    "scale_rows",
+    "total_sum",
+    "diagonal",
+]

@@ -1,0 +1,164 @@
+"""Block compressed sparse row (BSR) format — the paper's §5.1 outlook.
+
+"Block compressed sparse formats have become widely popular ... because
+they can improve load balancing by grouping nonzeros into fixed-sized tiles
+and scheduling the tiles more uniformly across the processing cores. ...
+While we do hope to someday support block-sparse formats, it is most often
+assumed that users will be calling code that invokes our primitive with
+matrices in the standard CSR format and so a conversion would be necessary."
+
+This module implements that future-work format so its trade-offs can be
+*measured* (see ``bench_ablation_strategies.test_block_sparse_tradeoff``):
+
+- tiles schedule uniformly — the per-tile work is constant by construction;
+- but hyper-sparse data pays a **fill cost**: every touched ``r x c`` tile
+  stores all ``r*c`` values, zeros included. :attr:`fill_ratio` quantifies
+  it, and the conversion from CSR is an explicit, paid step.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import SparseFormatError
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["BSRMatrix"]
+
+
+class BSRMatrix:
+    """A sparse matrix stored as dense ``r x c`` tiles.
+
+    Arrays mirror CSR at tile granularity: ``indptr`` over block rows,
+    ``indices`` holding block-column ids, and ``data`` of shape
+    ``(n_blocks, r, c)`` holding the tiles themselves.
+    """
+
+    __slots__ = ("indptr", "indices", "data", "_shape", "_block_shape")
+
+    def __init__(self, indptr, indices, data, shape, block_shape, *,
+                 check: bool = True):
+        self.indptr = np.ascontiguousarray(np.asarray(indptr, dtype=np.int64))
+        self.indices = np.ascontiguousarray(np.asarray(indices,
+                                                       dtype=np.int64))
+        self.data = np.ascontiguousarray(np.asarray(data, dtype=np.float64))
+        self._shape = (int(shape[0]), int(shape[1]))
+        self._block_shape = (int(block_shape[0]), int(block_shape[1]))
+        if check:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix, block_shape: Tuple[int, int]
+                 ) -> "BSRMatrix":
+        """Tile a CSR matrix; shapes must divide evenly into blocks."""
+        r, c = int(block_shape[0]), int(block_shape[1])
+        if r <= 0 or c <= 0:
+            raise SparseFormatError("block dimensions must be positive")
+        m, k = csr.shape
+        if m % r or k % c:
+            raise SparseFormatError(
+                f"shape {csr.shape} does not tile by blocks ({r}, {c}); "
+                "pad the matrix first")
+        n_brows, n_bcols = m // r, k // c
+        rows = np.repeat(np.arange(m, dtype=np.int64), csr.row_degrees())
+        brow = rows // r
+        bcol = csr.indices // c
+        keys = brow * np.int64(n_bcols) + bcol
+        order = np.argsort(keys, kind="stable")
+        uniq, first = np.unique(keys[order], return_index=True)
+        # slot of each nonzero within the block list
+        slot = np.empty(keys.size, dtype=np.int64)
+        slot[order] = np.searchsorted(uniq, keys[order])
+        data = np.zeros((uniq.size, r, c))
+        data[slot, rows % r, csr.indices % c] = csr.data
+        counts = np.bincount((uniq // n_bcols).astype(np.int64),
+                             minlength=n_brows)
+        indptr = np.zeros(n_brows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, uniq % n_bcols, data, csr.shape, (r, c),
+                   check=False)
+
+    def to_csr(self) -> CSRMatrix:
+        """Back to CSR, dropping the stored zeros inside tiles."""
+        return CSRMatrix.from_dense(self.to_dense())
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self._shape)
+        r, c = self._block_shape
+        for brow in range(self.n_block_rows):
+            for t in range(self.indptr[brow], self.indptr[brow + 1]):
+                bcol = self.indices[t]
+                out[brow * r:(brow + 1) * r,
+                    bcol * c:(bcol + 1) * c] = self.data[t]
+        return out
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def block_shape(self) -> Tuple[int, int]:
+        return self._block_shape
+
+    @property
+    def n_block_rows(self) -> int:
+        return self._shape[0] // self._block_shape[0]
+
+    @property
+    def n_blocks(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def stored_values(self) -> int:
+        """Values physically stored (zeros inside tiles included)."""
+        return int(self.data.size)
+
+    @property
+    def nnz(self) -> int:
+        """True nonzeros inside the stored tiles."""
+        return int(np.count_nonzero(self.data))
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of stored values that are actual nonzeros.
+
+        1.0 = perfectly dense tiles; low values are the §5.1 fill cost of
+        tiling hyper-sparse data.
+        """
+        return self.nnz / self.stored_values if self.stored_values else 1.0
+
+    def memory_nbytes(self) -> int:
+        return self.indptr.nbytes + self.indices.nbytes + self.data.nbytes
+
+    def block_work_sizes(self) -> np.ndarray:
+        """Per-tile work: constant by construction — the load-balancing
+        property blocked formats buy."""
+        r, c = self._block_shape
+        return np.full(self.n_blocks, r * c, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        r, c = self._block_shape
+        m, k = self._shape
+        if r <= 0 or c <= 0:
+            raise SparseFormatError("block dimensions must be positive")
+        if m % r or k % c:
+            raise SparseFormatError(
+                f"shape {self._shape} does not tile by {self._block_shape}")
+        if self.indptr.size != m // r + 1:
+            raise SparseFormatError("indptr length mismatch")
+        if self.data.shape != (self.indices.size, r, c):
+            raise SparseFormatError(
+                f"data shape {self.data.shape} inconsistent with "
+                f"{self.indices.size} blocks of {self._block_shape}")
+        if self.indices.size:
+            if self.indices.min() < 0 or self.indices.max() >= k // c:
+                raise SparseFormatError("block column indices out of range")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"BSRMatrix(shape={self._shape}, blocks={self.n_blocks} of "
+                f"{self._block_shape}, fill={self.fill_ratio:.1%})")

@@ -1,0 +1,62 @@
+"""Conversions between repro sparse containers and external formats.
+
+SciPy is an *optional* test-time oracle only: the core library never imports
+it. These adapters let tests cross-check our substrate against
+``scipy.sparse`` and let users hand in matrices they already have.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+import numpy as np
+
+from repro.errors import SparseFormatError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["as_csr", "to_scipy_csr", "from_scipy"]
+
+MatrixLike = Union[CSRMatrix, COOMatrix, np.ndarray, Any]
+
+
+def as_csr(x: MatrixLike) -> CSRMatrix:
+    """Coerce any supported matrix-like input into a :class:`CSRMatrix`.
+
+    Accepts our CSR/COO containers, dense arrays / nested sequences, and any
+    scipy.sparse matrix (duck-typed via ``tocsr``).
+    """
+    if isinstance(x, CSRMatrix):
+        return x
+    if isinstance(x, COOMatrix):
+        return x.to_csr()
+    if hasattr(x, "tocsr") and hasattr(x, "shape"):  # scipy.sparse duck type
+        return from_scipy(x)
+    arr = np.asarray(x)
+    if arr.ndim == 1:
+        arr = arr.reshape(1, -1)
+    if arr.ndim != 2:
+        raise SparseFormatError(
+            f"cannot interpret ndim={arr.ndim} input as a sparse matrix")
+    return CSRMatrix.from_dense(arr)
+
+
+def from_scipy(mat) -> CSRMatrix:
+    """Convert a scipy.sparse matrix into our CSR container."""
+    csr = mat.tocsr()
+    csr.sort_indices()
+    return CSRMatrix(np.asarray(csr.indptr, dtype=np.int64),
+                     np.asarray(csr.indices, dtype=np.int64),
+                     np.asarray(csr.data, dtype=np.float64),
+                     csr.shape, check=False, sort=False)
+
+
+def to_scipy_csr(x: CSRMatrix):
+    """Convert our CSR container into ``scipy.sparse.csr_matrix``.
+
+    Imported lazily so the core library stays scipy-free.
+    """
+    from scipy.sparse import csr_matrix  # local import by design
+
+    return csr_matrix((x.data.copy(), x.indices.copy(), x.indptr.copy()),
+                      shape=x.shape)

@@ -1,0 +1,42 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix
+
+
+def random_dense(rng: np.random.Generator, m: int, k: int,
+                 density: float = 0.3, *, positive: bool = False) -> np.ndarray:
+    """A dense array with approximately the requested fraction of nonzeros."""
+    values = rng.random((m, k)) + (0.01 if positive else 0.0)
+    if not positive:
+        values = values * rng.choice([-1.0, 1.0], size=(m, k))
+    mask = rng.random((m, k)) < density
+    return values * mask
+
+
+def random_csr(rng: np.random.Generator, m: int, k: int,
+               density: float = 0.3, *, positive: bool = False) -> CSRMatrix:
+    return CSRMatrix.from_dense(random_dense(rng, m, k, density,
+                                             positive=positive))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_pair(rng):
+    """A small (A, B) pair of sparse matrices with mixed-sign values."""
+    return (random_csr(rng, 17, 23, 0.35), random_csr(rng, 13, 23, 0.25))
+
+
+@pytest.fixture
+def positive_pair(rng):
+    """Positive-valued pair (valid input for KL / JS / Hellinger)."""
+    return (random_csr(rng, 14, 19, 0.4, positive=True),
+            random_csr(rng, 11, 19, 0.3, positive=True))

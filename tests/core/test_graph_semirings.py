@@ -1,0 +1,110 @@
+"""Graph algorithms through the semiring machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph_semirings import (
+    bfs_levels,
+    boolean_semiring,
+    count_triangles,
+    reachable_within,
+)
+from repro.sparse.csr import CSRMatrix
+
+
+def _path_graph(n):
+    """0 - 1 - 2 - ... - (n-1), undirected."""
+    dense = np.zeros((n, n))
+    for i in range(n - 1):
+        dense[i, i + 1] = dense[i + 1, i] = 1.0
+    return CSRMatrix.from_dense(dense)
+
+
+def _triangle_plus_tail():
+    """Triangle 0-1-2 with a tail 2-3."""
+    dense = np.zeros((4, 4))
+    for i, j in ((0, 1), (1, 2), (0, 2), (2, 3)):
+        dense[i, j] = dense[j, i] = 1.0
+    return CSRMatrix.from_dense(dense)
+
+
+class TestBooleanSemiring:
+    def test_is_annihilating_single_pass(self):
+        sr = boolean_semiring()
+        assert sr.is_annihilating
+        assert sr.n_passes == 1
+
+    def test_or_and_on_vectors(self):
+        sr = boolean_semiring()
+        cols = np.array([0, 1])
+        assert sr.vector_inner(cols, np.ones(2), cols, np.ones(2)) == 1.0
+        a_cols = np.array([0])
+        b_cols = np.array([1])
+        assert sr.vector_inner(a_cols, np.ones(1), b_cols, np.ones(1)) == 0.0
+
+
+class TestBfs:
+    def test_path_graph_levels(self):
+        levels = bfs_levels(_path_graph(6), source=0)
+        np.testing.assert_array_equal(levels, [0, 1, 2, 3, 4, 5])
+
+    def test_from_middle(self):
+        levels = bfs_levels(_path_graph(5), source=2)
+        np.testing.assert_array_equal(levels, [2, 1, 0, 1, 2])
+
+    def test_disconnected(self):
+        dense = np.zeros((4, 4))
+        dense[0, 1] = dense[1, 0] = 1.0
+        dense[2, 3] = dense[3, 2] = 1.0
+        levels = bfs_levels(CSRMatrix.from_dense(dense), source=0)
+        np.testing.assert_array_equal(levels, [0, 1, -1, -1])
+
+    def test_directed_edges_respected(self):
+        dense = np.zeros((3, 3))
+        dense[0, 1] = 1.0  # 0 -> 1 only
+        dense[1, 2] = 1.0
+        levels = bfs_levels(CSRMatrix.from_dense(dense), source=0)
+        np.testing.assert_array_equal(levels, [0, 1, 2])
+        back = bfs_levels(CSRMatrix.from_dense(dense), source=2)
+        np.testing.assert_array_equal(back, [-1, -1, 0])
+
+    def test_reachable_within(self):
+        mask = reachable_within(_path_graph(6), source=0, n_hops=2)
+        np.testing.assert_array_equal(mask, [1, 1, 1, 0, 0, 0])
+
+    def test_source_out_of_range(self):
+        with pytest.raises(IndexError):
+            bfs_levels(_path_graph(3), source=5)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            bfs_levels(CSRMatrix.empty((2, 3)), source=0)
+
+    def test_weighted_edges_binarized(self):
+        dense = np.zeros((3, 3))
+        dense[0, 1] = 7.5
+        dense[1, 2] = 0.1
+        levels = bfs_levels(CSRMatrix.from_dense(dense), source=0)
+        np.testing.assert_array_equal(levels, [0, 1, 2])
+
+
+class TestTriangles:
+    def test_triangle_plus_tail(self):
+        assert count_triangles(_triangle_plus_tail()) == 1
+
+    def test_path_has_none(self):
+        assert count_triangles(_path_graph(7)) == 0
+
+    def test_complete_graph(self):
+        n = 6
+        dense = np.ones((n, n)) - np.eye(n)
+        want = n * (n - 1) * (n - 2) // 6
+        assert count_triangles(CSRMatrix.from_dense(dense)) == want
+
+    def test_random_graph_matches_dense_formula(self, rng):
+        n = 20
+        upper = np.triu((rng.random((n, n)) < 0.3).astype(float), k=1)
+        dense = upper + upper.T
+        a3 = np.linalg.matrix_power(dense, 3)
+        want = int(round(np.trace(a3) / 6))
+        assert count_triangles(CSRMatrix.from_dense(dense)) == want

@@ -1,0 +1,36 @@
+"""Tests for the norm resolver feeding expansion functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.norms import NORM_KINDS, compute_norms
+from tests.conftest import random_csr
+
+
+class TestComputeNorms:
+    def test_all_kinds(self, rng):
+        x = random_csr(rng, 7, 9)
+        dense = x.to_dense()
+        norms = compute_norms(x, NORM_KINDS)
+        np.testing.assert_allclose(norms["l0"],
+                                   np.count_nonzero(dense, axis=1))
+        np.testing.assert_allclose(norms["l1"], np.abs(dense).sum(axis=1))
+        np.testing.assert_allclose(norms["l2"],
+                                   np.linalg.norm(dense, axis=1))
+        np.testing.assert_allclose(norms["l2sq"], (dense ** 2).sum(axis=1))
+        np.testing.assert_allclose(norms["sum"], dense.sum(axis=1))
+
+    def test_only_requested_kinds(self, rng):
+        norms = compute_norms(random_csr(rng, 3, 3), ("l2",))
+        assert set(norms) == {"l2"}
+
+    def test_duplicates_computed_once(self, rng):
+        norms = compute_norms(random_csr(rng, 3, 3), ("l2", "L2", "l2"))
+        assert set(norms) == {"l2"}
+
+    def test_empty_request(self, rng):
+        assert compute_norms(random_csr(rng, 3, 3), ()) == {}
+
+    def test_unknown_kind_rejected(self, rng):
+        with pytest.raises(ValueError, match="unknown norm kind"):
+            compute_norms(random_csr(rng, 3, 3), ("l3",))

@@ -1,0 +1,103 @@
+"""Tests for the public pairwise_distances API surface."""
+
+import numpy as np
+import pytest
+
+from repro.core.pairwise import PairwiseResult, pairwise_distances
+from repro.core.reference import pairwise_reference
+from repro.errors import ShapeMismatchError
+from repro.gpusim.specs import AMPERE_A100, VOLTA_V100
+from repro.kernels import LoadBalancedCooKernel
+from tests.conftest import random_csr, random_dense
+
+
+class TestApiSurface:
+    def test_y_none_means_self(self, rng):
+        x = random_dense(rng, 8, 10)
+        d = pairwise_distances(x, metric="cosine", engine="host")
+        assert d.shape == (8, 8)
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=1e-9)
+
+    def test_accepts_our_csr(self, rng):
+        x = random_csr(rng, 6, 9)
+        d = pairwise_distances(x, metric="manhattan", engine="host")
+        want = pairwise_reference(x.to_dense(), x.to_dense(), "manhattan")
+        np.testing.assert_allclose(d, want, atol=1e-9)
+
+    def test_accepts_scipy(self, rng):
+        scipy_sparse = pytest.importorskip("scipy.sparse")
+        dense = random_dense(rng, 5, 7)
+        d = pairwise_distances(scipy_sparse.csr_matrix(dense),
+                               metric="euclidean", engine="host")
+        np.testing.assert_allclose(
+            d, pairwise_reference(dense, dense, "euclidean"), atol=1e-9)
+
+    def test_metric_params_forwarded(self, rng):
+        x = random_dense(rng, 6, 8)
+        d = pairwise_distances(x, metric="minkowski", engine="host", p=1.0)
+        want = pairwise_reference(x, x, "manhattan")
+        np.testing.assert_allclose(d, want, atol=1e-9)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ShapeMismatchError):
+            pairwise_distances(random_csr(rng, 3, 4), random_csr(rng, 3, 5),
+                               metric="cosine", engine="host")
+
+    def test_device_by_name(self, rng):
+        x = random_dense(rng, 5, 6)
+        d = pairwise_distances(x, metric="cosine", engine="hybrid_coo",
+                               device="ampere")
+        np.testing.assert_allclose(
+            d, pairwise_reference(x, x, "cosine"), atol=1e-9)
+
+    def test_engine_instance(self, rng):
+        x = random_dense(rng, 5, 6)
+        kernel = LoadBalancedCooKernel(VOLTA_V100)
+        d = pairwise_distances(x, metric="manhattan", engine=kernel)
+        np.testing.assert_allclose(
+            d, pairwise_reference(x, x, "manhattan"), atol=1e-9)
+
+
+class TestReturnResult:
+    def test_result_fields(self, rng):
+        x = random_dense(rng, 7, 9)
+        r = pairwise_distances(x, metric="euclidean", engine="hybrid_coo",
+                               return_result=True)
+        assert isinstance(r, PairwiseResult)
+        assert r.shape == (7, 7)
+        assert r.engine == "hybrid_coo"
+        assert r.measure.name == "euclidean"
+        assert r.simulated_seconds > 0
+        assert r.stats.kernel_launches >= 1
+
+    def test_host_engine_reports_zero_seconds(self, rng):
+        x = random_dense(rng, 5, 5)
+        r = pairwise_distances(x, metric="cosine", engine="host",
+                               return_result=True)
+        assert r.simulated_seconds == 0.0
+
+    def test_namm_uses_two_passes(self, rng):
+        x = random_dense(rng, 6, 8)
+        r = pairwise_distances(x, metric="manhattan", engine="hybrid_coo",
+                               return_result=True)
+        # two SPMV launches + finalize kernel
+        assert r.stats.kernel_launches >= 2
+
+    def test_expanded_uses_one_pass(self, rng):
+        x = random_dense(rng, 6, 8)
+        r = pairwise_distances(x, metric="cosine", engine="hybrid_coo",
+                               return_result=True)
+        spmv_launches = r.stats.kernel_launches
+        # one SPMV + norms + expansion = 3 launches
+        assert spmv_launches == 3
+
+
+class TestDeviceSensitivity:
+    def test_ampere_not_slower_than_volta(self, rng):
+        """More SMs + more shared memory should not hurt simulated time."""
+        x = random_dense(rng, 20, 30, 0.4)
+        rv = pairwise_distances(x, metric="manhattan", engine="hybrid_coo",
+                                device=VOLTA_V100, return_result=True)
+        ra = pairwise_distances(x, metric="manhattan", engine="hybrid_coo",
+                                device=AMPERE_A100, return_result=True)
+        assert ra.simulated_seconds <= rv.simulated_seconds * 1.05

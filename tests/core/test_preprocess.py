@@ -1,0 +1,100 @@
+"""Preprocessing helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.preprocess import binarize, normalize_rows, tfidf_transform
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import row_norms
+from tests.conftest import random_csr, random_dense
+
+
+class TestNormalizeRows:
+    @pytest.mark.parametrize("norm", ["l1", "l2"])
+    def test_unit_norms(self, rng, norm):
+        x = random_csr(rng, 10, 8)
+        out = normalize_rows(x, norm)
+        norms = row_norms(out, norm)
+        nz = row_norms(x, norm) > 0
+        np.testing.assert_allclose(norms[nz], 1.0, atol=1e-12)
+
+    def test_max_norm(self, rng):
+        x = random_csr(rng, 8, 6)
+        out = normalize_rows(x, "max")
+        for i in range(8):
+            _, vals = out.row(i)
+            if vals.size:
+                assert np.abs(vals).max() == pytest.approx(1.0)
+
+    def test_zero_rows_untouched(self):
+        x = CSRMatrix.from_dense([[0.0, 0.0], [3.0, 4.0]])
+        out = normalize_rows(x, "l2")
+        np.testing.assert_allclose(out.to_dense(), [[0, 0], [0.6, 0.8]])
+
+    def test_unknown_norm(self, rng):
+        with pytest.raises(ValueError):
+            normalize_rows(random_csr(rng, 2, 2), "l7")
+
+    def test_l1_makes_distributions_for_js(self, rng):
+        """The JS/KL workflow: L1-normalize, then the distance is bounded."""
+        from repro.core.pairwise import pairwise_distances
+        x = random_csr(rng, 8, 12, positive=True)
+        p = normalize_rows(x, "l1")
+        d = pairwise_distances(p, metric="jensen_shannon", engine="host")
+        assert np.all(d <= np.sqrt(np.log(2.0)) + 1e-9)  # JS distance bound
+
+
+class TestBinarize:
+    def test_default_threshold(self, rng):
+        dense = np.abs(random_dense(rng, 5, 7))
+        out = binarize(CSRMatrix.from_dense(dense))
+        np.testing.assert_allclose(out.to_dense(),
+                                   (dense > 0).astype(float))
+
+    def test_threshold(self):
+        x = CSRMatrix.from_dense([[0.2, 0.8, 1.5]])
+        out = binarize(x, threshold=0.5)
+        np.testing.assert_allclose(out.to_dense(), [[0, 1.0, 1.0]])
+        assert out.nnz == 2  # sub-threshold entries pruned
+
+
+class TestTfidf:
+    def _counts(self, rng, m=12, k=20):
+        dense = np.round(np.abs(random_dense(rng, m, k, 0.4)) * 5)
+        return CSRMatrix.from_dense(dense)
+
+    def test_rows_normalized(self, rng):
+        counts = self._counts(rng)
+        out = tfidf_transform(counts)
+        norms = row_norms(out, "l2")
+        nz = counts.row_degrees() > 0
+        np.testing.assert_allclose(norms[nz], 1.0, atol=1e-12)
+
+    def test_matches_sklearn_convention(self, rng):
+        """Cross-check against the sklearn formula computed densely."""
+        counts = self._counts(rng)
+        dense = counts.to_dense()
+        n = dense.shape[0]
+        df = (dense > 0).sum(axis=0)
+        idf = np.log((1 + n) / (1 + df)) + 1.0
+        want = dense * idf[None, :]
+        norms = np.linalg.norm(want, axis=1, keepdims=True)
+        want = np.divide(want, norms, out=np.zeros_like(want),
+                         where=norms > 0)
+        got = tfidf_transform(counts)
+        np.testing.assert_allclose(got.to_dense(), want, atol=1e-12)
+
+    def test_rare_terms_upweighted(self, rng):
+        counts = CSRMatrix.from_dense(
+            [[1.0, 1.0], [1.0, 0.0], [1.0, 0.0], [1.0, 0.0]])
+        out = tfidf_transform(counts, normalize="")
+        dense = out.to_dense()
+        # column 1 (rare) gets more weight than column 0 (everywhere)
+        assert dense[0, 1] > dense[0, 0]
+
+    def test_sublinear_tf(self, rng):
+        counts = CSRMatrix.from_dense([[10.0, 1.0]])
+        lin = tfidf_transform(counts, normalize="").to_dense()
+        sub = tfidf_transform(counts, sublinear_tf=True,
+                              normalize="").to_dense()
+        assert sub[0, 0] / sub[0, 1] < lin[0, 0] / lin[0, 1]

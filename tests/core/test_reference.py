@@ -1,0 +1,98 @@
+"""Direct tests of the dense reference oracle module."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import pairwise_reference, reference_distance_names
+from repro.errors import ShapeMismatchError, UnknownDistanceError
+from tests.conftest import random_dense
+
+
+class TestSurface:
+    def test_covers_whole_catalogue(self):
+        import repro
+        assert set(reference_distance_names()) == set(
+            repro.available_distances())
+
+    def test_aliases_resolved(self, rng):
+        x = random_dense(rng, 5, 6)
+        np.testing.assert_allclose(
+            pairwise_reference(x, x, "cityblock"),
+            pairwise_reference(x, x, "manhattan"))
+
+    def test_unknown_metric(self, rng):
+        x = random_dense(rng, 2, 2)
+        with pytest.raises(UnknownDistanceError):
+            pairwise_reference(x, x, "haversine")
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ShapeMismatchError):
+            pairwise_reference(random_dense(rng, 2, 3),
+                               random_dense(rng, 2, 4), "cosine")
+
+    def test_1d_promoted(self):
+        d = pairwise_reference(np.array([1.0, 0.0]),
+                               np.array([0.0, 1.0]), "manhattan")
+        assert d.shape == (1, 1)
+        assert d[0, 0] == pytest.approx(2.0)
+
+
+class TestHandComputedValues:
+    """Small cases verified by hand, pinning conventions."""
+
+    def test_manhattan(self):
+        d = pairwise_reference([[1.0, 2.0]], [[3.0, -1.0]], "manhattan")
+        assert d[0, 0] == pytest.approx(5.0)
+
+    def test_chebyshev(self):
+        d = pairwise_reference([[1.0, 2.0]], [[3.0, -1.0]], "chebyshev")
+        assert d[0, 0] == pytest.approx(3.0)
+
+    def test_cosine_orthogonal(self):
+        d = pairwise_reference([[1.0, 0.0]], [[0.0, 1.0]], "cosine")
+        assert d[0, 0] == pytest.approx(1.0)
+
+    def test_cosine_antiparallel(self):
+        d = pairwise_reference([[1.0, 0.0]], [[-1.0, 0.0]], "cosine")
+        assert d[0, 0] == pytest.approx(2.0)
+
+    def test_euclidean(self):
+        d = pairwise_reference([[0.0, 0.0]], [[3.0, 4.0]], "euclidean")
+        assert d[0, 0] == pytest.approx(5.0)
+
+    def test_canberra_zero_zero_column(self):
+        d = pairwise_reference([[1.0, 0.0]], [[1.0, 0.0]], "canberra")
+        assert d[0, 0] == pytest.approx(0.0)
+
+    def test_hamming(self):
+        d = pairwise_reference([[1.0, 0.0, 2.0, 5.0]],
+                               [[1.0, 3.0, 0.0, 5.0]], "hamming")
+        assert d[0, 0] == pytest.approx(0.5)
+
+    def test_jaccard_half_overlap(self):
+        d = pairwise_reference([[1.0, 1.0, 0.0]], [[0.0, 1.0, 1.0]],
+                               "jaccard")
+        assert d[0, 0] == pytest.approx(1 - 1 / 3)
+
+    def test_minkowski_p4(self):
+        d = pairwise_reference([[0.0]], [[2.0]], "minkowski", p=4.0)
+        assert d[0, 0] == pytest.approx(2.0)
+
+    def test_jensen_shannon_identical_distributions(self):
+        p = [[0.25, 0.75]]
+        d = pairwise_reference(p, p, "jensen_shannon")
+        assert d[0, 0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_jensen_shannon_disjoint_bound(self):
+        # disjoint distributions hit the sqrt(log 2) upper bound
+        d = pairwise_reference([[1.0, 0.0]], [[0.0, 1.0]], "jensen_shannon")
+        assert d[0, 0] == pytest.approx(np.sqrt(np.log(2.0)))
+
+    def test_kl_of_identical(self):
+        p = [[0.5, 0.5]]
+        assert pairwise_reference(p, p, "kl_divergence")[0, 0] == \
+            pytest.approx(0.0)
+
+    def test_hellinger_disjoint_distributions(self):
+        d = pairwise_reference([[1.0, 0.0]], [[0.0, 1.0]], "hellinger")
+        assert d[0, 0] == pytest.approx(1.0)

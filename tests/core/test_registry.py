@@ -1,0 +1,124 @@
+"""Custom-semiring registration tests (the paper's Figure 3 API)."""
+
+import numpy as np
+import pytest
+
+from repro.core.monoid import MAX
+from repro.core.pairwise import pairwise_distances
+from repro.core.registry import (
+    get_distance,
+    list_distances,
+    register_custom_distance,
+    unregister_distance,
+)
+from repro.errors import SemiringError
+from tests.conftest import random_dense
+
+
+@pytest.fixture(autouse=True)
+def _cleanup():
+    yield
+    for name in ("sq_l2_custom", "abs_sum", "max_product", "temp_metric"):
+        try:
+            unregister_distance(name)
+        except SemiringError:
+            pass
+
+
+class TestDotStyleRegistration:
+    """Figure 3, first call only: an annihilating product op."""
+
+    def test_registers_and_computes(self, rng):
+        register_custom_distance(
+            "sq_l2_custom", lambda x, y: (x * y) ** 2,
+            formula="sum (x_i y_i)^2")
+        assert "sq_l2_custom" in list_distances()
+        x = random_dense(rng, 6, 8)
+        y = random_dense(rng, 5, 8)
+        got = pairwise_distances(x, y, metric="sq_l2_custom", engine="host")
+        want = ((x[:, None, :] * y[None, :, :]) ** 2).sum(axis=-1)
+        np.testing.assert_allclose(got, want, atol=1e-9)
+
+    def test_single_pass(self):
+        m = register_custom_distance("temp_metric", lambda x, y: x * y)
+        assert m.n_passes == 1
+
+    def test_duplicate_rejected(self):
+        register_custom_distance("temp_metric", lambda x, y: x * y)
+        with pytest.raises(SemiringError, match="already registered"):
+            register_custom_distance("temp_metric", lambda x, y: x * y)
+
+    def test_overwrite_allowed(self):
+        register_custom_distance("temp_metric", lambda x, y: x * y)
+        register_custom_distance("temp_metric", lambda x, y: x + 0 * y,
+                                 overwrite=True)
+
+    def test_builtin_name_protected(self):
+        with pytest.raises(SemiringError, match="already registered"):
+            register_custom_distance("cosine", lambda x, y: x * y)
+        with pytest.raises(SemiringError, match="built-in"):
+            unregister_distance("cosine")
+
+
+class TestNammRegistration:
+    """Figure 3, both calls: a non-annihilating ⊗ (two-pass union)."""
+
+    def test_abs_sum(self, rng):
+        register_custom_distance(
+            "abs_sum", lambda x, y: np.abs(x) + np.abs(y),
+            non_annihilating=True)
+        x = random_dense(rng, 5, 7)
+        y = random_dense(rng, 4, 7)
+        got = pairwise_distances(x, y, metric="abs_sum", engine="host")
+        want = (np.abs(x).sum(axis=1)[:, None]
+                + np.abs(y).sum(axis=1)[None, :])
+        np.testing.assert_allclose(got, want, atol=1e-9)
+
+    def test_two_passes(self):
+        m = register_custom_distance("temp_metric",
+                                     lambda x, y: np.abs(x - y),
+                                     non_annihilating=True)
+        assert m.n_passes == 2
+
+    def test_max_reduce(self, rng):
+        register_custom_distance(
+            "max_product", lambda x, y: np.abs(x - y),
+            non_annihilating=True, reduce=MAX)
+        x = random_dense(rng, 4, 6)
+        got = pairwise_distances(x, x, metric="max_product", engine="host")
+        want = np.abs(x[:, None, :] - x[None, :, :]).max(axis=-1)
+        np.testing.assert_allclose(got, want, atol=1e-9)
+
+    def test_expansion_disallowed_for_namm(self):
+        with pytest.raises(SemiringError, match="finalize"):
+            register_custom_distance(
+                "temp_metric", lambda x, y: np.abs(x - y),
+                non_annihilating=True, expansion=lambda d, a, b, k: d)
+
+    def test_finalize_applies(self, rng):
+        register_custom_distance(
+            "temp_metric", lambda x, y: np.abs(x - y),
+            non_annihilating=True, finalize=lambda acc, k: acc / 2.0)
+        x = random_dense(rng, 4, 5)
+        got = pairwise_distances(x, x, metric="temp_metric", engine="host")
+        want = np.abs(x[:, None, :] - x[None, :, :]).sum(axis=-1) / 2.0
+        np.testing.assert_allclose(got, want, atol=1e-9)
+
+
+class TestGetDistance:
+    def test_get_builtin(self):
+        assert get_distance("manhattan").name == "manhattan"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_custom_distance("  ", lambda x, y: x * y)
+
+    def test_runs_on_simulated_engine(self, rng):
+        register_custom_distance("temp_metric",
+                                 lambda x, y: np.abs(x - y),
+                                 non_annihilating=True)
+        x = random_dense(rng, 6, 10)
+        got = pairwise_distances(x, x, metric="temp_metric",
+                                 engine="hybrid_coo")
+        want = np.abs(x[:, None, :] - x[None, :, :]).sum(axis=-1)
+        np.testing.assert_allclose(got, want, atol=1e-9)

@@ -1,0 +1,120 @@
+"""Semiring structure and union/intersection dispatch tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.monoid import MAX, Monoid, PLUS
+from repro.core.semiring import (
+    Semiring,
+    dot_product_semiring,
+    namm_semiring,
+    tropical_semiring,
+)
+from repro.errors import SemiringError
+
+
+class TestDotProductSemiring:
+    def test_standard_is_annihilating_single_pass(self):
+        sr = dot_product_semiring()
+        assert sr.is_annihilating
+        assert not sr.requires_union
+        assert sr.n_passes == 1
+
+    def test_replaced_product_keeps_annihilation(self):
+        sr = dot_product_semiring(product_op=lambda x, y: x * np.log1p(y),
+                                  name="custom")
+        assert sr.is_annihilating
+        assert sr.n_passes == 1
+
+    def test_combine_and_reduce(self):
+        sr = dot_product_semiring()
+        np.testing.assert_allclose(sr.combine([2.0, 3.0], [4.0, 5.0]),
+                                   [8.0, 15.0])
+        assert sr.reduce_array(np.array([1.0, 2.0, 3.0])) == 6.0
+
+    def test_reduce_empty_returns_identity(self):
+        sr = dot_product_semiring()
+        assert sr.reduce_array(np.array([])) == 0.0
+
+
+class TestNammSemiring:
+    def test_requires_union_two_passes(self):
+        sr = namm_semiring(lambda x, y: np.abs(x - y), name="manhattan")
+        assert sr.requires_union
+        assert sr.n_passes == 2
+        assert not sr.is_annihilating
+
+    def test_max_reduce(self):
+        sr = namm_semiring(lambda x, y: np.abs(x - y), reduce=MAX,
+                           name="chebyshev")
+        assert sr.reduce_array(np.array([1.0, 5.0, 2.0])) == 5.0
+
+    def test_noncommutative_namm_rejected(self):
+        bad = Monoid("bad", lambda x, y: x - y, identity=0.0,
+                     commutative=False)
+        with pytest.raises(SemiringError, match="commutative"):
+            Semiring("bad", reduce=PLUS, product=bad)
+
+    def test_nonzero_identity_namm_rejected(self):
+        bad = Monoid("bad", np.add, identity=1.0, commutative=True)
+        with pytest.raises(SemiringError, match="id⊗"):
+            Semiring("bad", reduce=PLUS, product=bad)
+
+
+class TestVectorInner:
+    """The two-pointer merge reference against brute-force dense."""
+
+    def _vecs(self, rng, k=12, density=0.5):
+        a = rng.normal(size=k) * (rng.random(k) < density)
+        b = rng.normal(size=k) * (rng.random(k) < density)
+        ac = np.flatnonzero(a)
+        bc = np.flatnonzero(b)
+        return a, b, ac, a[ac], bc, b[bc]
+
+    def test_dot_matches_dense(self, rng):
+        sr = dot_product_semiring()
+        a, b, ac, av, bc, bv = self._vecs(rng)
+        assert sr.vector_inner(ac, av, bc, bv) == pytest.approx(a @ b)
+
+    def test_manhattan_matches_dense(self, rng):
+        sr = namm_semiring(lambda x, y: np.abs(x - y), name="manhattan")
+        a, b, ac, av, bc, bv = self._vecs(rng)
+        assert sr.vector_inner(ac, av, bc, bv) == pytest.approx(
+            np.abs(a - b).sum())
+
+    def test_chebyshev_matches_dense(self, rng):
+        sr = namm_semiring(lambda x, y: np.abs(x - y), reduce=MAX,
+                           name="chebyshev")
+        a, b, ac, av, bc, bv = self._vecs(rng)
+        assert sr.vector_inner(ac, av, bc, bv) == pytest.approx(
+            np.abs(a - b).max())
+
+    def test_empty_vectors(self):
+        sr = dot_product_semiring()
+        e = np.empty(0, dtype=np.int64)
+        v = np.empty(0)
+        assert sr.vector_inner(e, v, e, v) == 0.0
+
+
+class TestTropical:
+    def test_structure(self):
+        sr = tropical_semiring()
+        assert sr.reduce.name == "min"
+        assert sr.requires_union  # no annihilator declared
+
+    def test_shortest_path_relaxation(self):
+        # (min, +) inner product = min over shared coords of a + b: the
+        # one-step path relaxation the paper's Eq. 1 references.
+        sr = tropical_semiring()
+        a = np.array([1.0, 7.0])
+        b = np.array([5.0, 2.0])
+        cols = np.array([0, 1])
+        # min over coordinates of a_c + b_c: min(1+5, 7+2) = 6.
+        assert sr.vector_inner(cols, a, cols, b) == pytest.approx(6.0)
+
+
+class TestRepr:
+    def test_repr_mentions_pass_kind(self):
+        assert "1-pass" in repr(dot_product_semiring())
+        assert "NAMM" in repr(
+            namm_semiring(lambda x, y: np.abs(x - y), name="m"))

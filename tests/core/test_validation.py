@@ -1,0 +1,61 @@
+"""Metric-axiom checker tests: catalogue flags must agree with evidence."""
+
+import numpy as np
+import pytest
+
+from repro.core.distances import available_distances, make_distance
+from repro.core.validation import check_metric_properties
+
+TRUE_METRICS = [m for m in available_distances()
+                if make_distance(m).is_metric]
+NON_METRICS = ("cosine", "correlation", "kl_divergence", "dot",
+               "sqeuclidean", "russellrao", "dice")
+
+
+class TestMetricFlagsHoldUp:
+    @pytest.mark.parametrize("metric", TRUE_METRICS)
+    def test_declared_metrics_pass_all_axioms(self, metric):
+        kw = {"p": 2.5} if metric == "minkowski" else {}
+        report = check_metric_properties(metric, n_samples=18, **kw)
+        assert report.is_metric, str(report)
+
+    def test_kl_fails_symmetry(self):
+        report = check_metric_properties("kl_divergence")
+        assert not report.symmetry
+
+    def test_sqeuclidean_fails_triangle(self):
+        report = check_metric_properties("sqeuclidean")
+        assert not report.triangle_inequality
+        assert report.max_triangle_violation > 0
+
+    def test_cosine_fails_implication(self):
+        # two parallel but different vectors have cosine distance 0
+        samples = np.array([[1.0, 2.0, 0.0], [2.0, 4.0, 0.0],
+                            [0.0, 1.0, 3.0]])
+        report = check_metric_properties("cosine", samples=samples)
+        assert not report.implication
+        assert report.positivity and report.symmetry
+
+    def test_dot_fails_positivity(self):
+        samples = np.array([[1.0, -1.0], [1.0, 1.0], [-2.0, 1.0]])
+        report = check_metric_properties("dot", samples=samples)
+        assert not report.positivity
+
+
+class TestCustomDistanceValidation:
+    def test_registered_pseudo_metric_flagged(self):
+        from repro.core.registry import (register_custom_distance,
+                                         unregister_distance)
+        register_custom_distance(
+            "validation_temp", lambda x, y: (x * y) ** 2)
+        try:
+            report = check_metric_properties("validation_temp")
+            # squared products are positive but break the triangle axioms
+            assert not report.is_metric
+        finally:
+            unregister_distance("validation_temp")
+
+    def test_explicit_samples_used(self):
+        samples = np.eye(4)
+        report = check_metric_properties("manhattan", samples=samples)
+        assert report.is_metric

@@ -1,0 +1,50 @@
+"""Persistence round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import (
+    load_csr,
+    load_saved_dataset,
+    save_csr,
+    save_dataset,
+)
+from repro.datasets.synthetic import load_dataset
+from repro.errors import SparseFormatError
+from tests.conftest import random_csr
+
+
+class TestCsrRoundtrip:
+    def test_exact(self, rng, tmp_path):
+        m = random_csr(rng, 20, 30)
+        path = save_csr(tmp_path / "m", m)
+        assert path.suffix == ".npz"
+        back = load_csr(path)
+        assert back == m
+
+    def test_empty_matrix(self, tmp_path):
+        from repro.sparse.csr import CSRMatrix
+        m = CSRMatrix.empty((5, 7))
+        back = load_csr(save_csr(tmp_path / "e.npz", m))
+        assert back == m
+
+    def test_bad_version(self, rng, tmp_path):
+        m = random_csr(rng, 3, 3)
+        path = save_csr(tmp_path / "m", m)
+        data = dict(np.load(path))
+        data["version"] = np.int64(99)
+        np.savez(path, **data)
+        with pytest.raises(SparseFormatError, match="version"):
+            load_csr(path)
+
+
+class TestDatasetRoundtrip:
+    def test_provenance_preserved(self, tmp_path):
+        ds = load_dataset("nytimes", scale=256)
+        path = save_dataset(tmp_path / "nyt", ds)
+        back = load_saved_dataset(path)
+        assert back.name == ds.name
+        assert back.scale == ds.scale
+        assert back.description == ds.description
+        assert back.matrix == ds.matrix
+        assert back.paper == ds.paper

@@ -1,0 +1,69 @@
+"""Occupancy calculator tests, mirroring the paper's scheduling claims."""
+
+import pytest
+
+from repro.errors import KernelLaunchError
+from repro.gpusim.occupancy import compute_occupancy
+from repro.gpusim.specs import KIB, VOLTA_V100
+
+
+class TestPaperScheduling:
+    def test_two_full_blocks_at_half_smem(self):
+        # §3.3: "a block size of 32 warps allows two blocks, the full 64
+        # warps, to be scheduled concurrently on each SM" when each uses
+        # less than half the shared memory and < 32 registers.
+        occ = compute_occupancy(VOLTA_V100, block_threads=1024,
+                                smem_per_block=48 * KIB, regs_per_thread=31)
+        assert occ.blocks_per_sm == 2
+        assert occ.active_warps_per_sm == 64
+        assert occ.fraction(VOLTA_V100) == 1.0
+
+    def test_over_half_smem_halves_occupancy(self):
+        # §3.3.2: "anything over 48KB of shared memory per block is going to
+        # decrease occupancy"
+        occ = compute_occupancy(VOLTA_V100, block_threads=1024,
+                                smem_per_block=49 * KIB, regs_per_thread=31)
+        assert occ.blocks_per_sm == 1
+        assert occ.fraction(VOLTA_V100) == 0.5
+        assert occ.limiting_factor == "smem"
+
+    def test_register_pressure_limits(self):
+        occ = compute_occupancy(VOLTA_V100, block_threads=1024,
+                                smem_per_block=0, regs_per_thread=64)
+        assert occ.limiting_factor == "registers"
+        assert occ.fraction(VOLTA_V100) < 1.0
+
+
+class TestValidation:
+    def test_block_too_large(self):
+        with pytest.raises(KernelLaunchError, match="exceeds device max"):
+            compute_occupancy(VOLTA_V100, block_threads=2048)
+
+    def test_zero_threads(self):
+        with pytest.raises(KernelLaunchError):
+            compute_occupancy(VOLTA_V100, block_threads=0)
+
+    def test_smem_over_block_cap(self):
+        with pytest.raises(KernelLaunchError, match="shared memory"):
+            compute_occupancy(VOLTA_V100, block_threads=32,
+                              smem_per_block=VOLTA_V100.smem_per_block_max_bytes + 1)
+
+    def test_partial_warp_rounds_up(self):
+        occ = compute_occupancy(VOLTA_V100, block_threads=33)
+        assert occ.warps_per_block == 2
+
+    def test_small_blocks_limited_by_block_slots(self):
+        occ = compute_occupancy(VOLTA_V100, block_threads=32,
+                                smem_per_block=0, regs_per_thread=16)
+        assert occ.limiting_factor == "blocks"
+        assert occ.blocks_per_sm == VOLTA_V100.max_blocks_per_sm
+
+
+class TestMonotonicity:
+    def test_occupancy_nonincreasing_in_smem(self):
+        fracs = []
+        for smem in (0, 16 * KIB, 32 * KIB, 48 * KIB, 64 * KIB, 96 * KIB):
+            occ = compute_occupancy(VOLTA_V100, block_threads=1024,
+                                    smem_per_block=smem, regs_per_thread=31)
+            fracs.append(occ.fraction(VOLTA_V100))
+        assert fracs == sorted(fracs, reverse=True)

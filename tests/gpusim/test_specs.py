@@ -1,0 +1,84 @@
+"""Device-spec tests, pinning the paper's derived capacity numbers."""
+
+import pytest
+
+from repro.errors import DeviceConfigError
+from repro.gpusim.specs import AMPERE_A100, KIB, VOLTA_V100, DeviceSpec, get_device
+
+
+class TestPaperCapacities:
+    """§3.3.2: the shared-memory capacity cliffs the paper quotes."""
+
+    def test_volta_dense_dim_limit(self):
+        # "The 96KiB limit per block on Volta allows a max dimensionality of
+        # 23K with single-precision" (we derive 24K = 96KiB/4B; the paper
+        # rounds down after reserving a little smem for bookkeeping).
+        assert VOLTA_V100.max_dense_dim(4) == pytest.approx(23_000, rel=0.1)
+
+    def test_ampere_dense_dim_limit(self):
+        # "the 163KiB limit per SM on Ampere allows a max dimensionality of
+        # 40K with single-precision"
+        assert AMPERE_A100.max_dense_dim(4) == pytest.approx(40_000, rel=0.08)
+
+    def test_volta_full_occupancy_dim(self):
+        # "the maximum dimensionality ... processed with full occupancy is
+        # actually 12K" (Volta)
+        assert VOLTA_V100.max_dense_dim_full_occupancy(4) == pytest.approx(
+            12_000, rel=0.05)
+
+    def test_ampere_full_occupancy_dim(self):
+        # "... and 20K" (Ampere)
+        assert AMPERE_A100.max_dense_dim_full_occupancy(4) == pytest.approx(
+            20_000, rel=0.06)
+
+    def test_volta_hash_max_degree(self):
+        # "Our hash table strategy allows for a max degree of 3K on Volta"
+        assert VOLTA_V100.hash_table_max_degree() == pytest.approx(
+            3_000, rel=0.05)
+
+    def test_ampere_hash_max_degree(self):
+        # "... and 5K on Ampere"
+        assert AMPERE_A100.hash_table_max_degree() == pytest.approx(
+            5_000, rel=0.06)
+
+    def test_max_64_warps_per_sm(self):
+        # §3.1: "each SM can track the progress of up to 64 warps"
+        assert VOLTA_V100.max_warps_per_sm == 64
+        assert AMPERE_A100.max_warps_per_sm == 64
+
+
+class TestSpecValidation:
+    def test_negative_sms_rejected(self):
+        with pytest.raises(DeviceConfigError):
+            DeviceSpec(name="bad", n_sms=0)
+
+    def test_block_threads_must_be_warp_multiple(self):
+        with pytest.raises(DeviceConfigError):
+            DeviceSpec(name="bad", n_sms=1, max_threads_per_block=100)
+
+    def test_block_smem_cannot_exceed_sm(self):
+        with pytest.raises(DeviceConfigError):
+            DeviceSpec(name="bad", n_sms=1, smem_per_sm_bytes=10 * KIB,
+                       smem_per_block_max_bytes=20 * KIB)
+
+    def test_with_overrides(self):
+        spec = VOLTA_V100.with_overrides(n_sms=4)
+        assert spec.n_sms == 4
+        assert spec.name == VOLTA_V100.name
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name,expected", [
+        ("volta", "volta-v100"), ("v100", "volta-v100"),
+        ("ampere", "ampere-a100"), ("a100", "ampere-a100"),
+        ("VOLTA-V100", "volta-v100"),
+    ])
+    def test_aliases(self, name, expected):
+        assert get_device(name).name == expected
+
+    def test_unknown(self):
+        with pytest.raises(DeviceConfigError):
+            get_device("hopper")
+
+    def test_peak_throughput_positive(self):
+        assert VOLTA_V100.peak_lane_throughput > 1e12

@@ -1,0 +1,96 @@
+"""End-to-end workflow tests combining multiple subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import NearestNeighbors, pairwise_distances
+from repro.core.preprocess import normalize_rows, tfidf_transform
+from repro.datasets import TfidfVectorizer, generate_documents
+from repro.kernels import LoadBalancedCooKernel, RowCacheStrategy
+from repro.neighbors import KNeighborsClassifier, knn_graph, symmetrize
+from repro.sparse import CSRMatrix
+from tests.conftest import random_csr, random_dense
+
+
+class TestUmapPrepPipeline:
+    """raw counts → tfidf → normalize → kNN graph → symmetric graph."""
+
+    def test_full_chain(self, rng):
+        counts = CSRMatrix.from_dense(
+            np.round(np.abs(random_dense(rng, 40, 60, 0.3)) * 4))
+        tfidf = tfidf_transform(counts)
+        probs = normalize_rows(counts, "l1")
+
+        graph = knn_graph(tfidf, n_neighbors=5, metric="cosine",
+                          symmetric=True, engine="host")
+        assert graph.shape == (40, 40)
+        dense = graph.to_dense()
+        np.testing.assert_allclose(dense, np.maximum(dense, dense.T))
+
+        js_graph = knn_graph(probs, n_neighbors=5, metric="jensen_shannon",
+                             engine="host")
+        assert js_graph.row_degrees().max() == 5
+
+    def test_symmetrize_preserves_reachability(self, rng):
+        x = random_dense(rng, 25, 10)
+        g = symmetrize(knn_graph(x, n_neighbors=3, engine="host"))
+        from repro.core.graph_semirings import bfs_levels
+        levels = bfs_levels(g, source=0)
+        # symmetric graph: BFS from 0 reaches whatever reaches 0
+        back = bfs_levels(g.transpose(), source=0)
+        np.testing.assert_array_equal(levels >= 0, back >= 0)
+
+
+class TestTextPipeline:
+    def test_vectorize_classify(self):
+        texts, labels = generate_documents(120, seed=9)
+        labels = np.asarray(labels)
+        v = TfidfVectorizer(min_df=2)
+        x = v.fit_transform(texts[:90])
+        q = v.transform(texts[90:])
+        clf = KNeighborsClassifier(n_neighbors=5, metric="cosine",
+                                   engine="host")
+        clf.fit(x, labels[:90])
+        assert clf.score(q, labels[90:]) > 0.7
+
+
+class TestKernelDiagnostics:
+    def test_pass_profiles_exposed(self, rng):
+        kernel = LoadBalancedCooKernel(row_cache="hash")
+        x = random_csr(rng, 12, 30)
+        pairwise_distances(x, metric="manhattan", engine=kernel)
+        assert len(kernel.last_profiles) == 2  # two NAMM passes
+        for prof in kernel.last_profiles:
+            assert prof.strategy is RowCacheStrategy.HASH
+            assert prof.n_blocks >= 12
+            assert 0.0 <= prof.hit_rate <= 1.0
+
+    def test_profiles_reset_between_runs(self, rng):
+        kernel = LoadBalancedCooKernel()
+        x = random_csr(rng, 8, 20)
+        pairwise_distances(x, metric="manhattan", engine=kernel)
+        pairwise_distances(x, metric="cosine", engine=kernel)
+        assert len(kernel.last_profiles) == 1  # single annihilating pass
+
+
+class TestDeviceConsistency:
+    """Numerics are device-independent; only schedules differ."""
+
+    @pytest.mark.parametrize("metric", ["cosine", "manhattan",
+                                        "jensen_shannon"])
+    def test_volta_ampere_identical_numbers(self, rng, metric):
+        x = np.abs(random_dense(rng, 15, 25, 0.4))
+        dv = pairwise_distances(x, metric=metric, device="volta")
+        da = pairwise_distances(x, metric=metric, device="ampere")
+        np.testing.assert_array_equal(dv, da)
+
+    def test_knn_identical_across_engines(self, rng):
+        x = random_dense(rng, 25, 15)
+        results = []
+        for engine in ("host", "hybrid_coo", "naive_csr"):
+            nn = NearestNeighbors(n_neighbors=4, metric="canberra",
+                                  engine=engine).fit(x)
+            results.append(nn.kneighbors())
+        for dist, idx in results[1:]:
+            np.testing.assert_allclose(dist, results[0][0], atol=1e-9)
+            np.testing.assert_array_equal(idx, results[0][1])

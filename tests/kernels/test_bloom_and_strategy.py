@@ -1,0 +1,115 @@
+"""Bloom-filter and strategy/partitioning tests (§3.3.2-3.3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelLaunchError
+from repro.gpusim.specs import AMPERE_A100, VOLTA_V100
+from repro.kernels.bloom_filter import BlockBloomFilter
+from repro.kernels.strategy import (
+    HASH_MAX_LOAD,
+    RowCacheStrategy,
+    choose_strategy,
+    hash_capacity,
+    max_entries_per_block,
+    plan_partitions,
+)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self, rng):
+        cols = rng.choice(50_000, size=500, replace=False)
+        bloom = BlockBloomFilter(16 * 1024)
+        bloom.add(cols)
+        hit, report = bloom.query(cols)
+        assert hit.all()
+        assert report.n_false_positive == 0
+
+    def test_false_positive_rate_near_theory(self, rng):
+        n_bits, n_items = 8192, 800
+        cols = rng.choice(10**6, size=n_items, replace=False)
+        bloom = BlockBloomFilter(n_bits)
+        bloom.add(cols)
+        absent = np.setdiff1d(rng.choice(10**6, size=20_000, replace=False),
+                              cols)
+        _, report = bloom.query(absent)
+        expected = BlockBloomFilter.expected_fpr(n_items, n_bits)
+        assert report.false_positive_rate == pytest.approx(expected,
+                                                           rel=0.5, abs=0.02)
+
+    def test_clear(self, rng):
+        bloom = BlockBloomFilter(1024)
+        bloom.add(np.array([3, 5]))
+        bloom.clear()
+        hit, _ = bloom.query(np.array([3, 5]))
+        assert not hit.any()
+
+    def test_smem_halves_vs_hash(self):
+        # A bloom filter of the same slot count uses 1 bit vs 64 bits.
+        bloom = BlockBloomFilter(4096)
+        assert bloom.smem_bytes() == 512
+
+    def test_binary_search_steps(self):
+        assert BlockBloomFilter.binary_search_steps(0) == 0
+        assert BlockBloomFilter.binary_search_steps(1) == 1
+        assert BlockBloomFilter.binary_search_steps(1023) == 10
+
+    def test_invalid_bits(self):
+        with pytest.raises(KernelLaunchError):
+            BlockBloomFilter(0)
+
+
+class TestChooseStrategy:
+    def test_narrow_inputs_stage_dense(self):
+        assert choose_strategy(VOLTA_V100, 4_000) is RowCacheStrategy.DENSE
+
+    def test_volta_dense_cutoff_near_12k(self):
+        # §3.3.2: 12K is the full-occupancy dense cap on Volta.
+        assert choose_strategy(VOLTA_V100, 12_000) is RowCacheStrategy.DENSE
+        assert choose_strategy(VOLTA_V100, 13_000) is RowCacheStrategy.HASH
+
+    def test_ampere_cutoff_higher(self):
+        assert choose_strategy(AMPERE_A100, 19_000) is RowCacheStrategy.DENSE
+        assert choose_strategy(AMPERE_A100, 22_000) is RowCacheStrategy.HASH
+
+    def test_max_entries_is_half_capacity(self):
+        assert max_entries_per_block(VOLTA_V100) == pytest.approx(
+            hash_capacity(VOLTA_V100) * HASH_MAX_LOAD, abs=1)
+
+
+class TestPartitioning:
+    def test_small_rows_one_block_each(self):
+        plan = plan_partitions(np.array([5, 0, 9]), max_entries=10)
+        assert plan.n_blocks == 3
+        assert plan.extra_blocks == 0
+        np.testing.assert_array_equal(plan.block_rows, [0, 1, 2])
+        np.testing.assert_array_equal(plan.block_sizes, [5, 0, 9])
+
+    def test_high_degree_row_split(self):
+        plan = plan_partitions(np.array([25]), max_entries=10)
+        assert plan.n_blocks == 3
+        np.testing.assert_array_equal(plan.block_rows, [0, 0, 0])
+        assert plan.block_sizes.sum() == 25
+        assert plan.block_sizes.max() <= 10
+        # near-uniform split (paper: "partitioned uniformly")
+        assert plan.block_sizes.max() - plan.block_sizes.min() <= 1
+
+    def test_sizes_conserve_degrees(self, rng):
+        degrees = rng.integers(0, 100, size=50)
+        plan = plan_partitions(degrees, max_entries=16)
+        for row in range(50):
+            assert plan.block_sizes[plan.block_rows == row].sum() \
+                == degrees[row]
+
+    def test_partitioned_row_count(self):
+        plan = plan_partitions(np.array([5, 50, 7, 100]), max_entries=10)
+        assert plan.n_partitioned_rows == 2
+        assert plan.extra_blocks == (5 - 1) + (10 - 1)
+
+    def test_invalid_max_entries(self):
+        with pytest.raises(ValueError):
+            plan_partitions(np.array([1]), max_entries=0)
+
+    def test_exact_boundary_no_split(self):
+        plan = plan_partitions(np.array([10]), max_entries=10)
+        assert plan.n_blocks == 1

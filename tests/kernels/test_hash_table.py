@@ -1,0 +1,115 @@
+"""Hash-table simulation tests (§3.3.2 behaviours)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import KernelLaunchError
+from repro.kernels.hash_table import ENTRY_BYTES, BlockHashTable, murmur_hash_32
+
+
+class TestMurmur:
+    def test_deterministic(self):
+        keys = np.arange(100)
+        np.testing.assert_array_equal(murmur_hash_32(keys),
+                                      murmur_hash_32(keys))
+
+    def test_spreads_sequential_keys(self):
+        # Sequential column ids must not land in sequential slots.
+        h = murmur_hash_32(np.arange(1024)) % 64
+        counts = np.bincount(h, minlength=64)
+        assert counts.max() < 1024 * 0.25  # no catastrophic clustering
+
+    def test_distinct_for_small_keys(self):
+        h = murmur_hash_32(np.arange(10_000))
+        assert np.unique(h).size == 10_000
+
+
+class TestBuildLookup:
+    def test_roundtrip(self, rng):
+        cols = rng.choice(10_000, size=300, replace=False)
+        vals = rng.random(300)
+        table = BlockHashTable(1024)
+        table.build(cols, vals)
+        got, found, _ = table.lookup(cols)
+        assert found.all()
+        np.testing.assert_allclose(got, vals)
+
+    def test_missing_keys_not_found(self, rng):
+        cols = rng.choice(1000, size=100, replace=False)
+        table = BlockHashTable(512)
+        table.build(cols, np.ones(100))
+        absent = np.setdiff1d(np.arange(2000), cols)[:50]
+        _, found, _ = table.lookup(absent)
+        assert not found.any()
+
+    def test_mixed_queries(self, rng):
+        cols = np.array([5, 17, 99])
+        table = BlockHashTable(64)
+        table.build(cols, np.array([1.0, 2.0, 3.0]))
+        vals, found, _ = table.lookup(np.array([17, 40, 5]))
+        np.testing.assert_array_equal(found, [True, False, True])
+        np.testing.assert_allclose(vals[found], [2.0, 1.0])
+
+    def test_overfill_rejected(self):
+        table = BlockHashTable(16)
+        with pytest.raises(KernelLaunchError, match="partition"):
+            table.build(np.arange(17), np.ones(17))
+
+    def test_clear(self):
+        table = BlockHashTable(32)
+        table.build(np.array([1]), np.array([1.0]))
+        table.clear()
+        assert table.n_entries == 0
+        _, found, _ = table.lookup(np.array([1]))
+        assert not found.any()
+
+    def test_incremental_build(self, rng):
+        table = BlockHashTable(256)
+        table.build(np.arange(0, 50), np.arange(50, dtype=float))
+        table.build(np.arange(50, 100), np.arange(50, 100, dtype=float))
+        vals, found, _ = table.lookup(np.arange(100))
+        assert found.all()
+        np.testing.assert_allclose(vals, np.arange(100, dtype=float))
+
+
+class TestProbeBehaviour:
+    """The paper's load-factor pathology: probes grow past 50% capacity."""
+
+    def _mean_lookup_probes(self, load: float, capacity: int = 1024,
+                            seed: int = 0) -> float:
+        rng = np.random.default_rng(seed)
+        n = int(capacity * load)
+        cols = rng.choice(capacity * 100, size=n, replace=False)
+        table = BlockHashTable(capacity)
+        table.build(cols, np.ones(n))
+        # Lookups for *absent* keys probe until an empty slot — the worst
+        # case the paper describes.
+        absent = np.setdiff1d(rng.choice(capacity * 100, size=4 * n,
+                                         replace=False), cols)[:n]
+        _, _, probes = table.lookup(absent)
+        return probes / max(1, absent.size)
+
+    def test_probes_increase_with_load(self):
+        p25 = self._mean_lookup_probes(0.25)
+        p50 = self._mean_lookup_probes(0.50)
+        p85 = self._mean_lookup_probes(0.85)
+        assert p25 <= p50 <= p85
+        assert p85 > 2 * p50  # super-linear blowup past 50%
+
+    def test_low_load_probes_cheap(self):
+        assert self._mean_lookup_probes(0.10) < 0.5
+
+    def test_build_report_counts(self, rng):
+        cols = rng.choice(100_000, size=400, replace=False)
+        table = BlockHashTable(1024)
+        report = table.build(cols, np.ones(400))
+        assert report.n_inserted == 400
+        assert report.probe_steps >= 0
+        assert report.mean_probe == report.probe_steps / 400
+
+    def test_smem_bytes(self):
+        assert BlockHashTable(512).smem_bytes() == 512 * ENTRY_BYTES
+
+    def test_invalid_capacity(self):
+        with pytest.raises(KernelLaunchError):
+            BlockHashTable(0)

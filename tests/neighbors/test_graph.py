@@ -1,0 +1,73 @@
+"""k-NN graph construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.neighbors.graph import knn_graph, symmetrize
+from repro.sparse.csr import CSRMatrix
+from tests.conftest import random_dense
+
+
+class TestKnnGraph:
+    def test_excludes_self_by_default(self, rng):
+        x = random_dense(rng, 12, 7)
+        g = knn_graph(x, n_neighbors=3, engine="host")
+        assert g.shape == (12, 12)
+        dense = g.to_dense()
+        np.testing.assert_allclose(np.diag(dense), 0.0)
+        np.testing.assert_array_equal(g.row_degrees(), 3)
+
+    def test_include_self(self, rng):
+        x = random_dense(rng, 10, 6)
+        g = knn_graph(x, n_neighbors=3, include_self=True, engine="host")
+        # under a metric, every row's self edge is present
+        assert np.all(np.diag(g.to_dense()) == 1.0)
+
+    def test_distance_mode(self, rng):
+        x = random_dense(rng, 9, 5)
+        g = knn_graph(x, n_neighbors=2, mode="distance", metric="manhattan",
+                      engine="host")
+        assert g.shape == (9, 9)
+        assert np.all(g.data >= 0)
+
+    def test_invalid_mode(self, rng):
+        with pytest.raises(ValueError):
+            knn_graph(random_dense(rng, 5, 4), mode="nope", engine="host")
+
+    def test_metric_params_forwarded(self, rng):
+        x = random_dense(rng, 8, 5)
+        g1 = knn_graph(x, n_neighbors=2, metric="minkowski", p=1.0,
+                       engine="host")
+        g2 = knn_graph(x, n_neighbors=2, metric="manhattan", engine="host")
+        assert g1.allclose(g2)
+
+    def test_symmetric_option(self, rng):
+        x = random_dense(rng, 10, 6)
+        g = knn_graph(x, n_neighbors=3, symmetric=True, engine="host")
+        dense = g.to_dense()
+        np.testing.assert_allclose(dense, np.maximum(dense, dense.T))
+
+
+class TestSymmetrize:
+    def test_union_of_directions(self):
+        g = CSRMatrix.from_dense([[0, 1.0, 0], [0, 0, 0], [0, 2.0, 0]])
+        s = symmetrize(g)
+        dense = s.to_dense()
+        assert dense[0, 1] == 1.0 and dense[1, 0] == 1.0
+        assert dense[2, 1] == 2.0 and dense[1, 2] == 2.0
+
+    def test_keeps_min_weight_on_conflict(self):
+        g = CSRMatrix.from_dense([[0, 3.0], [5.0, 0]])
+        s = symmetrize(g)
+        np.testing.assert_allclose(s.to_dense(), [[0, 3.0], [3.0, 0]])
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            symmetrize(CSRMatrix.empty((2, 3)))
+
+    def test_idempotent(self, rng):
+        x = random_dense(rng, 8, 5)
+        g = knn_graph(x, n_neighbors=2, engine="host")
+        s1 = symmetrize(g)
+        s2 = symmetrize(s1)
+        assert s1.allclose(s2)

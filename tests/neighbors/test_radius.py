@@ -1,0 +1,81 @@
+"""radius_neighbors tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import pairwise_reference
+from repro.neighbors.brute_force import NearestNeighbors
+from tests.conftest import random_dense
+
+
+class TestRadiusNeighbors:
+    def test_matches_reference(self, rng):
+        x = random_dense(rng, 15, 8)
+        nn = NearestNeighbors(metric="euclidean").fit(x)
+        ref = pairwise_reference(x, x, "euclidean")
+        # pick a radius strictly between two observed distances so float
+        # noise at the boundary cannot flip membership
+        uniq = np.unique(ref)
+        mid = uniq.size // 2
+        radius = float(0.5 * (uniq[mid] + uniq[mid + 1]))
+        distances, indices = nn.radius_neighbors(radius=radius)
+        for r in range(15):
+            want = np.flatnonzero(ref[r] <= radius)
+            got = np.sort(indices[r])
+            np.testing.assert_array_equal(got, want)
+            # atol 1e-6: sqrt amplifies fp cancellation on self-distances
+            np.testing.assert_allclose(np.sort(distances[r]),
+                                       np.sort(ref[r][want]), atol=1e-6)
+
+    def test_sorted_by_distance(self, rng):
+        x = random_dense(rng, 12, 6)
+        nn = NearestNeighbors(metric="manhattan").fit(x)
+        distances, _ = nn.radius_neighbors(radius=3.0)
+        for d in distances:
+            assert np.all(np.diff(d) >= 0)
+
+    def test_self_always_included_for_metrics(self, rng):
+        # self distance under euclidean is ~sqrt(fp residue) ~ 1e-7, so a
+        # small positive radius must always capture it
+        x = random_dense(rng, 10, 5)
+        nn = NearestNeighbors(metric="euclidean").fit(x)
+        _, indices = nn.radius_neighbors(radius=1e-5)
+        for r, idx in enumerate(indices):
+            assert r in idx
+
+    def test_tiny_radius_keeps_only_self(self, rng):
+        x = random_dense(rng, 8, 5)
+        nn = NearestNeighbors(metric="manhattan").fit(x)
+        _, indices = nn.radius_neighbors(radius=1e-9)
+        for r, idx in enumerate(indices):
+            np.testing.assert_array_equal(idx, [r])
+
+    def test_negative_radius_rejected(self, rng):
+        nn = NearestNeighbors().fit(random_dense(rng, 4, 3))
+        with pytest.raises(ValueError):
+            nn.radius_neighbors(radius=-1.0)
+
+    def test_batch_invariance(self, rng):
+        x = random_dense(rng, 20, 6)
+        big = NearestNeighbors(metric="cosine", batch_rows=100).fit(x)
+        small = NearestNeighbors(metric="cosine", batch_rows=3).fit(x)
+        d1, i1 = big.radius_neighbors(radius=0.7)
+        d2, i2 = small.radius_neighbors(radius=0.7)
+        for a, b in zip(i1, i2):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(d1, d2):
+            np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_return_distance_false(self, rng):
+        x = random_dense(rng, 6, 4)
+        nn = NearestNeighbors(metric="euclidean").fit(x)
+        out = nn.radius_neighbors(radius=10.0, return_distance=False)
+        assert len(out) == 6
+        assert all(isinstance(a, np.ndarray) for a in out)
+
+    def test_separate_queries(self, rng):
+        x = random_dense(rng, 10, 5)
+        q = random_dense(rng, 3, 5)
+        nn = NearestNeighbors(metric="euclidean").fit(x)
+        distances, indices = nn.radius_neighbors(q, radius=5.0)
+        assert len(distances) == len(indices) == 3

@@ -1,0 +1,83 @@
+"""Top-k selection and streaming accumulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.neighbors.topk import TopKAccumulator, select_topk
+
+
+class TestSelectTopk:
+    def test_matches_argsort(self, rng):
+        d = rng.random((10, 40))
+        val, idx = select_topk(d, 5)
+        want_idx = np.argsort(d, axis=1)[:, :5]
+        np.testing.assert_allclose(val, np.take_along_axis(d, want_idx, 1))
+
+    def test_sorted_output(self, rng):
+        val, _ = select_topk(rng.random((6, 30)), 7)
+        assert np.all(np.diff(val, axis=1) >= 0)
+
+    def test_k_larger_than_cols(self, rng):
+        d = rng.random((4, 3))
+        val, idx = select_topk(d, 10)
+        assert val.shape == (4, 3)
+        np.testing.assert_allclose(val, np.sort(d, axis=1))
+
+    def test_descending(self, rng):
+        d = rng.random((5, 20))
+        val, _ = select_topk(d, 4, ascending=False)
+        np.testing.assert_allclose(val[:, 0], d.max(axis=1))
+        assert np.all(np.diff(val, axis=1) <= 0)
+
+    def test_deterministic_ties(self):
+        d = np.zeros((2, 6))
+        _, idx = select_topk(d, 3)
+        np.testing.assert_array_equal(idx, [[0, 1, 2], [0, 1, 2]])
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError):
+            select_topk(rng.random((2, 2)), 0)
+
+    def test_1d_rejected(self, rng):
+        with pytest.raises(ValueError):
+            select_topk(rng.random(5), 2)
+
+
+class TestAccumulator:
+    def test_batched_equals_oneshot(self, rng):
+        d = rng.random((8, 57))
+        acc = TopKAccumulator(8, 6)
+        for start in range(0, 57, 10):
+            acc.update(d[:, start:start + 10], start)
+        got_val, got_idx = acc.finalize()
+        want_val, want_idx = select_topk(d, 6)
+        np.testing.assert_allclose(got_val, want_val)
+        np.testing.assert_array_equal(got_idx, want_idx)
+
+    def test_single_batch(self, rng):
+        d = rng.random((3, 9))
+        acc = TopKAccumulator(3, 4)
+        acc.update(d, 0)
+        val, idx = acc.finalize()
+        w_val, w_idx = select_topk(d, 4)
+        np.testing.assert_allclose(val, w_val)
+        np.testing.assert_array_equal(idx, w_idx)
+
+    def test_tiny_batches(self, rng):
+        d = rng.random((5, 20))
+        acc = TopKAccumulator(5, 3)
+        for c in range(20):
+            acc.update(d[:, c:c + 1], c)
+        val, idx = acc.finalize()
+        w_val, w_idx = select_topk(d, 3)
+        np.testing.assert_allclose(val, w_val)
+        np.testing.assert_array_equal(idx, w_idx)
+
+    def test_row_mismatch_rejected(self, rng):
+        acc = TopKAccumulator(4, 2)
+        with pytest.raises(ValueError):
+            acc.update(rng.random((3, 5)), 0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TopKAccumulator(5, 0)

@@ -1,0 +1,86 @@
+"""Property-based tests on the sparse substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import iter_row_batches, row_norms, row_sums, vstack
+
+
+@st.composite
+def dense_matrices(draw, max_rows=12, max_cols=12):
+    m = draw(st.integers(0, max_rows))
+    k = draw(st.integers(0, max_cols))
+    values = draw(arrays(np.float64, (m, k),
+                         elements=st.floats(-100, 100, allow_nan=False,
+                                            width=32)))
+    mask = draw(arrays(np.bool_, (m, k)))
+    return values * mask
+
+
+@given(dense_matrices())
+@settings(max_examples=60, deadline=None)
+def test_csr_dense_roundtrip(dense):
+    np.testing.assert_allclose(CSRMatrix.from_dense(dense).to_dense(), dense)
+
+
+@given(dense_matrices())
+@settings(max_examples=60, deadline=None)
+def test_csr_invariants(dense):
+    csr = CSRMatrix.from_dense(dense)
+    assert csr.indptr[0] == 0
+    assert csr.indptr[-1] == csr.nnz
+    assert np.all(np.diff(csr.indptr) >= 0)
+    assert csr.has_sorted_indices()
+    assert csr.row_degrees().sum() == csr.nnz
+    assert np.all(csr.data != 0)  # pruned construction stores no zeros
+
+
+@given(dense_matrices())
+@settings(max_examples=60, deadline=None)
+def test_transpose_involution(dense):
+    csr = CSRMatrix.from_dense(dense)
+    assert csr.transpose().transpose().allclose(csr)
+    np.testing.assert_allclose(csr.transpose().to_dense(), dense.T)
+
+
+@given(dense_matrices())
+@settings(max_examples=60, deadline=None)
+def test_coo_csr_roundtrip(dense):
+    csr = CSRMatrix.from_dense(dense)
+    assert COOMatrix.from_csr(csr).to_csr().allclose(csr)
+
+
+@given(dense_matrices())
+@settings(max_examples=60, deadline=None)
+def test_norms_match_dense(dense):
+    csr = CSRMatrix.from_dense(dense)
+    np.testing.assert_allclose(row_norms(csr, "l1"),
+                               np.abs(dense).sum(axis=1), atol=1e-9)
+    np.testing.assert_allclose(row_norms(csr, "l2sq"),
+                               (dense ** 2).sum(axis=1), rtol=1e-9,
+                               atol=1e-9)
+    np.testing.assert_allclose(row_sums(csr), dense.sum(axis=1), atol=1e-9)
+
+
+@given(dense_matrices(max_rows=10), st.integers(1, 12))
+@settings(max_examples=60, deadline=None)
+def test_batch_then_vstack_identity(dense, batch_rows):
+    csr = CSRMatrix.from_dense(dense)
+    if csr.n_rows == 0:
+        return
+    rebuilt = vstack([b for _, b in iter_row_batches(csr, batch_rows)])
+    assert rebuilt.allclose(csr)
+
+
+@given(dense_matrices(), st.floats(0, 10))
+@settings(max_examples=40, deadline=None)
+def test_prune_removes_only_small(dense, tol):
+    csr = CSRMatrix.from_dense(dense)
+    pruned = csr.prune(tol)
+    assert np.all(np.abs(pruned.data) > tol)
+    kept = np.abs(dense) > tol
+    np.testing.assert_allclose(pruned.to_dense(), dense * kept)

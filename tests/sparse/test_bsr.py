@@ -1,0 +1,81 @@
+"""BSR (block-sparse) format tests — the §5.1 future-work extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse.bsr import BSRMatrix
+from repro.sparse.csr import CSRMatrix
+from tests.conftest import random_dense
+
+
+def _csr(rng, m=12, k=16, density=0.3):
+    return CSRMatrix.from_dense(random_dense(rng, m, k, density))
+
+
+class TestConversion:
+    @pytest.mark.parametrize("block", [(2, 2), (3, 4), (4, 4), (12, 16)])
+    def test_roundtrip(self, rng, block):
+        csr = _csr(rng)
+        bsr = BSRMatrix.from_csr(csr, block)
+        np.testing.assert_allclose(bsr.to_dense(), csr.to_dense())
+        assert bsr.to_csr().allclose(csr)
+
+    def test_nnz_preserved(self, rng):
+        csr = _csr(rng)
+        bsr = BSRMatrix.from_csr(csr, (2, 2))
+        assert bsr.nnz == csr.nnz
+
+    def test_non_dividing_shape_rejected(self, rng):
+        with pytest.raises(SparseFormatError, match="tile"):
+            BSRMatrix.from_csr(_csr(rng, 10, 10), (3, 3))
+
+    def test_invalid_block_shape(self, rng):
+        with pytest.raises(SparseFormatError):
+            BSRMatrix.from_csr(_csr(rng), (0, 2))
+
+    def test_empty_matrix(self):
+        csr = CSRMatrix.empty((8, 8))
+        bsr = BSRMatrix.from_csr(csr, (2, 2))
+        assert bsr.n_blocks == 0
+        np.testing.assert_allclose(bsr.to_dense(), 0.0)
+
+
+class TestFillRatio:
+    def test_dense_tiles_fill_one(self):
+        csr = CSRMatrix.from_dense(np.ones((4, 4)))
+        assert BSRMatrix.from_csr(csr, (2, 2)).fill_ratio == 1.0
+
+    def test_scattered_nonzeros_fill_low(self):
+        dense = np.zeros((8, 8))
+        dense[0, 0] = dense[4, 4] = 1.0
+        bsr = BSRMatrix.from_csr(CSRMatrix.from_dense(dense), (4, 4))
+        assert bsr.n_blocks == 2
+        assert bsr.fill_ratio == pytest.approx(2 / 32)
+
+    def test_fill_decreases_with_block_size_on_sparse_data(self, rng):
+        csr = _csr(rng, 24, 24, density=0.05)
+        if csr.nnz == 0:
+            pytest.skip("degenerate draw")
+        small = BSRMatrix.from_csr(csr, (2, 2))
+        large = BSRMatrix.from_csr(csr, (8, 8))
+        assert large.fill_ratio <= small.fill_ratio + 1e-12
+
+    def test_storage_overhead_vs_csr(self, rng):
+        """The §5.1 trade-off: tiling hyper-sparse data costs memory."""
+        csr = _csr(rng, 32, 32, density=0.02)
+        if csr.nnz == 0:
+            pytest.skip("degenerate draw")
+        bsr = BSRMatrix.from_csr(csr, (8, 8))
+        assert bsr.memory_nbytes() > csr.memory_nbytes()
+
+
+class TestUniformWork:
+    def test_tiles_have_constant_work(self, rng):
+        bsr = BSRMatrix.from_csr(_csr(rng), (3, 4))
+        sizes = bsr.block_work_sizes()
+        assert np.all(sizes == 12)
+
+    def test_csr_rows_do_not(self, rng):
+        csr = _csr(rng)
+        assert np.unique(csr.row_degrees()).size > 1

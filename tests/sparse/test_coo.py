@@ -1,0 +1,67 @@
+"""Unit tests for the COO container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SparseFormatError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from tests.conftest import random_csr, random_dense
+
+
+class TestConstruction:
+    def test_from_csr_roundtrip(self, rng):
+        csr = random_csr(rng, 7, 9)
+        coo = COOMatrix.from_csr(csr)
+        assert coo.to_csr().allclose(csr)
+
+    def test_from_dense(self, rng):
+        dense = random_dense(rng, 5, 6)
+        np.testing.assert_allclose(COOMatrix.from_dense(dense).to_dense(),
+                                   dense)
+
+    def test_explicit_rows_match_csr_expansion(self):
+        csr = CSRMatrix.from_dense([[1, 0, 2], [0, 3, 0]])
+        coo = COOMatrix.from_csr(csr)
+        np.testing.assert_array_equal(coo.rows, [0, 0, 1])
+        np.testing.assert_array_equal(coo.cols, [0, 2, 1])
+
+    def test_duplicates_accumulate_in_dense(self):
+        coo = COOMatrix([0, 0], [1, 1], [2.0, 3.0], (1, 2))
+        np.testing.assert_allclose(coo.to_dense(), [[0, 5.0]])
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(SparseFormatError):
+            COOMatrix([0], [0, 1], [1.0], (2, 2))
+
+    def test_row_out_of_range(self):
+        with pytest.raises(SparseFormatError):
+            COOMatrix([5], [0], [1.0], (2, 2))
+
+    def test_col_out_of_range(self):
+        with pytest.raises(SparseFormatError):
+            COOMatrix([0], [9], [1.0], (2, 2))
+
+
+class TestOps:
+    def test_sort_by_row(self):
+        coo = COOMatrix([2, 0, 1], [0, 1, 2], [1., 2., 3.], (3, 3))
+        assert not coo.is_row_sorted()
+        sorted_coo = coo.sort_by_row()
+        assert sorted_coo.is_row_sorted()
+        np.testing.assert_allclose(sorted_coo.to_dense(), coo.to_dense())
+
+    def test_is_row_sorted_empty(self):
+        assert COOMatrix([], [], [], (2, 2)).is_row_sorted()
+
+    def test_transpose(self, rng):
+        csr = random_csr(rng, 4, 6)
+        coo = COOMatrix.from_csr(csr)
+        np.testing.assert_allclose(coo.transpose().to_dense(),
+                                   csr.to_dense().T)
+
+    def test_nnz_and_memory(self, rng):
+        coo = COOMatrix.from_csr(random_csr(rng, 4, 4))
+        assert coo.memory_nbytes() == coo.nnz * 24

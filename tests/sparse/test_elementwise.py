@@ -1,0 +1,101 @@
+"""Element-wise CSR operation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeMismatchError
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.elementwise import (
+    diagonal,
+    ewise_add,
+    ewise_mult,
+    scale_rows,
+    total_sum,
+)
+from tests.conftest import random_csr, random_dense
+
+
+class TestEwiseMult:
+    def test_matches_dense(self, rng):
+        da, db = random_dense(rng, 8, 10), random_dense(rng, 8, 10)
+        got = ewise_mult(CSRMatrix.from_dense(da), CSRMatrix.from_dense(db))
+        np.testing.assert_allclose(got.to_dense(), da * db, atol=1e-12)
+
+    def test_intersection_pattern(self):
+        a = CSRMatrix.from_dense([[1.0, 2.0, 0.0]])
+        b = CSRMatrix.from_dense([[0.0, 3.0, 4.0]])
+        got = ewise_mult(a, b)
+        assert got.nnz == 1
+        np.testing.assert_allclose(got.to_dense(), [[0, 6.0, 0]])
+
+    def test_custom_op(self, rng):
+        da, db = np.abs(random_dense(rng, 5, 6)), np.abs(random_dense(rng, 5, 6))
+        got = ewise_mult(CSRMatrix.from_dense(da), CSRMatrix.from_dense(db),
+                         op=np.minimum)
+        want = np.where((da != 0) & (db != 0), np.minimum(da, db), 0.0)
+        np.testing.assert_allclose(got.to_dense(), want, atol=1e-12)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ShapeMismatchError):
+            ewise_mult(random_csr(rng, 2, 3), random_csr(rng, 3, 2))
+
+
+class TestEwiseAdd:
+    def test_matches_dense(self, rng):
+        da, db = random_dense(rng, 8, 10), random_dense(rng, 8, 10)
+        got = ewise_add(CSRMatrix.from_dense(da), CSRMatrix.from_dense(db))
+        np.testing.assert_allclose(got.to_dense(), da + db, atol=1e-12)
+
+    def test_union_pattern(self):
+        a = CSRMatrix.from_dense([[1.0, 2.0, 0.0]])
+        b = CSRMatrix.from_dense([[0.0, 3.0, 4.0]])
+        got = ewise_add(a, b)
+        np.testing.assert_allclose(got.to_dense(), [[1.0, 5.0, 4.0]])
+
+    def test_cancellation_pruned(self):
+        a = CSRMatrix.from_dense([[2.0]])
+        b = CSRMatrix.from_dense([[-2.0]])
+        assert ewise_add(a, b).nnz == 0
+
+    def test_max_op(self, rng):
+        da, db = random_dense(rng, 6, 7), random_dense(rng, 6, 7)
+        got = ewise_add(CSRMatrix.from_dense(da), CSRMatrix.from_dense(db),
+                        op=np.maximum)
+        want = np.where((da != 0) | (db != 0), np.maximum(da, db), 0.0)
+        np.testing.assert_allclose(got.to_dense(), want, atol=1e-12)
+
+    def test_empty_operands(self, rng):
+        a = CSRMatrix.empty((4, 5))
+        b = random_csr(rng, 4, 5)
+        assert ewise_add(a, b).allclose(b.prune(0.0))
+
+
+class TestScaleRows:
+    def test_matches_dense(self, rng):
+        csr = random_csr(rng, 6, 8)
+        factors = rng.random(6) + 0.5
+        got = scale_rows(csr, factors)
+        np.testing.assert_allclose(got.to_dense(),
+                                   csr.to_dense() * factors[:, None])
+
+    def test_wrong_length(self, rng):
+        with pytest.raises(ShapeMismatchError):
+            scale_rows(random_csr(rng, 4, 4), np.ones(3))
+
+
+class TestScalars:
+    def test_total_sum(self, rng):
+        dense = random_dense(rng, 5, 6)
+        assert total_sum(CSRMatrix.from_dense(dense)) == pytest.approx(
+            dense.sum())
+        assert total_sum(CSRMatrix.empty((3, 3))) == 0.0
+
+    def test_diagonal(self, rng):
+        dense = random_dense(rng, 6, 6)
+        np.testing.assert_allclose(diagonal(CSRMatrix.from_dense(dense)),
+                                   np.diag(dense))
+
+    def test_diagonal_rectangular(self, rng):
+        dense = random_dense(rng, 4, 7)
+        np.testing.assert_allclose(diagonal(CSRMatrix.from_dense(dense)),
+                                   np.diag(dense[:, :4])[:4])

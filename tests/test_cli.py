@@ -1,0 +1,30 @@
+"""Tests for the python -m repro.bench CLI."""
+
+import pytest
+
+from repro.bench.__main__ import REPORTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in REPORTS:
+            assert name in out
+
+    def test_no_args_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_fast_reports_run(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_RESULTS", str(tmp_path))
+        assert main(["table2", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Figure 1" in out
+        assert (tmp_path / "cli_table2.txt").exists()
+        assert (tmp_path / "cli_fig1.txt").exists()
+
+    def test_unknown_report_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
