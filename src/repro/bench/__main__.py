@@ -20,6 +20,7 @@ from repro.bench.runner import (
     run_baseline_cell,
     run_cpu_cell,
     run_knn_cell,
+    run_plan_cell,
 )
 from repro.bench.tables import bold_min, format_seconds, render_table
 from repro.core.distances import DOT_PRODUCT_DISTANCES, NAMM_DISTANCES
@@ -92,11 +93,38 @@ def report_speedup() -> str:
                         rows, title="§4.2 — GPU speedup vs CPU")
 
 
+def report_plan() -> str:
+    """Tiled vs monolithic execution plans: memory and modeled time."""
+    def fmt_bytes(b: float) -> str:
+        return (f"{b / 2**20:.1f} MiB" if b >= 2**20
+                else f"{b / 2**10:.1f} KiB")
+
+    rows = []
+    for ds in DATASETS:
+        for metric in ("cosine", "manhattan"):
+            cells = [run_plan_cell(ds, metric),
+                     run_plan_cell(ds, metric, n_tiles_target=4),
+                     run_plan_cell(ds, metric, n_tiles_target=4,
+                                   n_workers=4)]
+            for cell in cells:
+                rows.append([ds, metric, cell.mode, str(cell.n_tiles),
+                             str(cell.n_workers),
+                             fmt_bytes(cell.peak_resident_bytes),
+                             f"{cell.resident_fraction:.0%}",
+                             format_seconds(cell.simulated_seconds)])
+        print(f"  ... {ds} done", file=sys.stderr)
+    return render_table(
+        ["dataset", "metric", "mode", "tiles", "workers", "peak resident",
+         "vs full block", "sim seconds"], rows,
+        title="Execution plans — tiled vs monolithic (simulated V100)")
+
+
 REPORTS: Dict[str, Callable[[], str]] = {
     "table2": report_table2,
     "fig1": report_fig1,
     "table3": report_table3,
     "speedup": report_speedup,
+    "plan": report_plan,
 }
 
 

@@ -23,9 +23,11 @@ from repro.gpusim.specs import DeviceSpec, VOLTA_V100
 from repro.gpusim.stats import KernelStats
 from repro.kernels import make_engine
 from repro.neighbors.brute_force import NearestNeighbors
+from repro.plan.tiling import OUTPUT_ITEM_BYTES, WORKSPACE_ITEM_BYTES
 
-__all__ = ["BenchCell", "run_knn_cell", "run_baseline_cell", "BENCH_SCALES",
-           "bench_dataset", "MINKOWSKI_P", "KNN_K"]
+__all__ = ["BenchCell", "PlanCell", "run_knn_cell", "run_baseline_cell",
+           "run_plan_cell", "BENCH_SCALES", "bench_dataset", "MINKOWSKI_P",
+           "KNN_K"]
 
 #: Scales used by every benchmark (documented in EXPERIMENTS.md); chosen so
 #: the full Table-3 sweep completes in minutes on a laptop while preserving
@@ -115,6 +117,64 @@ def run_baseline_cell(dataset: str, metric: str, *,
     return BenchCell(dataset=dataset, metric=metric, engine=kernel.name,
                      simulated_seconds=rep.simulated_seconds,
                      wall_seconds=wall, stats=rep.stats)
+
+
+@dataclass
+class PlanCell:
+    """One tiled-vs-monolithic execution-plan comparison cell."""
+
+    dataset: str
+    metric: str
+    mode: str
+    n_tiles: int
+    n_workers: int
+    simulated_seconds: float
+    peak_resident_bytes: float
+    monolithic_bytes: float
+    wall_seconds: float
+
+    @property
+    def resident_fraction(self) -> float:
+        """Peak device footprint relative to the untiled full block."""
+        return self.peak_resident_bytes / max(self.monolithic_bytes, 1.0)
+
+
+def run_plan_cell(dataset: str, metric: str, *,
+                  spec: DeviceSpec = VOLTA_V100, n_neighbors: int = KNN_K,
+                  n_workers: int = 1,
+                  n_tiles_target: Optional[int] = None) -> PlanCell:
+    """Run one k-NN query through the execution-plan layer and record its
+    memory accounting.
+
+    ``n_tiles_target=None`` runs monolithically (one tile holding the full
+    dense block); an integer sets the tile budget to ``1/n_tiles_target`` of
+    the monolithic footprint, forcing at least that many tiles.
+    """
+    ds = bench_dataset(dataset)
+    n_rows = ds.matrix.n_rows
+    budget = None
+    mode = "monolithic"
+    if n_tiles_target is not None:
+        monolithic = (float(n_rows) * n_rows * OUTPUT_ITEM_BYTES
+                      + float(ds.matrix.nnz) * WORKSPACE_ITEM_BYTES)
+        budget = max(1, int(monolithic // n_tiles_target))
+        mode = f"tiled/{n_tiles_target}"
+    nn = NearestNeighbors(n_neighbors=n_neighbors, metric=metric,
+                          metric_params=_metric_kwargs(metric),
+                          engine="hybrid_coo", device=spec,
+                          batch_rows=max(1, n_rows), n_workers=n_workers,
+                          memory_budget_bytes=budget)
+    nn.fit(ds.matrix)
+    start = time.perf_counter()
+    nn.kneighbors()
+    wall = time.perf_counter() - start
+    rep = nn.last_report
+    return PlanCell(dataset=dataset, metric=metric, mode=mode,
+                    n_tiles=rep.n_batches, n_workers=rep.n_workers,
+                    simulated_seconds=rep.simulated_seconds,
+                    peak_resident_bytes=rep.peak_resident_bytes,
+                    monolithic_bytes=rep.monolithic_bytes,
+                    wall_seconds=wall)
 
 
 def run_cpu_cell(dataset: str, metric: str) -> BenchCell:

@@ -3,32 +3,33 @@
     from repro import pairwise_distances
     dists = pairwise_distances(X, metric="cosine")
 
-drives the full pipeline: sparse ingestion → optional value transform →
-semiring pass(es) on the chosen execution engine → row norms → expansion or
-finalize. When the engine simulates the device, the returned
-:class:`PairwiseResult` also carries the merged kernel statistics and the
-simulated seconds, including the (embarrassingly parallel, §3.4) norm and
-expansion kernels.
+is now a thin wrapper over the execution-plan layer (:mod:`repro.plan`):
+the call builds a :class:`~repro.plan.PairwisePlan` — operands prepared
+once, row norms cached, the output block cut into memory-budgeted tiles —
+and runs it through a :class:`~repro.plan.PlanExecutor` with a
+:class:`~repro.plan.DenseBlockConsumer`. With the default budget small
+inputs plan as a single tile, reproducing the old monolithic behaviour
+bit-for-bit; large outputs tile automatically, and ``n_workers`` runs the
+tiles on simulated concurrent streams. When the engine simulates the
+device, the returned :class:`PairwiseResult` also carries the merged kernel
+statistics and the simulated seconds, including the (embarrassingly
+parallel, §3.4) norm and expansion kernels.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
-from repro.core.distances import DistanceMeasure, make_distance
-from repro.core.norms import compute_norms
-from repro.gpusim.executor import simulate_launch
-from repro.gpusim.memory import coalesced_transactions
-from repro.gpusim.specs import DeviceSpec, VOLTA_V100, get_device
+from repro.core.distances import DistanceMeasure
+from repro.gpusim.specs import DeviceSpec
 from repro.gpusim.stats import KernelStats
-from repro.kernels import make_engine
 from repro.kernels.base import PairwiseKernel
-from repro.kernels.host import HostKernel
-from repro.sparse.convert import as_csr
-from repro.sparse.csr import CSRMatrix
+from repro.plan.consumers import DenseBlockConsumer
+from repro.plan.executor import PlanExecutionReport, PlanExecutor
+from repro.plan.pairwise_plan import build_pairwise_plan, prepare_matrix
 
 __all__ = ["pairwise_distances", "PairwiseResult", "prepare_matrix"]
 
@@ -42,20 +43,13 @@ class PairwiseResult:
     simulated_seconds: float
     engine: str
     measure: DistanceMeasure
+    #: per-tile accounting of the executed plan (None only for legacy
+    #: construction paths that bypass the executor)
+    report: Optional[PlanExecutionReport] = None
 
     @property
     def shape(self):
         return self.distances.shape
-
-
-def prepare_matrix(x, measure: DistanceMeasure) -> CSRMatrix:
-    """Ingest any matrix-like input and apply the measure's pre-transform."""
-    csr = as_csr(x)
-    if measure.binarize:
-        csr = csr.map_values(lambda v: (v != 0.0).astype(np.float64))
-    if measure.transform is not None:
-        csr = csr.map_values(measure.transform)
-    return csr
 
 
 def pairwise_distances(
@@ -64,8 +58,10 @@ def pairwise_distances(
     metric: str = "cosine",
     *,
     engine: Union[str, PairwiseKernel] = "hybrid_coo",
-    device: Union[str, DeviceSpec] = VOLTA_V100,
+    device: Union[str, DeviceSpec, None] = None,
     return_result: bool = False,
+    memory_budget_bytes: Optional[int] = None,
+    n_workers: int = 1,
     **metric_params,
 ):
     """Pairwise distances between the rows of ``x`` and ``y``.
@@ -83,74 +79,33 @@ def pairwise_distances(
         ``expand_sort_contract``, ``csrgemm``, ``host``) or a
         :class:`PairwiseKernel` instance.
     device:
-        Simulated device spec or name (``"volta"``, ``"ampere"``).
+        Simulated device spec or name (``"volta"``, ``"ampere"``); defaults
+        to Volta for named engines. For a kernel *instance* the spec is
+        taken from the kernel; passing a conflicting ``device=`` raises
+        :class:`~repro.errors.DeviceConfigError` instead of being silently
+        ignored.
     return_result:
         When true, return the full :class:`PairwiseResult` (distances +
-        kernel stats + simulated seconds) instead of just the array.
+        kernel stats + simulated seconds + tile accounting) instead of just
+        the array.
+    memory_budget_bytes:
+        Per-tile byte budget for the execution plan (dense tile block +
+        kernel workspace). Defaults to a quarter of the device's global
+        memory, which keeps small inputs monolithic.
+    n_workers:
+        Tile workers simulating concurrent streams. Results and merged
+        stats are identical for any worker count; only the modeled makespan
+        changes.
     metric_params:
         Extra distance parameters (e.g. ``p=1.5`` for Minkowski).
     """
-    spec = get_device(device) if isinstance(device, str) else device
-    measure = make_distance(metric, **metric_params)
-    kernel = (make_engine(engine, spec) if isinstance(engine, str)
-              else engine)
-
-    a = prepare_matrix(x, measure)
-    b = a if y is None else prepare_matrix(y, measure)
-    result = kernel.run(a, b, measure.semiring)
-    stats = result.stats
-    seconds = result.seconds
-    simulate = not isinstance(kernel, HostKernel)
-
-    if measure.kind == "expanded":
-        norms_a = compute_norms(a, measure.norms)
-        norms_b = norms_a if b is a else compute_norms(b, measure.norms)
-        distances = measure.apply_expansion(result.block, norms_a, norms_b,
-                                            a.n_cols)
-        if simulate:
-            seconds += _norms_seconds(kernel.spec, stats, a, b,
-                                      n_kinds=len(measure.norms))
-            seconds += _elementwise_seconds(kernel.spec, stats,
-                                            a.n_rows * b.n_rows)
-    else:
-        distances = measure.apply_finalize(result.block, a.n_cols)
-        if simulate and measure.finalize is not None:
-            seconds += _elementwise_seconds(kernel.spec, stats,
-                                            a.n_rows * b.n_rows)
-
-    out = PairwiseResult(distances=distances, stats=stats,
-                         simulated_seconds=seconds,
-                         engine=getattr(kernel, "name", "custom"),
-                         measure=measure)
+    plan = build_pairwise_plan(x, y, metric, engine=engine, device=device,
+                               memory_budget_bytes=memory_budget_bytes,
+                               **metric_params)
+    report = PlanExecutor(plan, n_workers=n_workers).execute(
+        DenseBlockConsumer())
+    out = PairwiseResult(distances=report.value, stats=report.stats,
+                         simulated_seconds=report.simulated_seconds,
+                         engine=getattr(plan.kernel, "name", "custom"),
+                         measure=plan.measure, report=report)
     return out if return_result else out.distances
-
-
-def _norms_seconds(spec, stats: KernelStats, a: CSRMatrix, b: CSRMatrix,
-                   n_kinds: int) -> float:
-    """Price the warp-per-row norm reductions (§3.4)."""
-    if n_kinds == 0:
-        return 0.0
-    extra = KernelStats()
-    nnz = a.nnz + (0 if b is a else b.nnz)
-    rows = a.n_rows + (0 if b is a else b.n_rows)
-    extra.alu_ops += 2.0 * nnz * n_kinds
-    extra.gmem_transactions += coalesced_transactions(nnz, itemsize=4) * n_kinds
-    extra.gmem_transactions += coalesced_transactions(rows, itemsize=4) * n_kinds
-    launch = simulate_launch(spec, extra, grid_blocks=max(1, rows),
-                             block_threads=32, smem_per_block=0)
-    stats.merge(launch.stats)
-    return launch.seconds
-
-
-def _elementwise_seconds(spec, stats: KernelStats, n_elements: int) -> float:
-    """Price the embarrassingly-parallel expansion/finalize kernel (§3.4)."""
-    extra = KernelStats()
-    extra.alu_ops += 6.0 * n_elements
-    extra.special_ops += 1.0 * n_elements
-    extra.gmem_transactions += 2 * coalesced_transactions(n_elements,
-                                                          itemsize=4)
-    launch = simulate_launch(spec, extra,
-                             grid_blocks=max(1, -(-n_elements // 256)),
-                             block_threads=256, smem_per_block=0)
-    stats.merge(launch.stats)
-    return launch.seconds

@@ -29,3 +29,7 @@ class DeviceConfigError(ReproError):
 
 class KernelLaunchError(ReproError):
     """A simulated kernel could not be scheduled with the requested resources."""
+
+
+class PlanBudgetError(ReproError):
+    """An execution plan's memory budget cannot fit even a single tile."""

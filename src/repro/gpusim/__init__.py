@@ -23,6 +23,7 @@ from repro.gpusim.memory import (
 from repro.gpusim.occupancy import Occupancy, compute_occupancy
 from repro.gpusim.specs import AMPERE_A100, KIB, VOLTA_V100, DeviceSpec, get_device
 from repro.gpusim.stats import KernelStats
+from repro.gpusim.tiles import TileAccountant, TileLaunchRecord
 
 __all__ = [
     "DeviceSpec",
@@ -37,6 +38,8 @@ __all__ = [
     "SimulatedTime",
     "LaunchResult",
     "simulate_launch",
+    "TileAccountant",
+    "TileLaunchRecord",
     "TRANSACTION_BYTES",
     "coalesced_transactions",
     "uncoalesced_transactions",

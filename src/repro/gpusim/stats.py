@@ -57,7 +57,13 @@ class KernelStats:
 
     # ------------------------------------------------------------------
     def merge(self, other: "KernelStats") -> "KernelStats":
-        """Accumulate another launch's counters into this one (in place)."""
+        """Accumulate another launch's counters into this one.
+
+        .. warning:: **In place.** ``self`` is mutated and returned (so calls
+           chain); no new object is created. Callers that need the operands
+           preserved must :meth:`copy` first —
+           ``KernelStats().merge(a).merge(b)`` is the non-destructive form.
+        """
         for f in fields(self):
             if f.name in ("smem_bytes_per_block", "workspace_bytes"):
                 setattr(self, f.name, max(getattr(self, f.name),
@@ -66,6 +72,13 @@ class KernelStats:
                 setattr(self, f.name,
                         getattr(self, f.name) + getattr(other, f.name))
         return self
+
+    def copy(self) -> "KernelStats":
+        """An independent copy (safe to :meth:`merge` into)."""
+        out = KernelStats()
+        for f in fields(self):
+            setattr(out, f.name, getattr(self, f.name))
+        return out
 
     def scaled(self, factor: float) -> "KernelStats":
         """A copy with every additive counter multiplied by ``factor``.

@@ -13,6 +13,7 @@ block with transforms, norms, expansion and finalize.
 from __future__ import annotations
 
 import abc
+import copy
 from dataclasses import dataclass
 
 import numpy as np
@@ -34,14 +35,17 @@ class KernelResult:
     seconds: float
 
     def merge(self, other: "KernelResult", combine=None) -> "KernelResult":
-        """Fold a subsequent launch into this result.
+        """Fold a subsequent launch into this result, without mutating it.
 
         ``combine`` merges the numeric blocks (defaults to element-wise add,
-        which is correct for ⊕ = + two-pass accumulation).
+        which is correct for ⊕ = + two-pass accumulation). The merged stats
+        are accumulated into a fresh copy: :meth:`KernelStats.merge` works in
+        place, so merging directly into ``self.stats`` would alias the new
+        result's counters onto the left operand and corrupt it.
         """
         block = (self.block + other.block if combine is None
                  else combine(self.block, other.block))
-        stats = self.stats.merge(other.stats)
+        stats = self.stats.copy().merge(other.stats)
         return KernelResult(block=block, stats=stats,
                             seconds=self.seconds + other.seconds)
 
@@ -58,6 +62,17 @@ class PairwiseKernel(abc.ABC):
     @abc.abstractmethod
     def run(self, a: CSRMatrix, b: CSRMatrix, semiring: Semiring) -> KernelResult:
         """Compute the full ``(a.n_rows, b.n_rows)`` semiring block."""
+
+    def clone(self) -> "PairwiseKernel":
+        """An independent copy with identical configuration *and* state.
+
+        The execution-plan layer runs one kernel per output tile, possibly on
+        concurrent workers. Kernels carry mutable per-run state (sampling RNGs,
+        pass profiles), so tiles each get a clone of the configured prototype:
+        every tile starts from the same state and the merged plan statistics
+        are bit-identical regardless of worker count or completion order.
+        """
+        return copy.deepcopy(self)
 
     def _check_inputs(self, a: CSRMatrix, b: CSRMatrix) -> None:
         check_same_n_cols(a, b)

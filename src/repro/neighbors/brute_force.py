@@ -7,6 +7,14 @@ This estimator mirrors that API (Figure 2, top snippet):
 
     nn = NearestNeighbors(n_neighbors=10, metric="manhattan").fit(X)
     distances, indices = nn.kneighbors(X)
+
+Queries run through the execution-plan layer (:mod:`repro.plan`): one
+:class:`~repro.plan.PairwisePlan` prepares the operands and caches row
+norms exactly once, cuts the index side into ``batch_rows``-bounded,
+memory-budgeted tiles, and a :class:`~repro.plan.PlanExecutor` folds each
+finished tile through a streaming :class:`~repro.plan.TopKConsumer` —
+replacing the old hand-rolled batch loop that re-prepared the query matrix
+and recomputed its norms for every batch.
 """
 
 from __future__ import annotations
@@ -16,16 +24,15 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.core.pairwise import pairwise_distances
-from repro.sparse.convert import as_csr
 from repro.errors import ReproError
-from repro.gpusim.specs import DeviceSpec, VOLTA_V100, get_device
+from repro.gpusim.specs import DeviceSpec, get_device
 from repro.gpusim.stats import KernelStats
-from repro.kernels import make_engine
 from repro.kernels.base import PairwiseKernel
-from repro.neighbors.topk import TopKAccumulator
+from repro.plan.consumers import CallbackConsumer, TopKConsumer
+from repro.plan.executor import PlanExecutor
+from repro.plan.pairwise_plan import PairwisePlan, build_pairwise_plan
+from repro.sparse.convert import as_csr
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.ops import iter_row_batches
 
 __all__ = ["NearestNeighbors", "KnnQueryReport"]
 
@@ -35,8 +42,17 @@ class KnnQueryReport:
     """Execution record of one :meth:`NearestNeighbors.kneighbors` call."""
 
     simulated_seconds: float = 0.0
+    #: tiles executed (one per index-side batch times query-side bands)
     n_batches: int = 0
     stats: KernelStats = field(default_factory=KernelStats)
+    #: concurrent tile workers the plan ran on
+    n_workers: int = 1
+    #: largest per-tile kernel workspace seen during the query
+    peak_workspace_bytes: float = 0.0
+    #: largest device footprint (tile output + workspace) resident at once
+    peak_resident_bytes: float = 0.0
+    #: what an untiled, full-block execution would have held resident
+    monolithic_bytes: float = 0.0
 
 
 class NearestNeighbors:
@@ -53,27 +69,43 @@ class NearestNeighbors:
         Execution strategy for the pairwise block (see
         :func:`repro.kernels.available_engines`).
     device:
-        Simulated device spec or name.
+        Simulated device spec or name. Defaults to the engine's own device
+        (Volta for named engines); an explicit value that conflicts with a
+        kernel instance's spec raises
+        :class:`~repro.errors.DeviceConfigError`.
     batch_rows:
-        Index-side batch size: the pairwise block is computed
+        Index-side tile cap: the pairwise block is computed at most
         ``(n_queries, batch_rows)`` at a time and folded through a running
         top-k, bounding peak memory exactly like the paper's batched
         benchmark.
+    n_workers:
+        Concurrent tile workers (simulated streams). Results are identical
+        for any worker count.
+    memory_budget_bytes:
+        Per-tile byte budget; tiles shrink below ``batch_rows`` if needed to
+        fit. Defaults to a quarter of the device's global memory.
     """
 
     def __init__(self, n_neighbors: int = 5, *, metric: str = "euclidean",
                  metric_params: Optional[dict] = None,
                  engine: Union[str, PairwiseKernel] = "hybrid_coo",
-                 device: Union[str, DeviceSpec] = VOLTA_V100,
-                 batch_rows: int = 4096):
+                 device: Union[str, DeviceSpec, None] = None,
+                 batch_rows: int = 4096, n_workers: int = 1,
+                 memory_budget_bytes: Optional[int] = None):
         if n_neighbors <= 0:
             raise ValueError("n_neighbors must be positive")
+        if batch_rows <= 0:
+            raise ValueError("batch_rows must be positive")
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
         self.n_neighbors = int(n_neighbors)
         self.metric = metric
         self.metric_params = dict(metric_params or {})
         self.engine = engine
         self.device = get_device(device) if isinstance(device, str) else device
         self.batch_rows = int(batch_rows)
+        self.n_workers = int(n_workers)
+        self.memory_budget_bytes = memory_budget_bytes
         self._fit_matrix: Optional[CSRMatrix] = None
         self.last_report: Optional[KnnQueryReport] = None
 
@@ -82,8 +114,8 @@ class NearestNeighbors:
         """Index the rows of ``x``.
 
         Stored raw (metric pre-transforms such as Hellinger's √x are applied
-        inside the pairwise call, once per batch) so the same fitted index
-        can serve queries under any compatible metric.
+        by the plan builder, once per query) so the same fitted index can
+        serve queries under any compatible metric.
         """
         self._fit_matrix = as_csr(x)
         return self
@@ -98,6 +130,28 @@ class NearestNeighbors:
             raise ReproError("NearestNeighbors has not been fitted; call "
                              ".fit(X) first")
 
+    def _build_plan(self, x) -> PairwisePlan:
+        """One plan per query call: queries on the A side, the fitted index
+        tiled along B in ``batch_rows`` bands (self-join when ``x`` is None,
+        so preparation and norms happen once, not twice)."""
+        queries = None if x is None else as_csr(x)
+        return build_pairwise_plan(
+            self._fit_matrix if queries is None else queries,
+            None if queries is None else self._fit_matrix,
+            self.metric, engine=self.engine, device=self.device,
+            memory_budget_bytes=self.memory_budget_bytes,
+            max_tile_rows_b=self.batch_rows, **self.metric_params)
+
+    def _record_report(self, plan, report) -> KnnQueryReport:
+        self.last_report = KnnQueryReport(
+            simulated_seconds=report.simulated_seconds,
+            n_batches=report.n_tiles, stats=report.stats,
+            n_workers=report.n_workers,
+            peak_workspace_bytes=float(report.stats.workspace_bytes),
+            peak_resident_bytes=float(report.peak_resident_bytes),
+            monolithic_bytes=float(plan.monolithic_bytes))
+        return self.last_report
+
     # ------------------------------------------------------------------
     def kneighbors(self, x=None, n_neighbors: Optional[int] = None,
                    return_distance: bool = True):
@@ -108,27 +162,21 @@ class NearestNeighbors:
         the entire dataset").
         """
         self._check_fitted()
-        k = int(n_neighbors or self.n_neighbors)
-        queries = self._fit_matrix if x is None else as_csr(x)
+        if n_neighbors is None:
+            k = self.n_neighbors
+        else:
+            k = int(n_neighbors)
+            if k <= 0:
+                raise ValueError(
+                    f"n_neighbors must be positive, got {n_neighbors!r}")
         k = min(k, self._fit_matrix.n_rows)
 
-        kernel = (make_engine(self.engine, self.device)
-                  if isinstance(self.engine, str) else self.engine)
-        acc = TopKAccumulator(queries.n_rows, k)
-        report = KnnQueryReport()
-        for offset, batch in iter_row_batches(self._fit_matrix,
-                                              self.batch_rows):
-            result = pairwise_distances(
-                queries, batch, metric=self.metric, engine=kernel,
-                device=self.device, return_result=True,
-                **self.metric_params)
-            acc.update(result.distances, offset)
-            report.simulated_seconds += result.simulated_seconds
-            report.stats.merge(result.stats)
-            report.n_batches += 1
-        self.last_report = report
+        plan = self._build_plan(x)
+        consumer = TopKConsumer(k)
+        report = PlanExecutor(plan, n_workers=self.n_workers).execute(consumer)
+        self._record_report(plan, report)
 
-        distances, indices = acc.finalize()
+        distances, indices = report.value
         return (distances, indices) if return_distance else indices
 
     def radius_neighbors(self, x=None, radius: float = 1.0,
@@ -137,34 +185,31 @@ class NearestNeighbors:
 
         Returns parallel lists (one entry per query) of index arrays and,
         when requested, distance arrays, each sorted by distance — the
-        scikit-learn ``radius_neighbors`` contract. Batched like
-        :meth:`kneighbors`, so memory stays bounded.
+        scikit-learn ``radius_neighbors`` contract. Tiles stream through a
+        :class:`CallbackConsumer`, so memory stays bounded just like
+        :meth:`kneighbors`.
         """
         self._check_fitted()
         if radius < 0:
             raise ValueError("radius must be non-negative")
-        queries = self._fit_matrix if x is None else as_csr(x)
-        kernel = (make_engine(self.engine, self.device)
-                  if isinstance(self.engine, str) else self.engine)
-        hits_idx = [[] for _ in range(queries.n_rows)]
-        hits_dist = [[] for _ in range(queries.n_rows)]
-        report = KnnQueryReport()
-        for offset, batch in iter_row_batches(self._fit_matrix,
-                                              self.batch_rows):
-            result = pairwise_distances(
-                queries, batch, metric=self.metric, engine=kernel,
-                device=self.device, return_result=True,
-                **self.metric_params)
-            report.simulated_seconds += result.simulated_seconds
-            report.stats.merge(result.stats)
-            report.n_batches += 1
-            rows, cols = np.nonzero(result.distances <= radius)
+
+        plan = self._build_plan(x)
+        n_queries = plan.a.n_rows
+        hits_idx = [[] for _ in range(n_queries)]
+        hits_dist = [[] for _ in range(n_queries)]
+
+        def fold(tile, block):
+            rows, cols = np.nonzero(block <= radius)
             for r, c in zip(rows, cols):
-                hits_idx[r].append(offset + c)
-                hits_dist[r].append(result.distances[r, c])
-        self.last_report = report
+                hits_idx[tile.a0 + r].append(tile.b0 + c)
+                hits_dist[tile.a0 + r].append(block[r, c])
+
+        report = PlanExecutor(plan, n_workers=self.n_workers).execute(
+            CallbackConsumer(fold))
+        self._record_report(plan, report)
+
         indices, distances = [], []
-        for r in range(queries.n_rows):
+        for r in range(n_queries):
             idx = np.asarray(hits_idx[r], dtype=np.int64)
             dist = np.asarray(hits_dist[r], dtype=np.float64)
             order = np.lexsort((idx, dist))

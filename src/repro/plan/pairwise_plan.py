@@ -1,0 +1,209 @@
+"""The pairwise execution plan: prepared operands + cached norms + tiles.
+
+``build_pairwise_plan`` does every input-dependent step of the pipeline
+exactly once — ingestion, the measure's value pre-transform, the row norms
+its expansion needs, and the memory-budgeted tile grid — and captures the
+result as an immutable :class:`PairwisePlan`. The
+:class:`~repro.plan.executor.PlanExecutor` then runs the plan's tiles
+without ever touching the raw inputs again, which is what lets the k-NN
+path drop its per-batch query re-preparation and norm recomputation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.distances import EXPANDED, DistanceMeasure, make_distance
+from repro.core.norms import compute_norms
+from repro.errors import DeviceConfigError
+from repro.gpusim.specs import DeviceSpec, VOLTA_V100, get_device
+from repro.kernels import make_engine
+from repro.kernels.base import PairwiseKernel
+from repro.kernels.host import HostKernel
+from repro.plan.tiling import (
+    OUTPUT_ITEM_BYTES,
+    TileGrid,
+    WORKSPACE_ITEM_BYTES,
+    default_memory_budget,
+    plan_tile_grid,
+)
+from repro.sparse.convert import as_csr
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["PairwisePlan", "build_pairwise_plan", "prepare_matrix"]
+
+
+def prepare_matrix(x, measure: DistanceMeasure) -> CSRMatrix:
+    """Ingest any matrix-like input and apply the measure's pre-transform."""
+    csr = as_csr(x)
+    if measure.binarize:
+        csr = csr.map_values(lambda v: (v != 0.0).astype(np.float64))
+    if measure.transform is not None:
+        csr = csr.map_values(measure.transform)
+    return csr
+
+
+@dataclass
+class PairwisePlan:
+    """Everything the executor needs to run one pairwise job.
+
+    The prepared operands carry the measure's pre-transform exactly once
+    (Hellinger's √x, the set measures' binarization); ``norms_a/norms_b``
+    are the expansion's row norms computed once over the *full* operands and
+    sliced per tile at execution time.
+    """
+
+    a: CSRMatrix
+    b: CSRMatrix
+    b_is_a: bool
+    measure: DistanceMeasure
+    kernel: PairwiseKernel
+    spec: DeviceSpec
+    grid: TileGrid
+    memory_budget_bytes: int
+    norms_a: Optional[Dict[str, np.ndarray]] = None
+    norms_b: Optional[Dict[str, np.ndarray]] = None
+    #: row-band slices, materialized lazily and cached (shared by tiles in
+    #: the same band, so each band is sliced exactly once)
+    _a_bands: List[Optional[CSRMatrix]] = field(default_factory=list,
+                                                repr=False)
+    _b_bands: List[Optional[CSRMatrix]] = field(default_factory=list,
+                                                repr=False)
+
+    def __post_init__(self):
+        self._a_bands = [None] * self.grid.n_bands_a
+        self._b_bands = [None] * self.grid.n_bands_b
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        return (self.a.n_rows, self.b.n_rows)
+
+    @property
+    def simulate(self) -> bool:
+        """Whether device accounting applies (host engines price nothing)."""
+        return not isinstance(self.kernel, HostKernel)
+
+    @property
+    def n_tiles(self) -> int:
+        return self.grid.n_tiles
+
+    @property
+    def monolithic_bytes(self) -> float:
+        """Device bytes an untiled (full-block) execution would hold
+        resident: the whole dense output plus the full-stream workspace."""
+        return (float(self.a.n_rows) * self.b.n_rows * OUTPUT_ITEM_BYTES
+                + float(self.b.nnz) * WORKSPACE_ITEM_BYTES)
+
+    # ------------------------------------------------------------------
+    def a_band(self, band: int) -> CSRMatrix:
+        if self._a_bands[band] is None:
+            lo = int(self.grid.row_starts_a[band])
+            hi = int(self.grid.row_starts_a[band + 1])
+            if lo == 0 and hi == self.a.n_rows:
+                self._a_bands[band] = self.a
+            else:
+                self._a_bands[band] = self.a.slice_rows(lo, hi)
+        return self._a_bands[band]
+
+    def b_band(self, band: int) -> CSRMatrix:
+        if self._b_bands[band] is None:
+            lo = int(self.grid.row_starts_b[band])
+            hi = int(self.grid.row_starts_b[band + 1])
+            if lo == 0 and hi == self.b.n_rows:
+                # Self-join single band: reuse the exact object so kernels'
+                # ``b is a`` fast paths still fire.
+                self._b_bands[band] = self.b
+            else:
+                self._b_bands[band] = self.b.slice_rows(lo, hi)
+        return self._b_bands[band]
+
+    def norms_slice_a(self, a0: int, a1: int) -> Dict[str, np.ndarray]:
+        return {k: v[a0:a1] for k, v in (self.norms_a or {}).items()}
+
+    def norms_slice_b(self, b0: int, b1: int) -> Dict[str, np.ndarray]:
+        return {k: v[b0:b1] for k, v in (self.norms_b or {}).items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"PairwisePlan({self.measure.name}, shape={self.shape}, "
+                f"engine={getattr(self.kernel, 'name', 'custom')}, "
+                f"tiles={self.grid.n_bands_a}x{self.grid.n_bands_b})")
+
+
+def _resolve_engine_and_spec(engine: Union[str, PairwiseKernel],
+                             device: Union[str, DeviceSpec, None]):
+    """Instantiate the kernel and reconcile it with the ``device`` argument.
+
+    A named engine is built for the requested (or default Volta) device. A
+    kernel *instance* already owns its spec; a conflicting explicit
+    ``device=`` used to be silently dropped — now it raises, because the
+    caller's two requests cannot both be honored.
+    """
+    if isinstance(engine, str):
+        spec = (get_device(device) if isinstance(device, str)
+                else (device or VOLTA_V100))
+        return make_engine(engine, spec), spec
+    kernel = engine
+    if device is not None:
+        wanted = get_device(device) if isinstance(device, str) else device
+        if wanted != kernel.spec:
+            raise DeviceConfigError(
+                f"engine instance {type(kernel).__name__} is configured for "
+                f"device {kernel.spec.name!r} but device={wanted.name!r} was "
+                f"requested; pass a matching spec (or omit device=) — the "
+                f"kernel cannot be re-targeted after construction")
+    return kernel, kernel.spec
+
+
+def _workspace_per_row_b(b: CSRMatrix) -> float:
+    """Mean workspace bytes one streamed B row contributes (nnz-based)."""
+    if b.n_rows == 0:
+        return 0.0
+    return (b.nnz / b.n_rows) * WORKSPACE_ITEM_BYTES
+
+
+def build_pairwise_plan(
+    x,
+    y=None,
+    metric: Union[str, DistanceMeasure] = "cosine",
+    *,
+    engine: Union[str, PairwiseKernel] = "hybrid_coo",
+    device: Union[str, DeviceSpec, None] = None,
+    memory_budget_bytes: Optional[int] = None,
+    max_tile_rows_a: Optional[int] = None,
+    max_tile_rows_b: Optional[int] = None,
+    **metric_params,
+) -> PairwisePlan:
+    """Plan a pairwise-distance job without executing it.
+
+    Parameters mirror :func:`repro.core.pairwise.pairwise_distances`; the
+    extra knobs bound each tile: ``memory_budget_bytes`` (default: a quarter
+    of the device's global memory) and the optional per-side row caps.
+    """
+    measure = (metric if isinstance(metric, DistanceMeasure)
+               else make_distance(metric, **metric_params))
+    kernel, spec = _resolve_engine_and_spec(engine, device)
+
+    a = prepare_matrix(x, measure)
+    b_is_a = y is None
+    b = a if b_is_a else prepare_matrix(y, measure)
+
+    norms_a = norms_b = None
+    if measure.kind == EXPANDED:
+        norms_a = compute_norms(a, measure.norms)
+        norms_b = norms_a if b_is_a else compute_norms(b, measure.norms)
+
+    budget = (default_memory_budget(spec) if memory_budget_bytes is None
+              else int(memory_budget_bytes))
+    grid = plan_tile_grid(a.n_rows, b.n_rows, budget_bytes=budget,
+                          workspace_per_row_b=_workspace_per_row_b(b),
+                          max_tile_rows_a=max_tile_rows_a,
+                          max_tile_rows_b=max_tile_rows_b)
+
+    return PairwisePlan(a=a, b=b, b_is_a=b_is_a, measure=measure,
+                        kernel=kernel, spec=spec, grid=grid,
+                        memory_budget_bytes=budget,
+                        norms_a=norms_a, norms_b=norms_b)

@@ -1,0 +1,210 @@
+"""Memory-budgeted tiling of the pairwise output block.
+
+The paper's end-to-end path (§4.2) batches the index side so the dense
+``(n_queries, n_index)`` distance block never exceeds device memory. The
+planner here generalizes that ad-hoc loop into a 2-D **tile grid**: the
+output block is cut into row bands of A × row bands of B such that one
+tile's dense block plus its kernel workspace fits a configurable byte
+budget (derived from the :class:`~repro.gpusim.specs.DeviceSpec` by
+default). Tiles are the unit the executor schedules — serially, or
+round-robin across N workers simulating concurrent streams.
+
+The planner prefers wide tiles (few launches, §3.1's fixed launch overhead)
+and only splits as far as the budget demands: first the B side (preserving
+the streaming top-k access pattern of the k-NN path), then the A side once
+even single-row B bands cannot fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import PlanBudgetError
+from repro.gpusim.specs import DeviceSpec
+from repro.sparse.ops import even_row_bands
+
+__all__ = ["Tile", "TileGrid", "plan_tile_grid", "default_memory_budget",
+           "OUTPUT_ITEM_BYTES", "WORKSPACE_ITEM_BYTES",
+           "DEFAULT_BUDGET_FRACTION"]
+
+#: The dense output block is written as f32 on the simulated device
+#: (matching the kernels' coalesced-store accounting).
+OUTPUT_ITEM_BYTES = 4
+
+#: Kernel workspace is an nnz(B)-sized f32 buffer (paper §4.3).
+WORKSPACE_ITEM_BYTES = 4
+
+#: Fraction of device global memory a plan may claim by default — the rest
+#: stays free for the operands themselves and the consumer's output.
+DEFAULT_BUDGET_FRACTION = 0.25
+
+
+def default_memory_budget(spec: DeviceSpec) -> int:
+    """Default per-plan byte budget derived from the device spec."""
+    return int(spec.global_mem_bytes * DEFAULT_BUDGET_FRACTION)
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One output tile: rows ``a0:a1`` of A × rows ``b0:b1`` of B."""
+
+    index: int
+    band_a: int
+    band_b: int
+    a0: int
+    a1: int
+    b0: int
+    b1: int
+
+    @property
+    def rows_a(self) -> int:
+        return self.a1 - self.a0
+
+    @property
+    def rows_b(self) -> int:
+        return self.b1 - self.b0
+
+    @property
+    def n_cells(self) -> int:
+        return self.rows_a * self.rows_b
+
+    @property
+    def output_bytes(self) -> int:
+        return self.n_cells * OUTPUT_ITEM_BYTES
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """The planned decomposition of an ``(n_rows_a, n_rows_b)`` output."""
+
+    n_rows_a: int
+    n_rows_b: int
+    #: band-start offsets, lengths ``n_bands + 1`` (``[0, ..., n_rows]``)
+    row_starts_a: np.ndarray
+    row_starts_b: np.ndarray
+    budget_bytes: int
+    workspace_per_row_b: float
+
+    @property
+    def n_bands_a(self) -> int:
+        return len(self.row_starts_a) - 1
+
+    @property
+    def n_bands_b(self) -> int:
+        return len(self.row_starts_b) - 1
+
+    @property
+    def n_tiles(self) -> int:
+        return self.n_bands_a * self.n_bands_b
+
+    @property
+    def is_monolithic(self) -> bool:
+        """True when the whole output is one tile (no batching needed)."""
+        return self.n_tiles <= 1
+
+    @property
+    def max_tile_cells(self) -> int:
+        if self.n_tiles == 0:
+            return 0
+        wa = int(np.max(np.diff(self.row_starts_a)))
+        wb = int(np.max(np.diff(self.row_starts_b)))
+        return wa * wb
+
+    def tiles(self) -> Iterator[Tile]:
+        """Tiles in deterministic row-major order (the schedule order)."""
+        index = 0
+        for ia in range(self.n_bands_a):
+            a0, a1 = int(self.row_starts_a[ia]), int(self.row_starts_a[ia + 1])
+            for ib in range(self.n_bands_b):
+                b0 = int(self.row_starts_b[ib])
+                b1 = int(self.row_starts_b[ib + 1])
+                yield Tile(index=index, band_a=ia, band_b=ib,
+                           a0=a0, a1=a1, b0=b0, b1=b1)
+                index += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TileGrid({self.n_bands_a}x{self.n_bands_b} tiles over "
+                f"{self.n_rows_a}x{self.n_rows_b}, "
+                f"budget={self.budget_bytes}B)")
+
+
+def _tile_bytes(rows_a: int, rows_b: int, workspace_per_row_b: float) -> float:
+    """Device bytes one ``rows_a x rows_b`` tile holds resident."""
+    return (rows_a * rows_b * OUTPUT_ITEM_BYTES
+            + rows_b * workspace_per_row_b)
+
+
+def plan_tile_grid(n_rows_a: int, n_rows_b: int, *, budget_bytes: int,
+                   workspace_per_row_b: float = 0.0,
+                   max_tile_rows_a: Optional[int] = None,
+                   max_tile_rows_b: Optional[int] = None) -> TileGrid:
+    """Plan the tile grid for an ``(n_rows_a, n_rows_b)`` output block.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Per-tile byte budget: dense output block plus kernel workspace.
+    workspace_per_row_b:
+        Estimated workspace bytes per streamed B row (mean nnz per row ×
+        item size) so nnz-heavy operands tile sooner than shape alone
+        suggests.
+    max_tile_rows_a, max_tile_rows_b:
+        Optional hard caps on tile heights/widths (the legacy ``batch_rows``
+        knob maps to ``max_tile_rows_b``).
+
+    Raises
+    ------
+    PlanBudgetError
+        When even a single 1×1 tile exceeds ``budget_bytes`` — the budget
+        cannot schedule any execution, which the caller should hear about
+        rather than silently thrash one cell at a time.
+    """
+    if n_rows_a < 0 or n_rows_b < 0:
+        raise ValueError("matrix row counts must be non-negative")
+    if budget_bytes <= 0:
+        raise PlanBudgetError(f"memory budget must be positive, got "
+                              f"{budget_bytes}")
+    if max_tile_rows_a is not None and max_tile_rows_a <= 0:
+        raise ValueError("max_tile_rows_a must be positive")
+    if max_tile_rows_b is not None and max_tile_rows_b <= 0:
+        raise ValueError("max_tile_rows_b must be positive")
+
+    if n_rows_a == 0 or n_rows_b == 0:
+        # Degenerate output: no tiles to run, but the shape is preserved so
+        # consumers can still produce a correctly-shaped empty result.
+        return TileGrid(n_rows_a=n_rows_a, n_rows_b=n_rows_b,
+                        row_starts_a=even_row_bands(n_rows_a, max(1, n_rows_a)),
+                        row_starts_b=even_row_bands(n_rows_b, max(1, n_rows_b)),
+                        budget_bytes=int(budget_bytes),
+                        workspace_per_row_b=float(workspace_per_row_b))
+
+    if _tile_bytes(1, 1, workspace_per_row_b) > budget_bytes:
+        raise PlanBudgetError(
+            f"memory budget of {budget_bytes} B cannot fit a single 1x1 "
+            f"tile ({_tile_bytes(1, 1, workspace_per_row_b):.0f} B with "
+            f"workspace); raise the budget or shrink the operands")
+
+    rows_a = min(n_rows_a, max_tile_rows_a or n_rows_a)
+    rows_b = min(n_rows_b, max_tile_rows_b or n_rows_b)
+
+    if _tile_bytes(rows_a, rows_b, workspace_per_row_b) > budget_bytes:
+        # Shrink the B side first: the k-NN fold streams over B batches.
+        per_b_row = rows_a * OUTPUT_ITEM_BYTES + workspace_per_row_b
+        fit_b = int(budget_bytes // per_b_row)
+        if fit_b >= 1:
+            rows_b = min(rows_b, fit_b)
+        else:
+            # Even one B row is too wide for this tile height: shrink A too.
+            rows_b = 1
+            per_a_row = OUTPUT_ITEM_BYTES
+            fit_a = int((budget_bytes - workspace_per_row_b) // per_a_row)
+            rows_a = min(rows_a, max(1, fit_a))
+
+    return TileGrid(n_rows_a=n_rows_a, n_rows_b=n_rows_b,
+                    row_starts_a=even_row_bands(n_rows_a, rows_a),
+                    row_starts_b=even_row_bands(n_rows_b, rows_b),
+                    budget_bytes=int(budget_bytes),
+                    workspace_per_row_b=float(workspace_per_row_b))

@@ -18,6 +18,7 @@ from repro.sparse.elementwise import (
     total_sum,
 )
 from repro.sparse.ops import (
+    even_row_bands,
     iter_row_batches,
     n_row_batches,
     row_means,
@@ -40,6 +41,7 @@ __all__ = [
     "vstack",
     "iter_row_batches",
     "n_row_batches",
+    "even_row_bands",
     "sparse_equal_dense",
     "ewise_mult",
     "ewise_add",

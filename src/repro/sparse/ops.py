@@ -22,6 +22,7 @@ __all__ = [
     "vstack",
     "iter_row_batches",
     "n_row_batches",
+    "even_row_bands",
     "sparse_equal_dense",
 ]
 
@@ -104,6 +105,26 @@ def n_row_batches(n_rows: int, batch_rows: int) -> int:
     if batch_rows <= 0:
         raise ValueError("batch_rows must be positive")
     return max(1, -(-n_rows // batch_rows)) if n_rows else 0
+
+
+def even_row_bands(n_rows: int, max_rows: int) -> np.ndarray:
+    """Boundaries of near-equal row bands no wider than ``max_rows``.
+
+    Returns the ``n_bands + 1`` band-start offsets (``[0, ..., n_rows]``).
+    Unlike :func:`iter_row_batches`, which emits full-width batches plus a
+    ragged tail, the bands are balanced to within one row — the shape the
+    execution-plan tiler wants so concurrent tile workers get even work.
+    ``n_rows == 0`` yields the single boundary ``[0]`` (an empty band set).
+    """
+    if max_rows <= 0:
+        raise ValueError("max_rows must be positive")
+    if n_rows == 0:
+        return np.zeros(1, dtype=np.int64)
+    n_bands = -(-n_rows // max_rows)
+    base, extra = divmod(n_rows, n_bands)
+    sizes = np.full(n_bands, base, dtype=np.int64)
+    sizes[:extra] += 1
+    return np.concatenate([np.zeros(1, dtype=np.int64), np.cumsum(sizes)])
 
 
 def iter_row_batches(x: CSRMatrix, batch_rows: int) -> Iterator[Tuple[int, CSRMatrix]]:

@@ -1,0 +1,217 @@
+"""Plan execution: determinism, tiling exactness, consumers, satellites."""
+
+import numpy as np
+import pytest
+
+from repro.core.pairwise import pairwise_distances
+from repro.errors import DeviceConfigError
+from repro.gpusim.specs import AMPERE_A100, VOLTA_V100
+from repro.gpusim.stats import KernelStats
+from repro.kernels import make_engine
+from repro.kernels.base import KernelResult
+from repro.neighbors.brute_force import NearestNeighbors
+from repro.neighbors.topk import select_topk
+from repro.plan import (
+    CallbackConsumer,
+    DenseBlockConsumer,
+    PlanExecutor,
+    TopKConsumer,
+    build_pairwise_plan,
+)
+from tests.conftest import random_csr, random_dense
+
+#: Small enough to force several tiles on the fixture matrices while still
+#: fitting a 1x1 tile plus per-row workspace.
+TINY_BUDGET = 600
+
+
+class TestTiledMatchesMonolithic:
+    """Acceptance criterion: the tiled plan is bit-identical to the
+    monolithic full-block path, across both distance families."""
+
+    @pytest.mark.parametrize("metric", ["cosine", "euclidean", "correlation",
+                                        "manhattan", "chebyshev"])
+    def test_mixed_sign_metrics(self, small_pair, metric):
+        a, b = small_pair
+        mono = pairwise_distances(a, b, metric)
+        tiled = pairwise_distances(a, b, metric,
+                                   memory_budget_bytes=TINY_BUDGET,
+                                   return_result=True)
+        assert tiled.report.n_tiles > 1
+        assert np.array_equal(mono, tiled.distances)
+
+    @pytest.mark.parametrize("metric", ["hellinger", "jensen_shannon",
+                                        "kl_divergence"])
+    def test_positive_metrics(self, positive_pair, metric):
+        a, b = positive_pair
+        mono = pairwise_distances(a, b, metric)
+        tiled = pairwise_distances(a, b, metric,
+                                   memory_budget_bytes=TINY_BUDGET)
+        assert np.array_equal(mono, tiled)
+
+    def test_self_join(self, rng):
+        x = random_csr(rng, 19, 16)
+        mono = pairwise_distances(x, metric="cosine")
+        tiled = pairwise_distances(x, metric="cosine",
+                                   memory_budget_bytes=TINY_BUDGET)
+        assert np.array_equal(mono, tiled)
+
+
+class TestWorkerDeterminism:
+    """Acceptance criterion: serial and 4-worker executions are
+    bit-identical — distances, indices, and merged stats."""
+
+    def test_pairwise_serial_vs_workers(self, small_pair):
+        a, b = small_pair
+        serial = pairwise_distances(a, b, "cosine", return_result=True,
+                                    memory_budget_bytes=TINY_BUDGET)
+        threaded = pairwise_distances(a, b, "cosine", return_result=True,
+                                      memory_budget_bytes=TINY_BUDGET,
+                                      n_workers=4)
+        assert serial.report.n_tiles > 1
+        assert np.array_equal(serial.distances, threaded.distances)
+        assert serial.stats.as_dict() == threaded.stats.as_dict()
+
+    def test_kneighbors_serial_vs_workers(self, rng):
+        x = random_dense(rng, 24, 10)
+        runs = []
+        for n_workers in (1, 4):
+            nn = NearestNeighbors(n_neighbors=3, metric="manhattan",
+                                  batch_rows=5, n_workers=n_workers).fit(x)
+            runs.append(nn.kneighbors() + (nn.last_report,))
+        (d1, i1, r1), (d2, i2, r2) = runs
+        assert r1.n_batches > 1
+        assert np.array_equal(d1, d2)
+        assert np.array_equal(i1, i2)
+        assert r1.stats.as_dict() == r2.stats.as_dict()
+        assert r1.n_batches == r2.n_batches
+
+    def test_makespan_not_longer_than_serial(self, small_pair):
+        a, b = small_pair
+        res = pairwise_distances(a, b, "cosine", return_result=True,
+                                 memory_budget_bytes=TINY_BUDGET, n_workers=4)
+        assert res.report.simulated_seconds <= res.report.serial_seconds
+        assert res.report.n_workers == 4
+
+
+class TestConsumers:
+    def test_topk_matches_select_topk(self, small_pair):
+        a, b = small_pair
+        plan = build_pairwise_plan(a, b, "euclidean",
+                                   memory_budget_bytes=TINY_BUDGET)
+        report = PlanExecutor(plan).execute(TopKConsumer(4))
+        dist, idx = report.value
+        full = pairwise_distances(a, b, "euclidean")
+        want_dist, want_idx = select_topk(full, 4)
+        np.testing.assert_allclose(dist, want_dist)
+        np.testing.assert_array_equal(idx, want_idx)
+
+    def test_topk_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError, match="positive"):
+            TopKConsumer(0)
+        with pytest.raises(ValueError, match="positive"):
+            TopKConsumer(-2)
+
+    def test_callback_receives_tiles_in_order(self, small_pair):
+        a, b = small_pair
+        plan = build_pairwise_plan(a, b, "cosine",
+                                   memory_budget_bytes=TINY_BUDGET)
+        seen = []
+        PlanExecutor(plan, n_workers=4).execute(
+            CallbackConsumer(lambda tile, block: seen.append(
+                (tile.index, block.shape))))
+        assert [i for i, _ in seen] == list(range(plan.n_tiles))
+        assert all(shape == (t.rows_a, t.rows_b)
+                   for (_, shape), t in zip(seen, plan.grid.tiles()))
+
+    def test_default_consumer_is_dense_block(self, small_pair):
+        a, b = small_pair
+        plan = build_pairwise_plan(a, b, "cosine")
+        report = PlanExecutor(plan).execute()
+        assert report.value.shape == (a.n_rows, b.n_rows)
+
+    def test_dense_block_empty_operand(self, rng):
+        a = random_csr(rng, 0, 8)
+        b = random_csr(rng, 5, 8)
+        plan = build_pairwise_plan(a, b, "cosine")
+        report = PlanExecutor(plan).execute(DenseBlockConsumer())
+        assert report.value.shape == (0, 5)
+        assert report.n_tiles == 0
+        assert report.simulated_seconds == 0.0
+
+
+class TestExecutorAccounting:
+    def test_tiled_peak_below_monolithic(self, rng):
+        x = random_csr(rng, 30, 12)
+        plan = build_pairwise_plan(x, None, "cosine",
+                                   memory_budget_bytes=TINY_BUDGET)
+        report = PlanExecutor(plan).execute(DenseBlockConsumer())
+        assert report.n_tiles > 1
+        assert report.peak_resident_bytes < plan.monolithic_bytes
+
+    def test_invalid_n_workers(self, small_pair):
+        a, b = small_pair
+        plan = build_pairwise_plan(a, b, "cosine")
+        with pytest.raises(ValueError):
+            PlanExecutor(plan, n_workers=0)
+
+    def test_host_engine_prices_nothing(self, small_pair):
+        a, b = small_pair
+        res = pairwise_distances(a, b, "cosine", engine="host",
+                                 return_result=True,
+                                 memory_budget_bytes=TINY_BUDGET)
+        assert res.simulated_seconds == 0.0
+
+    def test_kernel_instance_keeps_profiles(self, small_pair):
+        a, b = small_pair
+        kernel = make_engine("hybrid_coo", VOLTA_V100)
+        pairwise_distances(a, b, "cosine", engine=kernel,
+                           memory_budget_bytes=TINY_BUDGET)
+        assert kernel.last_profiles
+
+
+class TestSatellites:
+    def test_device_mismatch_raises(self, small_pair):
+        a, b = small_pair
+        kernel = make_engine("hybrid_coo", VOLTA_V100)
+        with pytest.raises(DeviceConfigError, match="volta"):
+            pairwise_distances(a, b, "cosine", engine=kernel,
+                               device=AMPERE_A100)
+        with pytest.raises(DeviceConfigError):
+            pairwise_distances(a, b, "cosine", engine=kernel,
+                               device="ampere")
+
+    def test_matching_device_accepted(self, small_pair):
+        a, b = small_pair
+        kernel = make_engine("hybrid_coo", VOLTA_V100)
+        out = pairwise_distances(a, b, "cosine", engine=kernel,
+                                 device=VOLTA_V100)
+        assert out.shape == (a.n_rows, b.n_rows)
+
+    def test_kneighbors_rejects_nonpositive_k(self, rng):
+        nn = NearestNeighbors(n_neighbors=3).fit(random_dense(rng, 6, 4))
+        with pytest.raises(ValueError, match="positive"):
+            nn.kneighbors(n_neighbors=0)
+        with pytest.raises(ValueError, match="positive"):
+            nn.kneighbors(n_neighbors=-1)
+
+    def test_kernel_result_merge_does_not_mutate_operands(self):
+        left = KernelResult(block=np.ones((2, 2)),
+                            stats=KernelStats(alu_ops=5.0, kernel_launches=1.0),
+                            seconds=1.0)
+        right = KernelResult(block=np.ones((2, 2)),
+                             stats=KernelStats(alu_ops=7.0,
+                                               kernel_launches=1.0),
+                             seconds=2.0)
+        merged = left.merge(right)
+        assert merged.stats.alu_ops == 12.0
+        assert left.stats.alu_ops == 5.0  # the aliasing regression
+        assert right.stats.alu_ops == 7.0
+        assert merged.stats is not left.stats
+
+    def test_stats_copy_is_independent(self):
+        stats = KernelStats(alu_ops=3.0)
+        dup = stats.copy()
+        dup.merge(KernelStats(alu_ops=4.0))
+        assert stats.alu_ops == 3.0
+        assert dup.alu_ops == 7.0

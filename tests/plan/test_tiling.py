@@ -1,0 +1,141 @@
+"""Tile planner and partition planner edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanBudgetError
+from repro.kernels.strategy import plan_partitions
+from repro.plan.tiling import (
+    OUTPUT_ITEM_BYTES,
+    default_memory_budget,
+    plan_tile_grid,
+)
+from repro.gpusim.specs import AMPERE_A100, VOLTA_V100
+from repro.sparse.ops import even_row_bands
+
+
+class TestEvenRowBands:
+    def test_exact_division(self):
+        np.testing.assert_array_equal(even_row_bands(12, 4), [0, 4, 8, 12])
+
+    def test_remainder_spread_to_leading_bands(self):
+        # 10 rows over max 4 → 3 bands of near-equal size: 4, 3, 3.
+        np.testing.assert_array_equal(even_row_bands(10, 4), [0, 4, 7, 10])
+
+    def test_single_band(self):
+        np.testing.assert_array_equal(even_row_bands(5, 100), [0, 5])
+
+    def test_single_row_bands(self):
+        np.testing.assert_array_equal(even_row_bands(3, 1), [0, 1, 2, 3])
+
+    def test_zero_rows(self):
+        np.testing.assert_array_equal(even_row_bands(0, 4), [0])
+
+    def test_invalid_max_rows(self):
+        with pytest.raises(ValueError):
+            even_row_bands(5, 0)
+
+
+class TestPlanPartitions:
+    """Edge cases beyond the kernel suite's coverage."""
+
+    def test_empty_degrees(self):
+        plan = plan_partitions(np.array([], dtype=np.int64), max_entries=8)
+        assert plan.block_rows.size == 0
+        assert plan.block_sizes.size == 0
+
+    def test_all_zero_degree_rows(self):
+        # Empty rows still get one (empty) block each — the schedule must
+        # cover every output row.
+        plan = plan_partitions(np.zeros(4, dtype=np.int64), max_entries=8)
+        np.testing.assert_array_equal(plan.block_rows, [0, 1, 2, 3])
+        np.testing.assert_array_equal(plan.block_sizes, [0, 0, 0, 0])
+
+    def test_split_conserves_degree(self):
+        degrees = np.array([0, 3, 17, 33])
+        plan = plan_partitions(degrees, max_entries=8)
+        for row, degree in enumerate(degrees):
+            assert plan.block_sizes[plan.block_rows == row].sum() == degree
+
+
+class TestPlanTileGrid:
+    def test_monolithic_when_budget_large(self):
+        grid = plan_tile_grid(100, 200, budget_bytes=10**9)
+        assert grid.is_monolithic
+        assert grid.n_tiles == 1
+        only = next(grid.tiles())
+        assert (only.a0, only.a1, only.b0, only.b1) == (0, 100, 0, 200)
+
+    def test_b_side_shrinks_first(self):
+        # Budget fits (10 x 25) cells → B splits, A stays whole.
+        budget = 10 * 25 * OUTPUT_ITEM_BYTES
+        grid = plan_tile_grid(10, 100, budget_bytes=budget)
+        assert grid.n_bands_a == 1
+        assert grid.n_bands_b == 4
+        assert grid.max_tile_cells * OUTPUT_ITEM_BYTES <= budget
+
+    def test_a_splits_when_single_b_row_too_wide(self):
+        # 3 cells of budget: even one B row forces A down to 3 rows.
+        grid = plan_tile_grid(10, 10, budget_bytes=3 * OUTPUT_ITEM_BYTES)
+        assert grid.n_bands_b == 10  # single-row B bands
+        assert int(np.diff(grid.row_starts_a).max()) <= 3
+
+    def test_single_row_tiles(self):
+        grid = plan_tile_grid(4, 4, budget_bytes=OUTPUT_ITEM_BYTES)
+        assert grid.n_tiles == 16
+        assert all(t.n_cells == 1 for t in grid.tiles())
+
+    def test_budget_smaller_than_one_tile_raises(self):
+        with pytest.raises(PlanBudgetError, match="1x1"):
+            plan_tile_grid(4, 4, budget_bytes=OUTPUT_ITEM_BYTES - 1)
+
+    def test_workspace_counts_against_budget(self):
+        with pytest.raises(PlanBudgetError):
+            plan_tile_grid(4, 4, budget_bytes=10, workspace_per_row_b=8.0)
+
+    def test_nonpositive_budget_raises(self):
+        with pytest.raises(PlanBudgetError):
+            plan_tile_grid(4, 4, budget_bytes=0)
+
+    def test_empty_a_axis(self):
+        grid = plan_tile_grid(0, 7, budget_bytes=100)
+        assert grid.n_tiles == 0
+        assert (grid.n_rows_a, grid.n_rows_b) == (0, 7)
+        assert list(grid.tiles()) == []
+
+    def test_empty_b_axis(self):
+        grid = plan_tile_grid(7, 0, budget_bytes=100)
+        assert grid.n_tiles == 0
+        assert grid.max_tile_cells == 0
+
+    def test_max_tile_rows_caps(self):
+        grid = plan_tile_grid(20, 20, budget_bytes=10**9,
+                              max_tile_rows_a=6, max_tile_rows_b=9)
+        assert int(np.diff(grid.row_starts_a).max()) <= 6
+        assert int(np.diff(grid.row_starts_b).max()) <= 9
+        assert grid.n_bands_a == 4  # ceil(20 / 6)
+        assert grid.n_bands_b == 3  # ceil(20 / 9)
+
+    def test_invalid_row_caps(self):
+        with pytest.raises(ValueError):
+            plan_tile_grid(4, 4, budget_bytes=100, max_tile_rows_b=0)
+
+    def test_tiles_cover_output_exactly_once(self):
+        grid = plan_tile_grid(11, 13, budget_bytes=40)
+        covered = np.zeros((11, 13), dtype=int)
+        indices = []
+        for tile in grid.tiles():
+            covered[tile.a0:tile.a1, tile.b0:tile.b1] += 1
+            indices.append(tile.index)
+        np.testing.assert_array_equal(covered, 1)
+        assert indices == list(range(grid.n_tiles))
+
+
+class TestDefaultBudget:
+    def test_quarter_of_global_memory(self):
+        assert default_memory_budget(VOLTA_V100) == \
+            int(VOLTA_V100.global_mem_bytes * 0.25)
+
+    def test_scales_with_device(self):
+        assert default_memory_budget(AMPERE_A100) > \
+            default_memory_budget(VOLTA_V100)
