@@ -27,6 +27,7 @@ from repro.core import (
 )
 from repro.errors import (
     DeviceConfigError,
+    ExecutionFaultError,
     KernelLaunchError,
     ReproError,
     SemiringError,
@@ -34,6 +35,7 @@ from repro.errors import (
     SparseFormatError,
     UnknownDistanceError,
 )
+from repro.faults import FaultInjector, FaultSpec, RecoveryPolicy
 from repro.gpusim import AMPERE_A100, VOLTA_V100, DeviceSpec, get_device
 from repro.neighbors import NearestNeighbors, knn_graph
 from repro.sparse import COOMatrix, CSRMatrix, as_csr
@@ -62,6 +64,10 @@ __all__ = [
     "VOLTA_V100",
     "AMPERE_A100",
     "get_device",
+    # faults + recovery
+    "FaultSpec",
+    "FaultInjector",
+    "RecoveryPolicy",
     # errors
     "ReproError",
     "SparseFormatError",
@@ -70,4 +76,5 @@ __all__ = [
     "UnknownDistanceError",
     "DeviceConfigError",
     "KernelLaunchError",
+    "ExecutionFaultError",
 ]

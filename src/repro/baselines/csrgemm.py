@@ -68,6 +68,7 @@ class CsrGemmKernel(PairwiseKernel):
     # ------------------------------------------------------------------
     def run(self, a: CSRMatrix, b: CSRMatrix, semiring: Semiring) -> KernelResult:
         self._check_inputs(a, b)
+        self._fault_checkpoint()
         if semiring.requires_union:
             raise SemiringError(
                 "csrgemm fixes the inner product to the dot product semiring "

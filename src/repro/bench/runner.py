@@ -15,19 +15,23 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.baselines import baseline_engine_for
 from repro.baselines.cpu_bruteforce import CpuBruteForce
 from repro.core.distances import make_distance
 from repro.datasets.synthetic import SyntheticDataset, load_dataset
+from repro.faults import FaultInjector, FaultSpec, RecoveryPolicy
 from repro.gpusim.specs import DeviceSpec, VOLTA_V100
 from repro.gpusim.stats import KernelStats
 from repro.kernels import make_engine
 from repro.neighbors.brute_force import NearestNeighbors
 from repro.plan.tiling import OUTPUT_ITEM_BYTES, WORKSPACE_ITEM_BYTES
 
-__all__ = ["BenchCell", "PlanCell", "run_knn_cell", "run_baseline_cell",
-           "run_plan_cell", "BENCH_SCALES", "bench_dataset", "MINKOWSKI_P",
-           "KNN_K"]
+__all__ = ["BenchCell", "PlanCell", "FaultCell", "run_knn_cell",
+           "run_baseline_cell", "run_plan_cell", "run_fault_cell",
+           "BENCH_SCALES", "bench_dataset", "MINKOWSKI_P", "KNN_K",
+           "CHAOS_SPECS"]
 
 #: Scales used by every benchmark (documented in EXPERIMENTS.md); chosen so
 #: the full Table-3 sweep completes in minutes on a laptop while preserving
@@ -175,6 +179,89 @@ def run_plan_cell(dataset: str, metric: str, *,
                     peak_resident_bytes=rep.peak_resident_bytes,
                     monolithic_bytes=rep.monolithic_bytes,
                     wall_seconds=wall)
+
+
+#: The chaos schedule every fault bench/CI cell replays: each kind fires
+#: per-tile with its own probability, decided by the seeded counter RNG.
+CHAOS_SPECS = (
+    FaultSpec("transient", probability=0.30),
+    FaultSpec("stuck", probability=0.10),
+    FaultSpec("oom", probability=0.20),
+    FaultSpec("capacity", probability=0.15),
+    FaultSpec("slow", probability=0.25, seconds=0.01),
+)
+
+
+@dataclass
+class FaultCell:
+    """One chaos cell: a faulty k-NN query checked against its clean twin."""
+
+    dataset: str
+    metric: str
+    seed: int
+    n_workers: int
+    n_tiles: int
+    #: fault events the recovery absorbed (injections + slowdowns)
+    n_faults: int
+    n_retries: int
+    n_tile_splits: int
+    n_degraded: int
+    backoff_seconds: float
+    #: faulty distances and indices bit-identical to the clean run
+    identical: bool
+    clean_seconds: float
+    faulty_seconds: float
+
+    @property
+    def label(self) -> str:
+        return (f"{self.dataset}/{self.metric}/seed{self.seed}"
+                f"/w{self.n_workers}")
+
+
+def run_fault_cell(dataset: str, metric: str, *, seed: int = 0,
+                   n_workers: int = 1, n_tiles_target: int = 8,
+                   spec: DeviceSpec = VOLTA_V100,
+                   n_neighbors: int = KNN_K) -> FaultCell:
+    """Run one k-NN query under an injected fault schedule and verify it.
+
+    The same query runs twice — clean, then under :data:`CHAOS_SPECS` with
+    the given seed and a default :class:`RecoveryPolicy` — and the cell
+    records whether the recovered run reproduced the clean distances and
+    indices bit for bit (the determinism claim the fault matrix checks).
+    """
+    ds = bench_dataset(dataset)
+    n_rows = ds.matrix.n_rows
+    monolithic = (float(n_rows) * n_rows * OUTPUT_ITEM_BYTES
+                  + float(ds.matrix.nnz) * WORKSPACE_ITEM_BYTES)
+    budget = max(1, int(monolithic // max(1, n_tiles_target)))
+
+    def query(injector):
+        nn = NearestNeighbors(
+            n_neighbors=n_neighbors, metric=metric,
+            metric_params=_metric_kwargs(metric), engine="hybrid_coo",
+            device=spec, batch_rows=max(1, n_rows), n_workers=n_workers,
+            memory_budget_bytes=budget,
+            recovery=RecoveryPolicy() if injector is not None else None,
+            fault_injector=injector)
+        nn.fit(ds.matrix)
+        dist, idx = nn.kneighbors()
+        return dist, idx, nn.last_report
+
+    c_dist, c_idx, c_rep = query(None)
+    f_dist, f_idx, f_rep = query(FaultInjector(CHAOS_SPECS, seed=seed))
+    identical = (np.array_equal(c_dist, f_dist)
+                 and np.array_equal(c_idx, f_idx))
+    return FaultCell(dataset=dataset, metric=metric, seed=seed,
+                     n_workers=n_workers, n_tiles=f_rep.n_batches,
+                     n_faults=len(f_rep.fault_log),
+                     n_retries=f_rep.n_retries,
+                     n_tile_splits=f_rep.n_tile_splits,
+                     n_degraded=len(f_rep.degraded_tiles),
+                     backoff_seconds=sum(e.seconds for e in f_rep.fault_log
+                                         if e.action == "retried"),
+                     identical=identical,
+                     clean_seconds=c_rep.simulated_seconds,
+                     faulty_seconds=f_rep.simulated_seconds)
 
 
 def run_cpu_cell(dataset: str, metric: str) -> BenchCell:

@@ -24,6 +24,8 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.core.distances import DistanceMeasure
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import RecoveryPolicy
 from repro.gpusim.specs import DeviceSpec
 from repro.gpusim.stats import KernelStats
 from repro.kernels.base import PairwiseKernel
@@ -62,6 +64,8 @@ def pairwise_distances(
     return_result: bool = False,
     memory_budget_bytes: Optional[int] = None,
     n_workers: int = 1,
+    recovery: Optional[RecoveryPolicy] = None,
+    fault_injector: Optional[FaultInjector] = None,
     **metric_params,
 ):
     """Pairwise distances between the rows of ``x`` and ``y``.
@@ -96,13 +100,22 @@ def pairwise_distances(
         Tile workers simulating concurrent streams. Results and merged
         stats are identical for any worker count; only the modeled makespan
         changes.
+    recovery:
+        Optional :class:`~repro.faults.RecoveryPolicy`: retry transient
+        launch failures, split OOMing tiles, degrade the row-cache strategy
+        on capacity overflows. Distances are bit-identical with or without
+        recovery engaged; the returned report carries the fault accounting.
+    fault_injector:
+        Optional :class:`~repro.faults.FaultInjector` replaying a seeded
+        fault schedule into the execution (tests and chaos benches).
     metric_params:
         Extra distance parameters (e.g. ``p=1.5`` for Minkowski).
     """
     plan = build_pairwise_plan(x, y, metric, engine=engine, device=device,
                                memory_budget_bytes=memory_budget_bytes,
                                **metric_params)
-    report = PlanExecutor(plan, n_workers=n_workers).execute(
+    report = PlanExecutor(plan, n_workers=n_workers, recovery=recovery,
+                          fault_injector=fault_injector).execute(
         DenseBlockConsumer())
     out = PairwiseResult(distances=report.value, stats=report.stats,
                          simulated_seconds=report.simulated_seconds,

@@ -33,3 +33,66 @@ class KernelLaunchError(ReproError):
 
 class PlanBudgetError(ReproError):
     """An execution plan's memory budget cannot fit even a single tile."""
+
+
+class DeviceOOMError(ReproError):
+    """A simulated device allocation (tile output + workspace) failed."""
+
+
+class HashCapacityError(KernelLaunchError):
+    """A staged row's nonzeros exceed the block hash table's safe capacity.
+
+    Carries the offending ``degree`` and the table's ``capacity`` so callers
+    can route the row through :func:`repro.kernels.strategy.plan_partitions`
+    (the paper's §3.3.3 escape hatch) instead of failing the launch.
+    """
+
+    def __init__(self, message: str, *, degree: int = 0, capacity: int = 0):
+        super().__init__(message)
+        self.degree = int(degree)
+        self.capacity = int(capacity)
+
+
+class InjectedFault(Exception):
+    """Mixin marking an exception as raised by a :class:`FaultInjector`.
+
+    Injected faults impersonate their real counterparts (they also subclass
+    the genuine error type), so recovery code never needs to distinguish
+    simulated failures from organic ones; the marker only tells the executor
+    that an unabsorbed failure belongs to a fault schedule and should surface
+    as a structured :class:`ExecutionFaultError`.
+    """
+
+
+class TransientLaunchFault(InjectedFault, KernelLaunchError):
+    """An injected transient launch failure (succeeds when retried)."""
+
+
+class TileStuckError(InjectedFault, KernelLaunchError):
+    """An injected stuck tile: the simulated watchdog killed the launch."""
+
+
+class TileWorkspaceOOM(InjectedFault, DeviceOOMError):
+    """An injected tile-workspace allocation failure (split the tile)."""
+
+
+class InjectedHashCapacityFault(InjectedFault, HashCapacityError):
+    """An injected hash-table capacity overflow (degrade the strategy)."""
+
+
+class ExecutionFaultError(ReproError):
+    """A plan execution failed on a fault its recovery could not absorb.
+
+    Structured for resumption: ``watermark`` is the number of tiles the
+    consumer received (in tile order) before the abort — re-running the plan
+    with ``resume_from=watermark`` on the same consumer completes the job —
+    and ``fault_log`` is the tuple of :class:`repro.faults.FaultEvent`
+    records observed up to and including the fatal one.
+    """
+
+    def __init__(self, message: str, *, watermark: int = 0,
+                 fault_log: tuple = (), cause: "Exception | None" = None):
+        super().__init__(message)
+        self.watermark = int(watermark)
+        self.fault_log = tuple(fault_log)
+        self.cause = cause

@@ -1,0 +1,195 @@
+"""Deterministic, seeded fault injection for plan execution.
+
+A :class:`FaultInjector` owns a schedule of :class:`FaultSpec` entries and
+decides — as a pure function of ``(seed, spec, tile_index, attempt,
+depth)`` — which faults fire at each tile execution attempt. The executor
+wraps every attempt in :meth:`FaultInjector.tile_scope`, which
+
+- installs a launch interceptor into
+  :func:`repro.gpusim.executor.simulate_launch` (thread-local, so
+  concurrent tile workers never see each other's sites), raising
+  ``transient`` / ``stuck`` faults exactly where a real
+  ``cudaLaunchKernel`` would fail;
+- arms the kernel-entry checkpoint that
+  :meth:`repro.kernels.base.PairwiseKernel.run` implementations call,
+  raising ``oom`` (workspace) and ``capacity`` (hash staging) faults at the
+  point the corresponding real allocations happen.
+
+Faults raised here subclass both the genuine error type (so recovery code
+is exercised exactly as it would be by organic failures) and the
+:class:`~repro.errors.InjectedFault` marker (so the executor can report
+unabsorbed schedules as structured :class:`~repro.errors.ExecutionFaultError`).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    InjectedHashCapacityFault,
+    TileStuckError,
+    TileWorkspaceOOM,
+    TransientLaunchFault,
+)
+from repro.faults.spec import FaultEvent, FaultKind, FaultSpec
+from repro.gpusim import executor as gpusim_executor
+
+__all__ = ["FaultInjector", "kernel_checkpoint"]
+
+_SCOPE = threading.local()
+
+
+@dataclass
+class _SiteFaults:
+    """Pre-resolved fault decisions for one (tile, attempt, depth) site."""
+
+    tile_index: int
+    attempt: int
+    depth: int
+    launch_fault: Optional[FaultSpec] = None   # transient | stuck
+    kernel_fault: Optional[FaultSpec] = None   # oom | capacity
+    slow_seconds: float = 0.0
+    #: a launch fault fires on the attempt's first launch only
+    launch_armed: bool = True
+
+
+class FaultInjector:
+    """Replayable device-fault schedule for one or many plan executions.
+
+    Parameters
+    ----------
+    specs:
+        The :class:`FaultSpec` entries of the schedule (order matters only
+        for precedence among same-site matches: first match wins).
+    seed:
+        Seed of the per-site probability coins. Two injectors with equal
+        specs and seed produce identical fault sequences for the same plan,
+        regardless of worker count — the replay guarantee every
+        determinism test leans on.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec], *, seed: int = 0):
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = int(seed)
+        self._log: List[FaultEvent] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def fault_log(self) -> Tuple[FaultEvent, ...]:
+        """Injection events recorded so far (sorted for determinism)."""
+        with self._lock:
+            return tuple(sorted(
+                self._log,
+                key=lambda e: (e.tile_index, e.depth, e.attempt,
+                               e.kind.value)))
+
+    def record(self, event: FaultEvent) -> None:
+        with self._lock:
+            self._log.append(event)
+
+    def reset_log(self) -> None:
+        with self._lock:
+            self._log.clear()
+
+    # ------------------------------------------------------------------
+    def _matching(self, kinds, tile_index: int, attempt: int,
+                  depth: int) -> Optional[FaultSpec]:
+        for i, spec in enumerate(self.specs):
+            if spec.kind in kinds and spec.matches(
+                    tile_index, attempt, depth,
+                    seed=self.seed, spec_index=i):
+                return spec
+        return None
+
+    def site_faults(self, tile_index: int, attempt: int,
+                    depth: int) -> _SiteFaults:
+        """Resolve every fault decision for one site up front."""
+        site = _SiteFaults(tile_index=tile_index, attempt=attempt,
+                           depth=depth)
+        site.launch_fault = self._matching(
+            (FaultKind.TRANSIENT, FaultKind.STUCK), tile_index, attempt,
+            depth)
+        site.kernel_fault = self._matching(
+            (FaultKind.OOM, FaultKind.CAPACITY), tile_index, attempt, depth)
+        for i, spec in enumerate(self.specs):
+            if spec.kind is FaultKind.SLOW and spec.matches(
+                    tile_index, attempt, depth,
+                    seed=self.seed, spec_index=i):
+                site.slow_seconds += spec.seconds
+        return site
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def tile_scope(self, tile_index: int, attempt: int, depth: int):
+        """Arm this thread's checkpoints for one tile execution attempt."""
+        site = self.site_faults(tile_index, attempt, depth)
+        prev = getattr(_SCOPE, "current", None)
+        _SCOPE.current = (self, site)
+        token = gpusim_executor.install_launch_interceptor(
+            self._launch_checkpoint)
+        try:
+            yield site
+        finally:
+            gpusim_executor.restore_launch_interceptor(token)
+            _SCOPE.current = prev
+
+    # ------------------------------------------------------------------
+    def _launch_checkpoint(self, spec, stats, **launch_shape) -> None:
+        """Installed into ``simulate_launch`` for the scope's thread."""
+        current = getattr(_SCOPE, "current", None)
+        if current is None or current[0] is not self:  # pragma: no cover
+            return
+        site = current[1]
+        fault = site.launch_fault
+        if fault is None or not site.launch_armed:
+            return
+        site.launch_armed = False
+        self.record(FaultEvent(tile_index=site.tile_index,
+                               attempt=site.attempt, depth=site.depth,
+                               kind=fault.kind, action="injected",
+                               detail="simulate_launch"))
+        if fault.kind is FaultKind.STUCK:
+            raise TileStuckError(
+                f"injected stuck launch: tile {site.tile_index} attempt "
+                f"{site.attempt} exceeded the simulated watchdog")
+        raise TransientLaunchFault(
+            f"injected transient launch failure: tile {site.tile_index} "
+            f"attempt {site.attempt}")
+
+    def _kernel_checkpoint(self, kernel) -> None:
+        current = getattr(_SCOPE, "current", None)
+        if current is None or current[0] is not self:  # pragma: no cover
+            return
+        site = current[1]
+        fault = site.kernel_fault
+        if fault is None:
+            return
+        site.kernel_fault = None  # one shot per attempt
+        self.record(FaultEvent(tile_index=site.tile_index,
+                               attempt=site.attempt, depth=site.depth,
+                               kind=fault.kind, action="injected",
+                               detail=type(kernel).__name__))
+        if fault.kind is FaultKind.OOM:
+            raise TileWorkspaceOOM(
+                f"injected workspace OOM: tile {site.tile_index} attempt "
+                f"{site.attempt} (depth {site.depth}) blew the simulated "
+                f"device budget")
+        raise InjectedHashCapacityFault(
+            f"injected hash-capacity overflow: tile {site.tile_index} "
+            f"attempt {site.attempt} staged row exceeds table capacity")
+
+
+def kernel_checkpoint(kernel) -> None:
+    """Give the thread's active injector (if any) a shot at this run.
+
+    Called by every :meth:`PairwiseKernel.run` implementation on entry —
+    the simulated moment the kernel's device workspace and shared-memory
+    staging structures are allocated.
+    """
+    current = getattr(_SCOPE, "current", None)
+    if current is not None:
+        current[0]._kernel_checkpoint(kernel)

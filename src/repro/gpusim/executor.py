@@ -10,6 +10,7 @@ per-launch stats and sum the simulated times.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.gpusim.cost_model import CostModel, SimulatedTime
@@ -17,7 +18,29 @@ from repro.gpusim.occupancy import Occupancy, compute_occupancy
 from repro.gpusim.specs import DeviceSpec
 from repro.gpusim.stats import KernelStats
 
-__all__ = ["LaunchResult", "simulate_launch"]
+__all__ = ["LaunchResult", "simulate_launch",
+           "install_launch_interceptor", "restore_launch_interceptor"]
+
+#: Thread-local launch interception point. Fault injection
+#: (:mod:`repro.faults`) installs a callback here for the duration of one
+#: tile attempt; :func:`simulate_launch` invokes it before pricing, giving
+#: the injector the exact place a real ``cudaLaunchKernel`` would fail.
+#: Thread-local on purpose: concurrent tile workers each carry their own
+#: injection site and must never observe a sibling's.
+_INTERCEPTOR = threading.local()
+
+
+def install_launch_interceptor(fn):
+    """Install ``fn(spec, stats, **launch_shape)`` as this thread's launch
+    interceptor. Returns a token for :func:`restore_launch_interceptor`."""
+    token = getattr(_INTERCEPTOR, "fn", None)
+    _INTERCEPTOR.fn = fn
+    return token
+
+
+def restore_launch_interceptor(token) -> None:
+    """Restore the interceptor returned by :func:`install_launch_interceptor`."""
+    _INTERCEPTOR.fn = token
 
 
 @dataclass(frozen=True)
@@ -41,8 +64,16 @@ def simulate_launch(spec: DeviceSpec, stats: KernelStats, *,
 
     Raises :class:`repro.errors.KernelLaunchError` when the block shape or
     shared-memory request can never be scheduled on ``spec`` — the same
-    failure a real ``cudaLaunchKernel`` would report.
+    failure a real ``cudaLaunchKernel`` would report. An installed fault
+    interceptor (see :func:`install_launch_interceptor`) may raise here
+    too, impersonating a transient driver failure or a hung launch.
     """
+    interceptor = getattr(_INTERCEPTOR, "fn", None)
+    if interceptor is not None:
+        interceptor(spec, stats, grid_blocks=grid_blocks,
+                    block_threads=block_threads,
+                    smem_per_block=smem_per_block,
+                    regs_per_thread=regs_per_thread)
     occupancy = compute_occupancy(spec, block_threads=block_threads,
                                   smem_per_block=smem_per_block,
                                   regs_per_thread=regs_per_thread)

@@ -36,6 +36,7 @@ from repro.kernels.strategy import (
     RowCacheStrategy,
     choose_strategy,
     plan_partitions,
+    stage_row_partitioned,
 )
 
 __all__ = [
@@ -53,6 +54,7 @@ __all__ = [
     "PartitionPlan",
     "choose_strategy",
     "plan_partitions",
+    "stage_row_partitioned",
     "intersection_block",
     "union_block",
     "semiring_block",

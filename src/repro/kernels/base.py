@@ -63,6 +63,19 @@ class PairwiseKernel(abc.ABC):
     def run(self, a: CSRMatrix, b: CSRMatrix, semiring: Semiring) -> KernelResult:
         """Compute the full ``(a.n_rows, b.n_rows)`` semiring block."""
 
+    def _fault_checkpoint(self) -> None:
+        """Fault-injection hook, called on entry by every ``run``.
+
+        This is the simulated moment the kernel claims its device
+        workspace and shared-memory staging structures, so an active
+        :class:`repro.faults.FaultInjector` (armed by the executor for the
+        current thread) raises workspace-OOM and hash-capacity faults here.
+        A no-op when no injector scope is active.
+        """
+        from repro.faults.injector import kernel_checkpoint
+
+        kernel_checkpoint(self)
+
     def clone(self) -> "PairwiseKernel":
         """An independent copy with identical configuration *and* state.
 

@@ -98,6 +98,7 @@ class LoadBalancedCooKernel(PairwiseKernel):
     # ------------------------------------------------------------------
     def run(self, a: CSRMatrix, b: CSRMatrix, semiring: Semiring) -> KernelResult:
         self._check_inputs(a, b)
+        self._fault_checkpoint()
         block = semiring_block(a, b, semiring)
         self.last_profiles = []
 

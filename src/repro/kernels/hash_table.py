@@ -19,7 +19,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.errors import KernelLaunchError
+from repro.errors import HashCapacityError, KernelLaunchError
 
 __all__ = ["BlockHashTable", "murmur_hash_32", "ENTRY_BYTES"]
 
@@ -87,6 +87,10 @@ class BlockHashTable:
         return self.capacity * ENTRY_BYTES
 
     # ------------------------------------------------------------------
+    def fits(self, n_new_entries: int) -> bool:
+        """Pre-check: whether ``n_new_entries`` more pairs can be staged."""
+        return self.n_entries + int(n_new_entries) <= self.capacity
+
     def build(self, cols: np.ndarray, vals: np.ndarray) -> BuildReport:
         """Insert a sparse row's ``(column, value)`` pairs, counting probes.
 
@@ -94,16 +98,26 @@ class BlockHashTable:
         key attempts its current slot; one claimant per empty slot wins and
         the rest advance one step (exactly linear probing's collision
         behaviour, with the atomicCAS winner chosen deterministically).
+
+        The degree is pre-checked against the remaining capacity *before*
+        any slot is touched, so an over-degree row raises a structured
+        :class:`~repro.errors.HashCapacityError` with the table unmodified —
+        callers route such rows through
+        :func:`repro.kernels.strategy.stage_row_partitioned` (the paper's
+        §3.3.3 high-degree partitioning) rather than losing a half-built
+        table mid-insert.
         """
         cols = np.asarray(cols, dtype=np.int64)
         vals = np.asarray(vals, dtype=np.float64)
         if cols.size != vals.size:
             raise ValueError("cols and vals must have equal length")
-        if self.n_entries + cols.size > self.capacity:
-            raise KernelLaunchError(
+        if not self.fits(cols.size):
+            raise HashCapacityError(
                 f"cannot insert {cols.size} entries into a {self.capacity}-"
-                f"slot table holding {self.n_entries} (paper partitions "
-                "such rows across blocks; see strategy.partition_row)")
+                f"slot table holding {self.n_entries}; partition the row "
+                "across blocks (strategy.stage_row_partitioned / "
+                "plan_partitions, paper §3.3.3)",
+                degree=int(cols.size), capacity=self.capacity)
         pos = (murmur_hash_32(cols).astype(np.int64)) % self.capacity
         pending = np.arange(cols.size)
         probe_steps = 0

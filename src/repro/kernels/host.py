@@ -24,5 +24,6 @@ class HostKernel(PairwiseKernel):
 
     def run(self, a: CSRMatrix, b: CSRMatrix, semiring: Semiring) -> KernelResult:
         self._check_inputs(a, b)
+        self._fault_checkpoint()
         return KernelResult(block=semiring_block(a, b, semiring),
                             stats=KernelStats(), seconds=0.0)

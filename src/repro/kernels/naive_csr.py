@@ -42,6 +42,7 @@ class NaiveCsrKernel(PairwiseKernel):
 
     def run(self, a: CSRMatrix, b: CSRMatrix, semiring: Semiring) -> KernelResult:
         self._check_inputs(a, b)
+        self._fault_checkpoint()
         # The merge always walks the full union; for annihilating semirings
         # the non-intersecting terms evaluate to id⊕, so the *values* match
         # the intersection semantics while the *work* stays exhaustive.

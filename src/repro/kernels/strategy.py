@@ -15,10 +15,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.gpusim.specs import DeviceSpec
-from repro.kernels.hash_table import ENTRY_BYTES
+from repro.kernels.hash_table import ENTRY_BYTES, BlockHashTable
 
 __all__ = ["RowCacheStrategy", "PartitionPlan", "choose_strategy",
-           "plan_partitions", "DENSE_ITEM_BYTES"]
+           "plan_partitions", "stage_row_partitioned", "DENSE_ITEM_BYTES"]
 
 #: The dense row cache stores one f32 value per feature column.
 DENSE_ITEM_BYTES = 4
@@ -110,6 +110,43 @@ def plan_partitions(degrees: np.ndarray, max_entries: int) -> PartitionPlan:
     return PartitionPlan(block_rows=block_rows,
                          block_sizes=sizes.astype(np.int64),
                          max_entries_per_block=int(max_entries))
+
+
+def stage_row_partitioned(cols: np.ndarray, vals: np.ndarray,
+                          capacity: int, *, max_load: float = HASH_MAX_LOAD):
+    """Stage one row's nonzeros into as many hash tables as its degree needs.
+
+    The safe route around :class:`~repro.errors.HashCapacityError`: the
+    row's degree is pre-checked against ``capacity * max_load`` (the §3.3.2
+    50%-load rule) and, when it exceeds it, the row is divided uniformly
+    across several blocks via :func:`plan_partitions` — each block staging
+    its share in its own table — instead of overflowing a single insert.
+
+    Returns ``(tables, reports, plan)``: the per-block
+    :class:`~repro.kernels.hash_table.BlockHashTable` instances, their
+    :class:`~repro.kernels.hash_table.BuildReport` probe counters, and the
+    single-row :class:`PartitionPlan` describing the split (one block, i.e.
+    no partitioning, for rows within budget).
+    """
+    cols = np.asarray(cols, dtype=np.int64)
+    vals = np.asarray(vals, dtype=np.float64)
+    if cols.size != vals.size:
+        raise ValueError("cols and vals must have equal length")
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    max_entries = max(1, int(capacity * max_load))
+    plan = plan_partitions(np.array([cols.size], dtype=np.int64),
+                           max_entries=max_entries)
+    tables, reports = [], []
+    offset = 0
+    for size in plan.block_sizes:
+        size = int(size)
+        table = BlockHashTable(capacity)
+        reports.append(table.build(cols[offset:offset + size],
+                                   vals[offset:offset + size]))
+        tables.append(table)
+        offset += size
+    return tables, reports, plan
 
 
 def _intra_row_offsets(n_parts: np.ndarray) -> np.ndarray:

@@ -25,6 +25,8 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.errors import ReproError
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import RecoveryPolicy
 from repro.gpusim.specs import DeviceSpec, get_device
 from repro.gpusim.stats import KernelStats
 from repro.kernels.base import PairwiseKernel
@@ -53,6 +55,20 @@ class KnnQueryReport:
     peak_resident_bytes: float = 0.0
     #: what an untiled, full-block execution would have held resident
     monolithic_bytes: float = 0.0
+    # ---- fault accounting (all zero/empty on a clean run) --------------
+    #: transient launch retries the recovery policy absorbed
+    n_retries: int = 0
+    #: adaptive tile splits performed on workspace OOM
+    n_tile_splits: int = 0
+    #: planned tiles that finished on a degraded row-cache strategy
+    degraded_tiles: tuple = ()
+    #: structured :class:`~repro.faults.FaultEvent` log, in tile order
+    fault_log: tuple = ()
+
+    @property
+    def n_faults(self) -> int:
+        """Number of fault events observed during the query."""
+        return len(self.fault_log)
 
 
 class NearestNeighbors:
@@ -84,6 +100,15 @@ class NearestNeighbors:
     memory_budget_bytes:
         Per-tile byte budget; tiles shrink below ``batch_rows`` if needed to
         fit. Defaults to a quarter of the device's global memory.
+    recovery:
+        Optional :class:`~repro.faults.RecoveryPolicy` engaged for every
+        query plan: transient launches retry, OOMing tiles split, capacity
+        overflows degrade the strategy ladder. Neighbor results are
+        bit-identical with or without recovery; ``last_report`` carries the
+        fault accounting.
+    fault_injector:
+        Optional :class:`~repro.faults.FaultInjector` replaying a seeded
+        fault schedule into every query execution (tests / chaos benches).
     """
 
     def __init__(self, n_neighbors: int = 5, *, metric: str = "euclidean",
@@ -91,7 +116,9 @@ class NearestNeighbors:
                  engine: Union[str, PairwiseKernel] = "hybrid_coo",
                  device: Union[str, DeviceSpec, None] = None,
                  batch_rows: int = 4096, n_workers: int = 1,
-                 memory_budget_bytes: Optional[int] = None):
+                 memory_budget_bytes: Optional[int] = None,
+                 recovery: Optional[RecoveryPolicy] = None,
+                 fault_injector: Optional[FaultInjector] = None):
         if n_neighbors <= 0:
             raise ValueError("n_neighbors must be positive")
         if batch_rows <= 0:
@@ -106,6 +133,8 @@ class NearestNeighbors:
         self.batch_rows = int(batch_rows)
         self.n_workers = int(n_workers)
         self.memory_budget_bytes = memory_budget_bytes
+        self.recovery = recovery
+        self.fault_injector = fault_injector
         self._fit_matrix: Optional[CSRMatrix] = None
         self.last_report: Optional[KnnQueryReport] = None
 
@@ -142,6 +171,11 @@ class NearestNeighbors:
             memory_budget_bytes=self.memory_budget_bytes,
             max_tile_rows_b=self.batch_rows, **self.metric_params)
 
+    def _executor(self, plan) -> PlanExecutor:
+        return PlanExecutor(plan, n_workers=self.n_workers,
+                            recovery=self.recovery,
+                            fault_injector=self.fault_injector)
+
     def _record_report(self, plan, report) -> KnnQueryReport:
         self.last_report = KnnQueryReport(
             simulated_seconds=report.simulated_seconds,
@@ -149,7 +183,11 @@ class NearestNeighbors:
             n_workers=report.n_workers,
             peak_workspace_bytes=float(report.stats.workspace_bytes),
             peak_resident_bytes=float(report.peak_resident_bytes),
-            monolithic_bytes=float(plan.monolithic_bytes))
+            monolithic_bytes=float(plan.monolithic_bytes),
+            n_retries=report.n_retries,
+            n_tile_splits=report.n_tile_splits,
+            degraded_tiles=report.degraded_tiles,
+            fault_log=report.fault_log)
         return self.last_report
 
     # ------------------------------------------------------------------
@@ -173,7 +211,7 @@ class NearestNeighbors:
 
         plan = self._build_plan(x)
         consumer = TopKConsumer(k)
-        report = PlanExecutor(plan, n_workers=self.n_workers).execute(consumer)
+        report = self._executor(plan).execute(consumer)
         self._record_report(plan, report)
 
         distances, indices = report.value
@@ -204,8 +242,7 @@ class NearestNeighbors:
                 hits_idx[tile.a0 + r].append(tile.b0 + c)
                 hits_dist[tile.a0 + r].append(block[r, c])
 
-        report = PlanExecutor(plan, n_workers=self.n_workers).execute(
-            CallbackConsumer(fold))
+        report = self._executor(plan).execute(CallbackConsumer(fold))
         self._record_report(plan, report)
 
         indices, distances = [], []

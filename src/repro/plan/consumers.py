@@ -29,7 +29,20 @@ __all__ = ["TileConsumer", "DenseBlockConsumer", "TopKConsumer",
 
 
 class TileConsumer(abc.ABC):
-    """Receives each finished tile's distance block, in tile order."""
+    """Receives each finished tile's distance block, in tile order.
+
+    Consumers double as **checkpoints**: the executor stamps
+    ``delivered_watermark`` after every in-order delivery, so when an
+    execution aborts (see :meth:`abort`) the watermark says exactly how
+    many leading tiles this consumer already folded. Re-running the plan
+    with ``PlanExecutor.execute(consumer, resume_from=watermark)`` on the
+    *same* consumer instance completes the job without recomputing the
+    delivered prefix.
+    """
+
+    #: number of leading tiles delivered in order (``consume`` calls that
+    #: completed); maintained entirely by the executor
+    delivered_watermark: int = 0
 
     def begin(self, plan: PairwisePlan) -> None:
         """Called once before the first tile; allocate state here."""
@@ -38,6 +51,15 @@ class TileConsumer(abc.ABC):
     def consume(self, tile: Tile, distances: np.ndarray) -> None:
         """Fold one finished tile. ``distances`` is the dense
         ``(tile.rows_a, tile.rows_b)`` block, expansion/finalize applied."""
+
+    def abort(self, error: Exception) -> None:
+        """Called when the execution fails before delivering every tile.
+
+        Whatever the consumer holds is a *prefix*, not a result — override
+        to release resources or mark partial output, but keep the folded
+        state intact if resumption should be possible. The base
+        implementation keeps state and does nothing.
+        """
 
     def result(self):
         """The consumer's final product (after the last tile)."""

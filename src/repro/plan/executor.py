@@ -18,21 +18,49 @@ execution, while keeping every observable output deterministic:
 Row norms are priced exactly once per execution (§3.4's warp-per-row
 reductions) — the plan cached their values, and the executor charges their
 launch — instead of once per batch as the old hand-rolled k-NN loop did.
+
+**Fault tolerance.** The executor optionally runs under a
+:class:`~repro.faults.RecoveryPolicy` (and, in tests/benches, a
+:class:`~repro.faults.FaultInjector`): transient launch failures retry with
+simulated backoff, workspace OOMs adaptively split the failing tile into
+sub-tiles whose blocks are reassembled before delivery (so consumers and
+the reorder buffer still see exactly the planned tiles, in order), and
+capacity faults walk the §3.3 strategy degradation ladder down to the host
+reference kernel. Every recovery preserves bit-identical distances because
+each output cell is an independent row-pair reduction. What recovery cannot
+absorb aborts the execution: sibling workers are cancelled, the consumer's
+:meth:`~repro.plan.consumers.TileConsumer.abort` hook fires (partial state
+is never mistaken for a result), and a structured
+:class:`~repro.errors.ExecutionFaultError` carries the fault log plus a
+resumable watermark — re-running with ``resume_from=err.watermark`` on the
+same consumer finishes the job.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor, as_completed
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.distances import EXPANDED
+from repro.errors import (
+    DeviceOOMError,
+    ExecutionFaultError,
+    InjectedFault,
+    TileStuckError,
+    TransientLaunchFault,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import DEGRADE, RETRY, SPLIT, RecoveryPolicy
+from repro.faults.spec import FaultEvent, FaultKind
 from repro.gpusim.executor import simulate_launch
 from repro.gpusim.memory import coalesced_transactions
 from repro.gpusim.stats import KernelStats
 from repro.gpusim.tiles import TileAccountant, TileLaunchRecord
+from repro.kernels.host import HostKernel
 from repro.plan.consumers import DenseBlockConsumer, TileConsumer
 from repro.plan.pairwise_plan import PairwisePlan
 from repro.plan.tiling import Tile
@@ -57,6 +85,19 @@ class PlanExecutionReport:
     #: per-tile memory/time records (tile order)
     accountant: TileAccountant = field(repr=False,
                                        default_factory=TileAccountant)
+    # ---- fault accounting (all zero / empty on a clean run) ------------
+    #: transient/stuck launch retries performed across all tiles
+    n_retries: int = 0
+    #: adaptive tile splits performed (each turns one rect into two)
+    n_tile_splits: int = 0
+    #: indices of planned tiles that finished on a degraded strategy
+    degraded_tiles: Tuple[int, ...] = ()
+    #: simulated seconds spent in retry backoff (included in tile seconds)
+    backoff_seconds: float = 0.0
+    #: structured fault log, in tile order (see :class:`FaultEvent`)
+    fault_log: Tuple[FaultEvent, ...] = ()
+    #: tile index this execution resumed from (0 = full run)
+    resumed_from: int = 0
 
     @property
     def peak_resident_bytes(self) -> float:
@@ -65,6 +106,45 @@ class PlanExecutionReport:
     @property
     def peak_tile_bytes(self) -> float:
         return self.accountant.peak_tile_bytes
+
+    @property
+    def n_faults(self) -> int:
+        """Fault events that required a recovery action (or slowed a tile)."""
+        return len(self.fault_log)
+
+
+@dataclass(frozen=True)
+class _Rect:
+    """A rectangular sub-region of one planned tile's output block."""
+
+    a0: int
+    a1: int
+    b0: int
+    b1: int
+    depth: int = 0
+
+    @property
+    def rows_a(self) -> int:
+        return self.a1 - self.a0
+
+    @property
+    def rows_b(self) -> int:
+        return self.b1 - self.b0
+
+
+@dataclass
+class _RectResult:
+    """One recovered rect: its distance block plus recovery accounting."""
+
+    block: np.ndarray
+    stats: KernelStats
+    seconds: float
+    events: List[FaultEvent] = field(default_factory=list)
+    n_retries: int = 0
+    n_splits: int = 0
+    backoff_seconds: float = 0.0
+    degraded: bool = False
+    profiles: Optional[list] = None
 
 
 @dataclass
@@ -76,34 +156,102 @@ class _TileOutcome:
     stats: KernelStats
     seconds: float
     profiles: Optional[list] = None
+    events: List[FaultEvent] = field(default_factory=list)
+    n_retries: int = 0
+    n_splits: int = 0
+    backoff_seconds: float = 0.0
+    degraded: bool = False
+
+
+class _TileFailure(Exception):
+    """Internal: a tile failed beyond what the recovery policy absorbs."""
+
+    def __init__(self, tile: Tile, cause: Exception,
+                 events: List[FaultEvent]):
+        super().__init__(str(cause))
+        self.tile = tile
+        self.cause = cause
+        self.events = events
+
+
+def _fault_kind(exc: Exception) -> FaultKind:
+    """Log category of a tile failure (injected or organic)."""
+    if isinstance(exc, TransientLaunchFault):
+        return FaultKind.TRANSIENT
+    if isinstance(exc, TileStuckError):
+        return FaultKind.STUCK
+    if isinstance(exc, DeviceOOMError):
+        return FaultKind.OOM
+    return FaultKind.CAPACITY
 
 
 class PlanExecutor:
-    """Runs a plan's tiles and folds them through a :class:`TileConsumer`."""
+    """Runs a plan's tiles and folds them through a :class:`TileConsumer`.
 
-    def __init__(self, plan: PairwisePlan, *, n_workers: int = 1):
+    Parameters
+    ----------
+    plan:
+        The :class:`PairwisePlan` to execute.
+    n_workers:
+        Concurrent tile workers (simulated streams). Observable outputs are
+        identical for any worker count.
+    recovery:
+        Optional :class:`~repro.faults.RecoveryPolicy`. Without one, any
+        tile failure aborts the execution (after cancelling siblings and
+        notifying the consumer) exactly as before.
+    fault_injector:
+        Optional :class:`~repro.faults.FaultInjector` whose schedule is
+        replayed into this execution's kernel launches and runs.
+    """
+
+    def __init__(self, plan: PairwisePlan, *, n_workers: int = 1,
+                 recovery: Optional[RecoveryPolicy] = None,
+                 fault_injector: Optional[FaultInjector] = None):
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         self.plan = plan
         self.n_workers = int(n_workers)
+        self.recovery = recovery
+        self.fault_injector = fault_injector
 
     # ------------------------------------------------------------------
-    def execute(self, consumer: Optional[TileConsumer] = None,
-                ) -> PlanExecutionReport:
+    def execute(self, consumer: Optional[TileConsumer] = None, *,
+                resume_from: int = 0) -> PlanExecutionReport:
+        """Run the plan's tiles (from ``resume_from`` on) through ``consumer``.
+
+        ``resume_from`` is a delivered-tile watermark from a previous,
+        aborted execution (``ExecutionFaultError.watermark`` or the
+        consumer's ``delivered_watermark``): tiles below it are neither
+        recomputed nor redelivered, and ``consumer.begin`` is *not* called
+        again, so the consumer's folded prefix carries over.
+        """
         plan = self.plan
         consumer = consumer if consumer is not None else DenseBlockConsumer()
-        consumer.begin(plan)
 
-        tiles = list(plan.grid.tiles())
+        all_tiles = list(plan.grid.tiles())
+        if not 0 <= resume_from <= len(all_tiles):
+            raise ValueError(
+                f"resume_from must be within [0, {len(all_tiles)}], got "
+                f"{resume_from}")
+        if resume_from == 0:
+            consumer.begin(plan)
+        consumer.delivered_watermark = resume_from
+        tiles = all_tiles[resume_from:]
+
         stats = KernelStats()
         accountant = TileAccountant(n_workers=self.n_workers)
         tile_seconds: List[float] = [0.0] * len(tiles)
         last_profiles: Optional[list] = None
+        fault_log: List[FaultEvent] = []
+        n_retries = 0
+        n_splits = 0
+        backoff = 0.0
+        degraded_tiles: List[int] = []
 
         def deliver(outcome: _TileOutcome) -> None:
-            nonlocal last_profiles
+            nonlocal last_profiles, n_retries, n_splits, backoff
             stats.merge(outcome.stats)
-            tile_seconds[outcome.tile.index] = outcome.seconds
+            tile_seconds[outcome.tile.index - resume_from] = outcome.seconds
             accountant.record(TileLaunchRecord(
                 tile_index=outcome.tile.index,
                 rows_a=outcome.tile.rows_a, rows_b=outcome.tile.rows_b,
@@ -112,24 +260,26 @@ class PlanExecutor:
                 seconds=outcome.seconds))
             if outcome.profiles is not None:
                 last_profiles = outcome.profiles
+            fault_log.extend(outcome.events)
+            n_retries += outcome.n_retries
+            n_splits += outcome.n_splits
+            backoff += outcome.backoff_seconds
+            if outcome.degraded:
+                degraded_tiles.append(outcome.tile.index)
             consumer.consume(outcome.tile, outcome.distances)
+            consumer.delivered_watermark = outcome.tile.index + 1
 
-        if self.n_workers == 1 or len(tiles) <= 1:
-            for tile in tiles:
-                deliver(self._run_tile(tile))
-        else:
-            # Reorder buffer: deliver strictly in tile order even though
-            # workers finish in whatever order the pool schedules.
-            pending: Dict[int, _TileOutcome] = {}
-            next_index = 0
-            with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-                futures = [pool.submit(self._run_tile, t) for t in tiles]
-                for future in as_completed(futures):
-                    outcome = future.result()
-                    pending[outcome.tile.index] = outcome
-                    while next_index in pending:
-                        deliver(pending.pop(next_index))
-                        next_index += 1
+        try:
+            if self.n_workers == 1 or len(tiles) <= 1:
+                for tile in tiles:
+                    deliver(self._run_tile(tile))
+            else:
+                self._execute_threaded(tiles, resume_from, deliver)
+        except _TileFailure as failure:
+            self._abort(consumer, failure, fault_log)
+        except Exception as exc:  # consumer/bookkeeping bugs: still notify
+            consumer.abort(exc)
+            raise
 
         # Propagate the last tile's pass profiles back to the prototype so
         # diagnostics like ``kernel.last_profiles`` keep working when the
@@ -138,7 +288,8 @@ class PlanExecutor:
             plan.kernel.last_profiles = last_profiles
 
         norms_seconds = 0.0
-        if tiles and plan.simulate and plan.measure.kind == EXPANDED:
+        if tiles and resume_from == 0 and plan.simulate \
+                and plan.measure.kind == EXPANDED:
             norms_seconds = _norms_seconds(plan, stats)
 
         serial = norms_seconds + float(sum(tile_seconds))
@@ -149,35 +300,225 @@ class PlanExecutor:
                                    serial_seconds=serial,
                                    n_tiles=len(tiles),
                                    n_workers=self.n_workers,
-                                   accountant=accountant)
+                                   accountant=accountant,
+                                   n_retries=n_retries,
+                                   n_tile_splits=n_splits,
+                                   degraded_tiles=tuple(degraded_tiles),
+                                   backoff_seconds=backoff,
+                                   fault_log=tuple(fault_log),
+                                   resumed_from=resume_from)
+
+    # ------------------------------------------------------------------
+    def _execute_threaded(self, tiles: List[Tile], resume_from: int,
+                          deliver) -> None:
+        """Worker-pool path with the in-order reorder buffer.
+
+        A failure in any tile cancels every sibling future before
+        propagating (as :class:`_TileFailure`) — pending tiles never keep
+        running toward a consumer that will never see them.
+        """
+        pending: Dict[int, _TileOutcome] = {}
+        next_index = resume_from
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            futures = {pool.submit(self._run_tile, t): t for t in tiles}
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding,
+                                         return_when=FIRST_COMPLETED)
+                for future in done:
+                    try:
+                        outcome = future.result()
+                    except _TileFailure:
+                        for sibling in outstanding:
+                            sibling.cancel()
+                        raise
+                    pending[outcome.tile.index] = outcome
+                while next_index in pending:
+                    deliver(pending.pop(next_index))
+                    next_index += 1
+
+    def _abort(self, consumer: TileConsumer, failure: _TileFailure,
+               delivered_events: List[FaultEvent]) -> None:
+        """Notify the consumer, then surface the failure.
+
+        Fault-schedule failures (injected faults, or organic ones the
+        recovery policy engaged with) become a structured
+        :class:`ExecutionFaultError` carrying the fault log and the
+        consumer's delivered-tile watermark; anything else re-raises as-is.
+        """
+        consumer.abort(failure.cause)
+        tile = failure.tile
+        events = [*delivered_events, *failure.events,
+                  FaultEvent(tile_index=tile.index, attempt=-1,
+                             depth=0, kind=_fault_kind(failure.cause),
+                             action="unabsorbed",
+                             detail=str(failure.cause))]
+        if isinstance(failure.cause, InjectedFault) or failure.events:
+            raise ExecutionFaultError(
+                f"tile {tile.index} failed beyond recovery: "
+                f"{failure.cause} (delivered watermark "
+                f"{consumer.delivered_watermark}; resume with "
+                f"resume_from={consumer.delivered_watermark})",
+                watermark=consumer.delivered_watermark,
+                fault_log=tuple(events),
+                cause=failure.cause) from failure.cause
+        raise failure.cause
 
     # ------------------------------------------------------------------
     def _run_tile(self, tile: Tile) -> _TileOutcome:
+        rect = _Rect(tile.a0, tile.a1, tile.b0, tile.b1, depth=0)
+        res = self._run_rect(tile, rect)
+        return _TileOutcome(tile=tile, distances=res.block, stats=res.stats,
+                            seconds=res.seconds, profiles=res.profiles,
+                            events=res.events, n_retries=res.n_retries,
+                            n_splits=res.n_splits,
+                            backoff_seconds=res.backoff_seconds,
+                            degraded=res.degraded)
+
+    def _operand_slices(self, tile: Tile, rect: _Rect):
+        """CSR slices for a rect; planned tiles reuse the cached bands."""
         plan = self.plan
-        measure = plan.measure
-        a_t = plan.a_band(tile.band_a)
-        b_t = plan.b_band(tile.band_b)
-        kernel = plan.kernel.clone()
-        result = kernel.run(a_t, b_t, measure.semiring)
+        if rect.depth == 0:
+            return plan.a_band(tile.band_a), plan.b_band(tile.band_b)
+        return (plan.a.slice_rows(rect.a0, rect.a1),
+                plan.b.slice_rows(rect.b0, rect.b1))
+
+    def _run_rect(self, tile: Tile, rect: _Rect) -> _RectResult:
+        """Execute one rect under the recovery policy.
+
+        The attempt loop retries transient faults (with simulated backoff),
+        steps down the degradation ladder on capacity faults, and recurses
+        into two half-rects on workspace OOM; anything left over raises
+        :class:`_TileFailure` with the recovery events gathered so far.
+        """
+        plan = self.plan
+        policy = self.recovery
+        injector = self.fault_injector
+        a_t, b_t = self._operand_slices(tile, rect)
+
+        events: List[FaultEvent] = []
+        attempt = 0
+        retries = 0
+        backoff = 0.0
+        degraded = False
+        ladder: Optional[list] = None
+        ladder_pos = 0
+        prototype = plan.kernel
+
+        while True:
+            kernel = prototype.clone()
+            scope = (injector.tile_scope(tile.index, attempt, rect.depth)
+                     if injector is not None else nullcontext())
+            try:
+                with scope as site:
+                    result = kernel.run(a_t, b_t, plan.measure.semiring)
+            except Exception as exc:  # noqa: BLE001 - classified below
+                action = policy.classify(exc) if policy is not None else None
+                kind = _fault_kind(exc)
+                if action == RETRY and retries < policy.max_retries:
+                    retries += 1
+                    wait_s = policy.backoff_seconds(retries)
+                    backoff += wait_s
+                    events.append(FaultEvent(
+                        tile_index=tile.index, attempt=attempt,
+                        depth=rect.depth, kind=kind, action="retried",
+                        detail=f"retry {retries}/{policy.max_retries}",
+                        seconds=wait_s))
+                    attempt += 1
+                    continue
+                if action == DEGRADE:
+                    if ladder is None:
+                        ladder = list(policy.degradation_clones(prototype))
+                    if ladder_pos < len(ladder):
+                        rung, next_kernel = ladder[ladder_pos]
+                        ladder_pos += 1
+                        degraded = True
+                        events.append(FaultEvent(
+                            tile_index=tile.index, attempt=attempt,
+                            depth=rect.depth, kind=kind, action="degraded",
+                            detail=f"-> {rung}"))
+                        prototype = next_kernel
+                        attempt += 1
+                        continue
+                if action == SPLIT and rect.depth < policy.max_split_depth \
+                        and max(rect.rows_a, rect.rows_b) > 1:
+                    events.append(FaultEvent(
+                        tile_index=tile.index, attempt=attempt,
+                        depth=rect.depth, kind=kind, action="split",
+                        detail=f"{rect.rows_a}x{rect.rows_b} halved"))
+                    return self._split_rect(tile, rect, events, retries,
+                                            backoff, degraded)
+                raise _TileFailure(tile, exc, events) from exc
+            break
+
         stats = result.stats
         seconds = result.seconds
+        # A degraded host rect prices nothing, matching HostKernel planning.
+        simulate = plan.simulate and not isinstance(kernel, HostKernel)
+        n_cells = rect.rows_a * rect.rows_b
+        measure = plan.measure
 
         if measure.kind == EXPANDED:
             distances = measure.apply_expansion(
-                result.block, plan.norms_slice_a(tile.a0, tile.a1),
-                plan.norms_slice_b(tile.b0, tile.b1), plan.a.n_cols)
-            if plan.simulate:
-                seconds += _elementwise_seconds(plan.spec, stats,
-                                                tile.n_cells)
+                result.block, plan.norms_slice_a(rect.a0, rect.a1),
+                plan.norms_slice_b(rect.b0, rect.b1), plan.a.n_cols)
+            if simulate:
+                seconds += _elementwise_seconds(plan.spec, stats, n_cells)
         else:
             distances = measure.apply_finalize(result.block, plan.a.n_cols)
-            if plan.simulate and measure.finalize is not None:
-                seconds += _elementwise_seconds(plan.spec, stats,
-                                                tile.n_cells)
+            if simulate and measure.finalize is not None:
+                seconds += _elementwise_seconds(plan.spec, stats, n_cells)
 
-        return _TileOutcome(tile=tile, distances=distances, stats=stats,
-                            seconds=seconds,
-                            profiles=getattr(kernel, "last_profiles", None))
+        if site is not None and site.slow_seconds > 0.0:
+            seconds += site.slow_seconds
+            events.append(FaultEvent(
+                tile_index=tile.index, attempt=attempt, depth=rect.depth,
+                kind=FaultKind.SLOW, action="slowed",
+                seconds=site.slow_seconds))
+
+        return _RectResult(block=distances, stats=stats, seconds=seconds,
+                           events=events, n_retries=retries,
+                           backoff_seconds=backoff, degraded=degraded,
+                           profiles=getattr(kernel, "last_profiles", None))
+
+    def _split_rect(self, tile: Tile, rect: _Rect,
+                    events: List[FaultEvent], retries: int, backoff: float,
+                    degraded: bool) -> _RectResult:
+        """Halve an OOMing rect along its longer axis and reassemble.
+
+        The two half-rects re-enter :meth:`_run_rect` (so they carry their
+        own retries/degradation/splits, recursively) and their blocks are
+        stitched back into the rect's full block — the consumer always sees
+        exactly the planned tile, in order, and every cell's value is
+        unchanged because cells are independent row-pair reductions.
+        """
+        if rect.rows_a >= rect.rows_b:
+            mid = rect.a0 + rect.rows_a // 2
+            children = [_Rect(rect.a0, mid, rect.b0, rect.b1, rect.depth + 1),
+                        _Rect(mid, rect.a1, rect.b0, rect.b1, rect.depth + 1)]
+        else:
+            mid = rect.b0 + rect.rows_b // 2
+            children = [_Rect(rect.a0, rect.a1, rect.b0, mid, rect.depth + 1),
+                        _Rect(rect.a0, rect.a1, mid, rect.b1, rect.depth + 1)]
+
+        parts = [self._run_rect(tile, child) for child in children]
+        block = np.empty((rect.rows_a, rect.rows_b),
+                         dtype=parts[0].block.dtype)
+        stats = KernelStats()
+        seconds = 0.0
+        for child, part in zip(children, parts):
+            block[child.a0 - rect.a0:child.a1 - rect.a0,
+                  child.b0 - rect.b0:child.b1 - rect.b0] = part.block
+            stats.merge(part.stats)
+            seconds += part.seconds
+            events.extend(part.events)
+        return _RectResult(
+            block=block, stats=stats, seconds=seconds, events=events,
+            n_retries=retries + sum(p.n_retries for p in parts),
+            n_splits=1 + sum(p.n_splits for p in parts),
+            backoff_seconds=backoff + sum(p.backoff_seconds for p in parts),
+            degraded=degraded or any(p.degraded for p in parts),
+            profiles=parts[-1].profiles)
 
 
 def _round_robin_makespan(tile_seconds: List[float], n_workers: int) -> float:
