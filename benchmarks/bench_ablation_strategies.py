@@ -21,23 +21,13 @@ from repro.errors import KernelLaunchError
 from repro.gpusim.specs import VOLTA_V100
 from repro.kernels import LoadBalancedCooKernel, make_engine
 from repro.kernels.strategy import max_entries_per_block, plan_partitions
+from repro.testing import skewed_dense
 
 
-def _skewed_workload(m=256, k=4096, seed=11, scale=40, floor=5, cap=2000):
-    """Skewed-degree rows in the regime the paper's datasets occupy (tens
-    to thousands of nonzeros per row) — large enough that Algorithm 1's
-    sort and Algorithm 2's divergence actually bite."""
-    rng = np.random.default_rng(seed)
-    x = np.zeros((m, k))
-    for i in range(m):
-        deg = min(cap, min(k, int(rng.pareto(1.3) * scale) + floor))
-        cols = rng.choice(k, size=deg, replace=False)
-        x[i, cols] = rng.random(deg) + 0.05
-    return x
 
 
 def test_algorithm_ablation(benchmark):
-    x = _skewed_workload()
+    x = skewed_dense()
 
     def run():
         cells = {}
@@ -84,7 +74,7 @@ def test_row_cache_ablation(benchmark):
     on the Jensen-Shannon distance" only — i.e. bloom's extra traffic hides
     behind arithmetic on compute-heavy semirings, so its *relative* overhead
     must shrink from Manhattan to Jensen-Shannon."""
-    x = np.abs(_skewed_workload(192, 20_000, seed=7))  # too wide for dense
+    x = np.abs(skewed_dense(192, 20_000, seed=7))  # too wide for dense
 
     def run():
         out = {}
@@ -125,7 +115,7 @@ def test_two_pass_overhead(benchmark):
     """§3.3.1: a NAMM needs a second SPMV pass; on a self-join the streams
     are symmetric, so the union semiring should cost roughly — and at most
     — twice the intersection semiring, never more."""
-    x = _skewed_workload(256, 2048, seed=3)
+    x = skewed_dense(256, 2048, seed=3)
 
     def run():
         one = pairwise_distances(x, metric="sqeuclidean",
@@ -152,7 +142,7 @@ def test_dense_cache_beats_hash_when_it_fits(benchmark):
     """§3.3.2: 'storing the vectors from A in dense form in shared memory
     [has] the highest throughput rate and least amount of thread
     divergence' — when the dimensionality fits the budget."""
-    x = _skewed_workload(256, 4096, seed=5)  # 4K dims: dense fits easily
+    x = skewed_dense(256, 4096, seed=5)  # 4K dims: dense fits easily
 
     def run():
         out = {}

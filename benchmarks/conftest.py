@@ -4,9 +4,22 @@ Every bench regenerates one of the paper's tables/figures, writes it under
 ``benchmarks/results/``, and this hook replays the reports into the
 terminal summary so ``pytest benchmarks/ --benchmark-only`` shows them even
 though pytest captures stdout.
+
+Data generators come from :mod:`repro.testing` — the same seeded module the
+test suite's ``tests/conftest.py`` re-exports — so benches and tests draw
+from identical distributions.
 """
 
+import numpy as np
+import pytest
+
 from repro.bench.reporting import session_reports
+from repro.testing import DEFAULT_SEED, seeded_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return seeded_rng(DEFAULT_SEED)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

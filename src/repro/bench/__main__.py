@@ -172,6 +172,10 @@ def main(argv=None) -> int:
     parser.add_argument("--all", action="store_true", help="run everything")
     parser.add_argument("--list", action="store_true",
                         help="list available reports")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record every plan/kernel execution and write "
+                             "a Chrome trace-event JSON file here (open in "
+                             "chrome://tracing or Perfetto)")
     args = parser.parse_args(argv)
 
     if args.list:
@@ -180,13 +184,30 @@ def main(argv=None) -> int:
     names = list(REPORTS) if args.all else args.reports
     if not names:
         parser.error("nothing to run; pass report names or --all")
-    for name in names:
-        start = time.perf_counter()
-        content = REPORTS[name]()
-        elapsed = time.perf_counter() - start
-        path = save_report(f"cli_{name}", content)
-        print(content)
-        print(f"[{name}: {elapsed:.1f}s, saved to {path}]\n")
+
+    tracer = None
+    previous_default = None
+    if args.trace is not None:
+        from repro.obs import Tracer, set_default_tracer
+
+        tracer = Tracer()
+        previous_default = set_default_tracer(tracer)
+    try:
+        for name in names:
+            start = time.perf_counter()
+            content = REPORTS[name]()
+            elapsed = time.perf_counter() - start
+            path = save_report(f"cli_{name}", content)
+            print(content)
+            print(f"[{name}: {elapsed:.1f}s, saved to {path}]\n")
+    finally:
+        if tracer is not None:
+            from repro.obs import set_default_tracer, write_chrome_trace
+
+            set_default_tracer(previous_default)
+            trace_path = write_chrome_trace(tracer, args.trace)
+            print(f"[trace: {len(tracer.spans)} spans written to "
+                  f"{trace_path}]", file=sys.stderr)
     return 0
 
 

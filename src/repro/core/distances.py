@@ -63,6 +63,12 @@ class DistanceMeasure:
     finalize: Optional[Callable] = None
     is_metric: bool = False
     symmetric: bool = True
+    #: d(x, y) >= 0 for all inputs (False for raw dot products and KL
+    #: divergence, whose values are signed on mixed-sign data)
+    non_negative: bool = True
+    #: d(x, x) == 0 for all x (False for dot — d(x,x) = ||x||^2 — and
+    #: Russell-Rao, whose self-distance is (k - |x|) / k)
+    zero_diagonal: bool = True
     params: Mapping[str, float] = field(default_factory=dict)
 
     @property
@@ -284,7 +290,8 @@ def _make_dot() -> DistanceMeasure:
     return DistanceMeasure(
         name="dot", formula="sum_i x_i y_i", kind=EXPANDED,
         semiring=dot_product_semiring(name="dot"),
-        norms=(), expansion=_expand_dot, is_metric=False, symmetric=True)
+        norms=(), expansion=_expand_dot, is_metric=False, symmetric=True,
+        non_negative=False, zero_diagonal=False)
 
 
 @_register("cosine")
@@ -357,7 +364,7 @@ def _make_russellrao() -> DistanceMeasure:
         name="russellrao", formula="(k - |x∩y|) / k", kind=EXPANDED,
         semiring=dot_product_semiring(name="russellrao"), norms=(),
         binarize=True, expansion=_expand_russellrao, is_metric=False,
-        symmetric=True)
+        symmetric=True, zero_diagonal=False)
 
 
 @_register("kl_divergence")
@@ -366,7 +373,8 @@ def _make_kl() -> DistanceMeasure:
         name="kl_divergence", formula="sum_i x_i log(x_i / y_i)",
         kind=EXPANDED,
         semiring=dot_product_semiring(product_op=_kl_op, name="kl_divergence"),
-        norms=(), expansion=_expand_dot, is_metric=False, symmetric=False)
+        norms=(), expansion=_expand_dot, is_metric=False, symmetric=False,
+        non_negative=False)
 
 
 @_register("manhattan")

@@ -29,6 +29,8 @@ from repro.faults.recovery import RecoveryPolicy
 from repro.gpusim.specs import DeviceSpec
 from repro.gpusim.stats import KernelStats
 from repro.kernels.base import PairwiseKernel
+from repro.obs import resolve_trace, write_chrome_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.plan.consumers import DenseBlockConsumer
 from repro.plan.executor import PlanExecutionReport, PlanExecutor
 from repro.plan.pairwise_plan import build_pairwise_plan, prepare_matrix
@@ -66,6 +68,8 @@ def pairwise_distances(
     n_workers: int = 1,
     recovery: Optional[RecoveryPolicy] = None,
     fault_injector: Optional[FaultInjector] = None,
+    trace=None,
+    metrics: Optional[MetricsRegistry] = None,
     **metric_params,
 ):
     """Pairwise distances between the rows of ``x`` and ``y``.
@@ -108,15 +112,27 @@ def pairwise_distances(
     fault_injector:
         Optional :class:`~repro.faults.FaultInjector` replaying a seeded
         fault schedule into the execution (tests and chaos benches).
+    trace:
+        ``None`` (default, zero overhead), a :class:`~repro.obs.Tracer` to
+        record spans into, or a path — the call then writes a Chrome
+        ``trace_event`` JSON file there (open in ``chrome://tracing`` /
+        Perfetto) when it finishes.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` accumulating counters,
+        gauges, and histograms across calls (Prometheus-text / JSON
+        exposition via the registry).
     metric_params:
         Extra distance parameters (e.g. ``p=1.5`` for Minkowski).
     """
+    tracer, trace_path = resolve_trace(trace)
     plan = build_pairwise_plan(x, y, metric, engine=engine, device=device,
                                memory_budget_bytes=memory_budget_bytes,
-                               **metric_params)
+                               tracer=tracer, **metric_params)
     report = PlanExecutor(plan, n_workers=n_workers, recovery=recovery,
-                          fault_injector=fault_injector).execute(
-        DenseBlockConsumer())
+                          fault_injector=fault_injector, tracer=tracer,
+                          metrics=metrics).execute(DenseBlockConsumer())
+    if trace_path is not None:
+        write_chrome_trace(tracer, trace_path)
     out = PairwiseResult(distances=report.value, stats=report.stats,
                          simulated_seconds=report.simulated_seconds,
                          engine=getattr(plan.kernel, "name", "custom"),

@@ -17,6 +17,7 @@ from repro.gpusim.cost_model import CostModel, SimulatedTime
 from repro.gpusim.occupancy import Occupancy, compute_occupancy
 from repro.gpusim.specs import DeviceSpec
 from repro.gpusim.stats import KernelStats
+from repro.obs.tracer import current_metrics, current_tracer
 
 __all__ = ["LaunchResult", "simulate_launch",
            "install_launch_interceptor", "restore_launch_interceptor"]
@@ -83,4 +84,20 @@ def simulate_launch(spec: DeviceSpec, stats: KernelStats, *,
     stats.smem_bytes_per_block = max(stats.smem_bytes_per_block,
                                      float(smem_per_block))
     time = CostModel(spec).simulate(stats, occupancy=occupancy)
+
+    metrics = current_metrics()
+    metrics.counter("kernel_launches_total").inc()
+    metrics.histogram("launch_simulated_ms").observe(time.seconds * 1e3)
+    metrics.histogram("occupancy_fraction").observe(time.occupancy_fraction)
+    if time.compute_seconds >= time.memory_seconds:
+        metrics.counter("launches_compute_bound_total").inc()
+    else:
+        metrics.counter("launches_memory_bound_total").inc()
+    tracer = current_tracer()
+    if tracer.enabled:
+        tracer.event(
+            "gpusim.launch", "launch", time.seconds,
+            grid_blocks=int(grid_blocks), block_threads=int(block_threads),
+            smem_per_block=int(smem_per_block),
+            occupancy=round(time.occupancy_fraction, 4), bound=time.bound)
     return LaunchResult(stats=stats, occupancy=occupancy, time=time)

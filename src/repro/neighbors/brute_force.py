@@ -30,6 +30,8 @@ from repro.faults.recovery import RecoveryPolicy
 from repro.gpusim.specs import DeviceSpec, get_device
 from repro.gpusim.stats import KernelStats
 from repro.kernels.base import PairwiseKernel
+from repro.obs import resolve_trace, write_chrome_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.plan.consumers import CallbackConsumer, TopKConsumer
 from repro.plan.executor import PlanExecutor
 from repro.plan.pairwise_plan import PairwisePlan, build_pairwise_plan
@@ -109,6 +111,13 @@ class NearestNeighbors:
     fault_injector:
         Optional :class:`~repro.faults.FaultInjector` replaying a seeded
         fault schedule into every query execution (tests / chaos benches).
+    trace:
+        ``None`` (default), a :class:`~repro.obs.Tracer` shared across
+        queries, or a path — each query then (re)writes a Chrome
+        ``trace_event`` JSON file there for ``chrome://tracing`` / Perfetto.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` accumulating counters
+        and histograms across every query this estimator runs.
     """
 
     def __init__(self, n_neighbors: int = 5, *, metric: str = "euclidean",
@@ -118,7 +127,8 @@ class NearestNeighbors:
                  batch_rows: int = 4096, n_workers: int = 1,
                  memory_budget_bytes: Optional[int] = None,
                  recovery: Optional[RecoveryPolicy] = None,
-                 fault_injector: Optional[FaultInjector] = None):
+                 fault_injector: Optional[FaultInjector] = None,
+                 trace=None, metrics: Optional[MetricsRegistry] = None):
         if n_neighbors <= 0:
             raise ValueError("n_neighbors must be positive")
         if batch_rows <= 0:
@@ -135,6 +145,8 @@ class NearestNeighbors:
         self.memory_budget_bytes = memory_budget_bytes
         self.recovery = recovery
         self.fault_injector = fault_injector
+        self.tracer, self._trace_path = resolve_trace(trace)
+        self.metrics = metrics
         self._fit_matrix: Optional[CSRMatrix] = None
         self.last_report: Optional[KnnQueryReport] = None
 
@@ -169,12 +181,14 @@ class NearestNeighbors:
             None if queries is None else self._fit_matrix,
             self.metric, engine=self.engine, device=self.device,
             memory_budget_bytes=self.memory_budget_bytes,
-            max_tile_rows_b=self.batch_rows, **self.metric_params)
+            max_tile_rows_b=self.batch_rows, tracer=self.tracer,
+            **self.metric_params)
 
     def _executor(self, plan) -> PlanExecutor:
         return PlanExecutor(plan, n_workers=self.n_workers,
                             recovery=self.recovery,
-                            fault_injector=self.fault_injector)
+                            fault_injector=self.fault_injector,
+                            tracer=self.tracer, metrics=self.metrics)
 
     def _record_report(self, plan, report) -> KnnQueryReport:
         self.last_report = KnnQueryReport(
@@ -188,6 +202,8 @@ class NearestNeighbors:
             n_tile_splits=report.n_tile_splits,
             degraded_tiles=report.degraded_tiles,
             fault_log=report.fault_log)
+        if self.tracer is not None and self._trace_path is not None:
+            write_chrome_trace(self.tracer, self._trace_path)
         return self.last_report
 
     # ------------------------------------------------------------------

@@ -1,0 +1,85 @@
+"""Observability for the plan/kernel/gpusim stack: spans, metrics, traces.
+
+Three pieces (see DESIGN.md §9):
+
+- :class:`Tracer` — hierarchical simulated-time spans
+  (``plan.build`` → ``tile[i,j]`` → ``kernel.pass1/pass2`` →
+  ``strategy.select`` / ``rowcache.stage``) with a zero-overhead
+  :class:`NullTracer` default;
+- :class:`MetricsRegistry` — process-local counters / gauges / histograms
+  with Prometheus-text and JSON exposition;
+- :func:`write_chrome_trace` — Chrome ``trace_event`` export that opens
+  directly in ``chrome://tracing`` / Perfetto, with deterministic worker
+  lanes laid out in simulated time.
+
+Quick start::
+
+    from repro import pairwise_distances
+    pairwise_distances(x, metric="cosine", trace="trace.json")
+
+    from repro.neighbors import NearestNeighbors
+    nn = NearestNeighbors(metric="manhattan", trace="knn.json").fit(x)
+    nn.kneighbors(x)          # writes knn.json after the query
+"""
+
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from repro.obs.chrome_trace import to_chrome_trace, write_chrome_trace
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanEvent,
+    Tracer,
+    canonical_trees_equal,
+    current_metrics,
+    current_span,
+    current_tracer,
+    get_default_tracer,
+    set_default_tracer,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "SpanEvent",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_METRICS",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "current_tracer",
+    "current_span",
+    "current_metrics",
+    "get_default_tracer",
+    "set_default_tracer",
+    "canonical_trees_equal",
+    "resolve_trace",
+]
+
+
+def resolve_trace(trace: Union[str, Path, Tracer, None],
+                  ) -> Tuple[Optional[Tracer], Optional[Path]]:
+    """Normalize a user-facing ``trace=`` argument.
+
+    ``None`` → no tracing; a :class:`Tracer` → record into it (caller
+    exports); a path → record into a fresh tracer and return the path the
+    caller should :func:`write_chrome_trace` to when the run finishes.
+    """
+    if trace is None:
+        return None, None
+    if isinstance(trace, Tracer):
+        return trace, None
+    return Tracer(), Path(trace)

@@ -1,0 +1,295 @@
+"""Process-local metrics registry with Prometheus-text and JSON exposition.
+
+Three instrument kinds, mirroring the Prometheus data model:
+
+- :class:`Counter` — monotonically increasing totals
+  (``tiles_executed``, ``retries_total``, ``kernel_launches_total``);
+- :class:`Gauge` — last-written or high-watermark values
+  (``peak_workspace_bytes``);
+- :class:`Histogram` — bucketed observations with sum and count
+  (``simulated_ms``, ``hash_load_factor``).
+
+All instruments accept optional ``**labels``; a labeled instrument keeps
+one series per distinct label set. The registry is thread-safe (tile
+workers record concurrently) and instruments are get-or-create, so
+instrumented code never needs registration boilerplate:
+
+    registry.counter("tiles_executed").inc()
+    registry.histogram("simulated_ms").observe(tile_ms)
+
+When no registry is installed, instrumented code receives
+:data:`NULL_METRICS`, whose instruments are shared no-op singletons — the
+disabled path allocates nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["MetricsRegistry", "Counter", "Gauge", "Histogram",
+           "NULL_METRICS", "DEFAULT_BUCKETS"]
+
+#: Default histogram buckets: wide log-ish spread covering sub-ms launches
+#: through multi-second plans (values in the instrument's own unit).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+    500.0, 1000.0)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> _LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: _LabelKey, extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in key]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Instrument:
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        self.name = name
+        self.help = help
+        self._lock = lock
+
+
+class Counter(_Instrument):
+    """A monotonically increasing total (per label set)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        super().__init__(name, help, lock)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def _expose(self) -> List[str]:
+        return [f"{self.name}{_render_labels(k)} {v:g}"
+                for k, v in sorted(self._values.items())]
+
+    def _json(self):
+        return [{"labels": dict(k), "value": v}
+                for k, v in sorted(self._values.items())]
+
+
+class Gauge(_Instrument):
+    """A point-in-time value; :meth:`set_max` keeps a high watermark."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock):
+        super().__init__(name, help, lock)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def set_max(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = max(self._values.get(key, float("-inf")),
+                                    float(value))
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        return self._values.get(_label_key(labels), 0.0)
+
+    def _expose(self) -> List[str]:
+        return [f"{self.name}{_render_labels(k)} {v:g}"
+                for k, v in sorted(self._values.items())]
+
+    def _json(self):
+        return [{"labels": dict(k), "value": v}
+                for k, v in sorted(self._values.items())]
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "sum", "count")
+
+    def __init__(self, n_buckets: int):
+        self.bucket_counts = [0] * n_buckets
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram (Prometheus semantics, +Inf implicit)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, lock: threading.Lock,
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help, lock)
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self._series: Dict[_LabelKey, _HistogramSeries] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        value = float(value)
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(
+                    len(self.buckets))
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    series.bucket_counts[i] += 1
+            series.sum += value
+            series.count += 1
+
+    def count(self, **labels) -> int:
+        series = self._series.get(_label_key(labels))
+        return series.count if series else 0
+
+    def sum(self, **labels) -> float:
+        series = self._series.get(_label_key(labels))
+        return series.sum if series else 0.0
+
+    def _expose(self) -> List[str]:
+        lines = []
+        for key, series in sorted(self._series.items()):
+            for bound, n in zip(self.buckets, series.bucket_counts):
+                le = 'le="%g"' % bound
+                lines.append(f"{self.name}_bucket"
+                             f"{_render_labels(key, le)} {n}")
+            inf = 'le="+Inf"'
+            lines.append(f"{self.name}_bucket"
+                         f"{_render_labels(key, inf)} {series.count}")
+            lines.append(f"{self.name}_sum{_render_labels(key)} "
+                         f"{series.sum:g}")
+            lines.append(f"{self.name}_count{_render_labels(key)} "
+                         f"{series.count}")
+        return lines
+
+    def _json(self):
+        return [{"labels": dict(k),
+                 "buckets": dict(zip((f"{b:g}" for b in self.buckets),
+                                     s.bucket_counts)),
+                 "sum": s.sum, "count": s.count}
+                for k, s in sorted(self._series.items())]
+
+
+class MetricsRegistry:
+    """Get-or-create instrument registry with two exposition formats."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, _Instrument] = {}
+
+    # -- instrument factories ------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str, **kwargs):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = self._instruments[name] = cls(
+                    name, help, self._lock, **kwargs)
+                return inst
+        if not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {inst.kind}, "
+                f"requested as {cls.kind}")
+        return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        return self._get_or_create(Histogram, name, help,
+                                   buckets=buckets or DEFAULT_BUCKETS)
+
+    # -- inspection ----------------------------------------------------
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._instruments))
+
+    # -- exposition ----------------------------------------------------
+    def to_prometheus_text(self) -> str:
+        """The Prometheus text exposition format (one sample per line)."""
+        lines: List[str] = []
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if inst.help:
+                lines.append(f"# HELP {name} {inst.help}")
+            lines.append(f"# TYPE {name} {inst.kind}")
+            lines.extend(inst._expose())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_json(self, *, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def as_dict(self) -> dict:
+        return {name: {"type": inst.kind, "help": inst.help,
+                       "series": inst._json()}
+                for name, inst in sorted(self._instruments.items())}
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram for the disabled path."""
+
+    __slots__ = ()
+
+    def inc(self, amount=1.0, **labels):
+        pass
+
+    def set(self, value, **labels):
+        pass
+
+    def set_max(self, value, **labels):
+        pass
+
+    def observe(self, value, **labels):
+        pass
+
+    def value(self, **labels):
+        return 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics(MetricsRegistry):
+    """Accepts every recording and drops it without allocating."""
+
+    def __init__(self):
+        self._instruments = {}
+
+    def counter(self, name, help=""):
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name, help=""):
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name, help="", buckets=None):
+        return _NULL_INSTRUMENT
+
+
+NULL_METRICS = NullMetrics()

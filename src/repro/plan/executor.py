@@ -61,6 +61,14 @@ from repro.gpusim.memory import coalesced_transactions
 from repro.gpusim.stats import KernelStats
 from repro.gpusim.tiles import TileAccountant, TileLaunchRecord
 from repro.kernels.host import HostKernel
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Tracer,
+    get_default_tracer,
+    pop_metrics,
+    push_metrics,
+)
 from repro.plan.consumers import DenseBlockConsumer, TileConsumer
 from repro.plan.pairwise_plan import PairwisePlan
 from repro.plan.tiling import Tile
@@ -202,17 +210,34 @@ class PlanExecutor:
     fault_injector:
         Optional :class:`~repro.faults.FaultInjector` whose schedule is
         replayed into this execution's kernel launches and runs.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`. Defaults to the process-wide
+        default (normally the zero-overhead ``NULL_TRACER``); when enabled,
+        every execution records a ``plan.execute`` root span with one
+        ``tile[i,j]`` child per tile, kernel/expansion spans nested under
+        the tile, and fault events attached to the tile that absorbed them.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` receiving per-tile
+        counters/histograms (``tiles_executed``, ``retries_total``,
+        ``simulated_ms``, ``peak_workspace_bytes``, …) plus whatever the
+        kernels and launch simulator record while a tile is running.
     """
 
     def __init__(self, plan: PairwisePlan, *, n_workers: int = 1,
                  recovery: Optional[RecoveryPolicy] = None,
-                 fault_injector: Optional[FaultInjector] = None):
+                 fault_injector: Optional[FaultInjector] = None,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         self.plan = plan
         self.n_workers = int(n_workers)
         self.recovery = recovery
         self.fault_injector = fault_injector
+        self.tracer = tracer if tracer is not None else get_default_tracer()
+        self.metrics = metrics
+        self._root_span = None
+        self._lane_base = 0
 
     # ------------------------------------------------------------------
     def execute(self, consumer: Optional[TileConsumer] = None, *,
@@ -248,6 +273,28 @@ class PlanExecutor:
         backoff = 0.0
         degraded_tiles: List[int] = []
 
+        tracer = self.tracer
+        metrics = self.metrics
+        if metrics is not None:
+            m_tiles = metrics.counter(
+                "tiles_executed", "tiles delivered to the consumer")
+            m_retries = metrics.counter(
+                "retries_total", "transient/stuck launch retries")
+            m_splits = metrics.counter(
+                "tile_splits_total", "adaptive OOM tile splits")
+            m_degraded = metrics.counter(
+                "degraded_tiles_total",
+                "tiles that finished on a degraded strategy")
+            m_faults = metrics.counter(
+                "fault_events_total", "recovery actions in the fault log")
+            m_backoff = metrics.counter(
+                "backoff_seconds_total", "simulated retry backoff seconds")
+            m_sim = metrics.histogram(
+                "simulated_ms", "per-tile simulated milliseconds")
+            m_workspace = metrics.gauge(
+                "peak_workspace_bytes",
+                "high watermark of per-tile kernel workspace")
+
         def deliver(outcome: _TileOutcome) -> None:
             nonlocal last_profiles, n_retries, n_splits, backoff
             stats.merge(outcome.stats)
@@ -266,20 +313,63 @@ class PlanExecutor:
             backoff += outcome.backoff_seconds
             if outcome.degraded:
                 degraded_tiles.append(outcome.tile.index)
+            if metrics is not None:
+                m_tiles.inc()
+                m_sim.observe(outcome.seconds * 1e3)
+                m_workspace.set_max(outcome.stats.workspace_bytes)
+                if outcome.n_retries:
+                    m_retries.inc(outcome.n_retries)
+                if outcome.n_splits:
+                    m_splits.inc(outcome.n_splits)
+                if outcome.events:
+                    m_faults.inc(len(outcome.events))
+                if outcome.backoff_seconds:
+                    m_backoff.inc(outcome.backoff_seconds)
+                if outcome.degraded:
+                    m_degraded.inc()
             consumer.consume(outcome.tile, outcome.distances)
             consumer.delivered_watermark = outcome.tile.index + 1
 
+        root = NULL_SPAN
+        if tracer.enabled:
+            root = tracer.span(
+                "plan.execute", "plan",
+                metric=plan.measure.name,
+                engine=getattr(plan.kernel, "name", "custom"),
+                n_tiles=len(tiles), n_workers=self.n_workers,
+                resume_from=resume_from,
+                shape=f"{plan.a.n_rows}x{plan.b.n_rows}x{plan.a.n_cols}")
+        self._root_span = root if tracer.enabled else None
+        self._lane_base = resume_from
+        if metrics is not None:
+            push_metrics(metrics)
         try:
-            if self.n_workers == 1 or len(tiles) <= 1:
-                for tile in tiles:
-                    deliver(self._run_tile(tile))
-            else:
-                self._execute_threaded(tiles, resume_from, deliver)
-        except _TileFailure as failure:
-            self._abort(consumer, failure, fault_log)
-        except Exception as exc:  # consumer/bookkeeping bugs: still notify
-            consumer.abort(exc)
-            raise
+            with root:
+                try:
+                    if self.n_workers == 1 or len(tiles) <= 1:
+                        for tile in tiles:
+                            deliver(self._run_tile(tile))
+                    else:
+                        self._execute_threaded(tiles, resume_from, deliver)
+                except _TileFailure as failure:
+                    self._abort(consumer, failure, fault_log)
+                except Exception as exc:  # consumer bugs: still notify
+                    consumer.abort(exc)
+                    raise
+
+                norms_seconds = 0.0
+                if tiles and resume_from == 0 and plan.simulate \
+                        and plan.measure.kind == EXPANDED:
+                    norms_seconds = _norms_seconds(plan, stats)
+                    if tracer.enabled:
+                        with tracer.span("norms.compute", "norms") as nspan:
+                            nspan.set_sim_seconds(norms_seconds)
+                            nspan.annotate(
+                                n_norm_kinds=len(plan.measure.norms))
+        finally:
+            if metrics is not None:
+                pop_metrics()
+            self._root_span = None
 
         # Propagate the last tile's pass profiles back to the prototype so
         # diagnostics like ``kernel.last_profiles`` keep working when the
@@ -287,14 +377,19 @@ class PlanExecutor:
         if last_profiles is not None and hasattr(plan.kernel, "last_profiles"):
             plan.kernel.last_profiles = last_profiles
 
-        norms_seconds = 0.0
-        if tiles and resume_from == 0 and plan.simulate \
-                and plan.measure.kind == EXPANDED:
-            norms_seconds = _norms_seconds(plan, stats)
-
         serial = norms_seconds + float(sum(tile_seconds))
         makespan = norms_seconds + _round_robin_makespan(tile_seconds,
                                                          self.n_workers)
+        if tracer.enabled:
+            root.set_sim_seconds(makespan)
+        if metrics is not None:
+            metrics.counter("plans_executed",
+                            "completed plan executions").inc()
+            metrics.gauge("plan_simulated_seconds",
+                          "modeled wall time of the last plan").set(makespan)
+            metrics.gauge("peak_resident_bytes",
+                          "high watermark of resident tile memory").set_max(
+                              accountant.peak_resident_bytes)
         return PlanExecutionReport(value=consumer.result(), stats=stats,
                                    simulated_seconds=makespan,
                                    serial_seconds=serial,
@@ -348,6 +443,11 @@ class PlanExecutor:
         """
         consumer.abort(failure.cause)
         tile = failure.tile
+        if self.tracer.enabled and self._root_span is not None:
+            self._root_span.event(
+                "unabsorbed", "fault", tile=tile.index,
+                kind=_fault_kind(failure.cause).value,
+                detail=str(failure.cause))
         events = [*delivered_events, *failure.events,
                   FaultEvent(tile_index=tile.index, attempt=-1,
                              depth=0, kind=_fault_kind(failure.cause),
@@ -367,7 +467,64 @@ class PlanExecutor:
     # ------------------------------------------------------------------
     def _run_tile(self, tile: Tile) -> _TileOutcome:
         rect = _Rect(tile.a0, tile.a1, tile.b0, tile.b1, depth=0)
-        res = self._run_rect(tile, rect)
+        tracer = self.tracer
+        metrics = self.metrics
+        if not tracer.enabled and metrics is None:
+            # Hot path: no span handles, no kwargs dicts, no stack pushes.
+            res = self._run_rect(tile, rect)
+            return _TileOutcome(
+                tile=tile, distances=res.block, stats=res.stats,
+                seconds=res.seconds, profiles=res.profiles,
+                events=res.events, n_retries=res.n_retries,
+                n_splits=res.n_splits,
+                backoff_seconds=res.backoff_seconds, degraded=res.degraded)
+        return self._run_tile_instrumented(tile, rect, tracer, metrics)
+
+    def _run_tile_instrumented(self, tile: Tile, rect: _Rect,
+                               tracer: Tracer,
+                               metrics: Optional[MetricsRegistry],
+                               ) -> _TileOutcome:
+        """Traced/metered tile execution (worker threads included).
+
+        The tile span attaches to the main thread's ``plan.execute`` root
+        explicitly (worker threads have no open span of their own) and then
+        sits on *this* thread's span stack, so kernel/launch spans opened
+        deeper in the call nest under it. The recovery events the rect
+        gathered become ``fault``-category span events — the same list
+        ``deliver`` folds into :attr:`PlanExecutionReport.fault_log`, so
+        trace and report reconcile exactly.
+        """
+        span = NULL_SPAN
+        if tracer.enabled:
+            lane = (tile.index - self._lane_base) % self.n_workers
+            span = tracer.span(
+                f"tile[{tile.band_a},{tile.band_b}]", "tile",
+                parent=self._root_span, tile=tile.index, lane=lane,
+                rows_a=tile.rows_a, rows_b=tile.rows_b)
+        if metrics is not None:
+            push_metrics(metrics)
+        try:
+            with span:
+                try:
+                    res = self._run_rect(tile, rect)
+                except _TileFailure as failure:
+                    for ev in failure.events:
+                        span.event(ev.action, "fault", ev.seconds,
+                                   kind=ev.kind.value, tile=ev.tile_index,
+                                   attempt=ev.attempt, depth=ev.depth,
+                                   detail=ev.detail)
+                    raise
+                span.set_sim_seconds(res.seconds)
+                span.annotate(retries=res.n_retries, splits=res.n_splits,
+                              degraded=res.degraded)
+                for ev in res.events:
+                    span.event(ev.action, "fault", ev.seconds,
+                               kind=ev.kind.value, tile=ev.tile_index,
+                               attempt=ev.attempt, depth=ev.depth,
+                               detail=ev.detail)
+        finally:
+            if metrics is not None:
+                pop_metrics()
         return _TileOutcome(tile=tile, distances=res.block, stats=res.stats,
                             seconds=res.seconds, profiles=res.profiles,
                             events=res.events, n_retries=res.n_retries,
@@ -463,11 +620,23 @@ class PlanExecutor:
                 result.block, plan.norms_slice_a(rect.a0, rect.a1),
                 plan.norms_slice_b(rect.b0, rect.b1), plan.a.n_cols)
             if simulate:
-                seconds += _elementwise_seconds(plan.spec, stats, n_cells)
+                elem_seconds = _elementwise_seconds(plan.spec, stats, n_cells)
+                seconds += elem_seconds
+                if self.tracer.enabled:
+                    with self.tracer.span("expansion.apply",
+                                          "epilogue") as espan:
+                        espan.set_sim_seconds(elem_seconds)
+                        espan.annotate(n_cells=n_cells)
         else:
             distances = measure.apply_finalize(result.block, plan.a.n_cols)
             if simulate and measure.finalize is not None:
-                seconds += _elementwise_seconds(plan.spec, stats, n_cells)
+                elem_seconds = _elementwise_seconds(plan.spec, stats, n_cells)
+                seconds += elem_seconds
+                if self.tracer.enabled:
+                    with self.tracer.span("finalize.apply",
+                                          "epilogue") as espan:
+                        espan.set_sim_seconds(elem_seconds)
+                        espan.annotate(n_cells=n_cells)
 
         if site is not None and site.slow_seconds > 0.0:
             seconds += site.slow_seconds

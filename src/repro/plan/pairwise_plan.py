@@ -23,6 +23,7 @@ from repro.gpusim.specs import DeviceSpec, VOLTA_V100, get_device
 from repro.kernels import make_engine
 from repro.kernels.base import PairwiseKernel
 from repro.kernels.host import HostKernel
+from repro.obs.tracer import NULL_SPAN, get_default_tracer
 from repro.plan.tiling import (
     OUTPUT_ITEM_BYTES,
     TileGrid,
@@ -175,6 +176,7 @@ def build_pairwise_plan(
     memory_budget_bytes: Optional[int] = None,
     max_tile_rows_a: Optional[int] = None,
     max_tile_rows_b: Optional[int] = None,
+    tracer=None,
     **metric_params,
 ) -> PairwisePlan:
     """Plan a pairwise-distance job without executing it.
@@ -182,26 +184,37 @@ def build_pairwise_plan(
     Parameters mirror :func:`repro.core.pairwise.pairwise_distances`; the
     extra knobs bound each tile: ``memory_budget_bytes`` (default: a quarter
     of the device's global memory) and the optional per-side row caps.
+    ``tracer`` records the planning work as a ``plan.build`` span (defaults
+    to the process-wide tracer, normally the zero-overhead null one).
     """
-    measure = (metric if isinstance(metric, DistanceMeasure)
-               else make_distance(metric, **metric_params))
-    kernel, spec = _resolve_engine_and_spec(engine, device)
+    if tracer is None:
+        tracer = get_default_tracer()
+    span = tracer.span("plan.build", "plan") if tracer.enabled else NULL_SPAN
+    with span:
+        measure = (metric if isinstance(metric, DistanceMeasure)
+                   else make_distance(metric, **metric_params))
+        kernel, spec = _resolve_engine_and_spec(engine, device)
 
-    a = prepare_matrix(x, measure)
-    b_is_a = y is None
-    b = a if b_is_a else prepare_matrix(y, measure)
+        a = prepare_matrix(x, measure)
+        b_is_a = y is None
+        b = a if b_is_a else prepare_matrix(y, measure)
 
-    norms_a = norms_b = None
-    if measure.kind == EXPANDED:
-        norms_a = compute_norms(a, measure.norms)
-        norms_b = norms_a if b_is_a else compute_norms(b, measure.norms)
+        norms_a = norms_b = None
+        if measure.kind == EXPANDED:
+            norms_a = compute_norms(a, measure.norms)
+            norms_b = norms_a if b_is_a else compute_norms(b, measure.norms)
 
-    budget = (default_memory_budget(spec) if memory_budget_bytes is None
-              else int(memory_budget_bytes))
-    grid = plan_tile_grid(a.n_rows, b.n_rows, budget_bytes=budget,
-                          workspace_per_row_b=_workspace_per_row_b(b),
-                          max_tile_rows_a=max_tile_rows_a,
-                          max_tile_rows_b=max_tile_rows_b)
+        budget = (default_memory_budget(spec) if memory_budget_bytes is None
+                  else int(memory_budget_bytes))
+        grid = plan_tile_grid(a.n_rows, b.n_rows, budget_bytes=budget,
+                              workspace_per_row_b=_workspace_per_row_b(b),
+                              max_tile_rows_a=max_tile_rows_a,
+                              max_tile_rows_b=max_tile_rows_b)
+        span.annotate(metric=measure.name,
+                      engine=getattr(kernel, "name", "custom"),
+                      n_tiles=grid.n_tiles,
+                      shape=f"{a.n_rows}x{b.n_rows}x{a.n_cols}",
+                      memory_budget_bytes=budget)
 
     return PairwisePlan(a=a, b=b, b_is_a=b_is_a, measure=measure,
                         kernel=kernel, spec=spec, grid=grid,

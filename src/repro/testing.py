@@ -1,0 +1,80 @@
+"""Shared seeded data generators for tests, property suites, and benches.
+
+Historically ``tests/conftest.py`` and the individual benchmark modules
+each hand-rolled their own ``np.random.default_rng`` matrices; this module
+is the single home for those generators so property tests, golden
+fixtures, and benches all draw from the same distributions. Import it from
+anywhere (it depends only on :mod:`repro.sparse`):
+
+    from repro.testing import random_csr, seeded_rng, skewed_dense
+
+Everything takes an explicit :class:`numpy.random.Generator` (or a seed),
+so call sites stay reproducible by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["seeded_rng", "random_dense", "random_csr", "skewed_dense",
+           "skewed_csr", "DEFAULT_SEED"]
+
+#: The suite-wide default seed (the value tests/conftest.py always used).
+DEFAULT_SEED = 1234
+
+
+def seeded_rng(seed: Union[int, np.random.Generator] = DEFAULT_SEED,
+               ) -> np.random.Generator:
+    """A fresh deterministic generator (pass-through for generators)."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def random_dense(rng: np.random.Generator, m: int, k: int,
+                 density: float = 0.3, *,
+                 positive: bool = False) -> np.ndarray:
+    """A dense array with approximately the requested fraction of nonzeros.
+
+    ``positive=True`` keeps every value strictly positive (valid input for
+    KL / Jensen-Shannon / Hellinger); otherwise values are mixed-sign.
+    """
+    values = rng.random((m, k)) + (0.01 if positive else 0.0)
+    if not positive:
+        values = values * rng.choice([-1.0, 1.0], size=(m, k))
+    mask = rng.random((m, k)) < density
+    return values * mask
+
+
+def random_csr(rng: np.random.Generator, m: int, k: int,
+               density: float = 0.3, *, positive: bool = False) -> CSRMatrix:
+    """A random CSR matrix (see :func:`random_dense`)."""
+    return CSRMatrix.from_dense(random_dense(rng, m, k, density,
+                                             positive=positive))
+
+
+def skewed_dense(m: int = 256, k: int = 4096, *, seed: int = 11,
+                 scale: int = 40, floor: int = 5,
+                 cap: int = 2000) -> np.ndarray:
+    """Skewed-degree rows in the regime the paper's datasets occupy (tens
+    to thousands of nonzeros per row, Pareto-distributed) — large enough
+    that Algorithm 1's sort and Algorithm 2's divergence actually bite.
+    """
+    rng = np.random.default_rng(seed)
+    x = np.zeros((m, k))
+    for i in range(m):
+        deg = min(cap, min(k, int(rng.pareto(1.3) * scale) + floor))
+        cols = rng.choice(k, size=deg, replace=False)
+        x[i, cols] = rng.random(deg) + 0.05
+    return x
+
+
+def skewed_csr(m: int = 256, k: int = 4096, *, seed: int = 11,
+               scale: int = 40, floor: int = 5, cap: int = 2000) -> CSRMatrix:
+    """CSR form of :func:`skewed_dense`."""
+    return CSRMatrix.from_dense(skewed_dense(m, k, seed=seed, scale=scale,
+                                             floor=floor, cap=cap))

@@ -1,32 +1,30 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+The data generators live in :mod:`repro.testing` (one seeded home shared
+with ``benchmarks/`` and the golden-fixture regenerator); this module
+re-exports them because many tests import the helpers directly:
+
+    from tests.conftest import random_csr, random_dense
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 
-from repro.sparse.csr import CSRMatrix
-
-
-def random_dense(rng: np.random.Generator, m: int, k: int,
-                 density: float = 0.3, *, positive: bool = False) -> np.ndarray:
-    """A dense array with approximately the requested fraction of nonzeros."""
-    values = rng.random((m, k)) + (0.01 if positive else 0.0)
-    if not positive:
-        values = values * rng.choice([-1.0, 1.0], size=(m, k))
-    mask = rng.random((m, k)) < density
-    return values * mask
-
-
-def random_csr(rng: np.random.Generator, m: int, k: int,
-               density: float = 0.3, *, positive: bool = False) -> CSRMatrix:
-    return CSRMatrix.from_dense(random_dense(rng, m, k, density,
-                                             positive=positive))
+from repro.testing import (  # noqa: F401  (re-exported for test modules)
+    DEFAULT_SEED,
+    random_csr,
+    random_dense,
+    seeded_rng,
+    skewed_csr,
+    skewed_dense,
+)
 
 
 @pytest.fixture
 def rng() -> np.random.Generator:
-    return np.random.default_rng(1234)
+    return seeded_rng(DEFAULT_SEED)
 
 
 @pytest.fixture

@@ -1,0 +1,79 @@
+"""The golden-regression case catalogue, shared by regen and the test.
+
+Each case pins one (engine / row-cache strategy, metric) combination on a
+canonical seeded input pair and records, in ``fixtures/pairwise.json``:
+
+- every distance **bit-exactly** (``float.hex`` round-trip);
+- the merged :class:`~repro.gpusim.KernelStats` counters;
+- the simulated seconds (makespan and serial).
+
+Regenerate after an intentional numerics/cost-model change with::
+
+    PYTHONPATH=src python tests/golden/regen.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.pairwise import pairwise_distances
+from repro.kernels import make_engine
+from repro.testing import DEFAULT_SEED, random_csr, seeded_rng
+
+FIXTURE_PATH = Path(__file__).parent / "fixtures" / "pairwise.json"
+
+#: Tile budget that forces a multi-tile plan (same grid as tests/obs).
+BUDGET = 600
+
+#: (case name, engine factory kwargs, metric, metric params, positive data)
+CASES = (
+    ("hybrid_coo/euclidean", {"name": "hybrid_coo"}, "euclidean", {}, False),
+    ("hybrid_coo/cosine", {"name": "hybrid_coo"}, "cosine", {}, False),
+    ("hybrid_coo/manhattan", {"name": "hybrid_coo"}, "manhattan", {},
+     False),
+    ("hybrid_coo/minkowski_p3", {"name": "hybrid_coo"}, "minkowski",
+     {"p": 3.0}, False),
+    ("hybrid_coo/jaccard", {"name": "hybrid_coo"}, "jaccard", {}, False),
+    ("hybrid_coo/kl_divergence", {"name": "hybrid_coo"}, "kl_divergence",
+     {}, True),
+    # row-cache strategy ablation: same metric, forced §3.3 strategies
+    ("hybrid_coo[dense]/euclidean",
+     {"name": "hybrid_coo", "row_cache": "dense"}, "euclidean", {}, False),
+    ("hybrid_coo[hash]/euclidean",
+     {"name": "hybrid_coo", "row_cache": "hash"}, "euclidean", {}, False),
+    ("hybrid_coo[bloom]/euclidean",
+     {"name": "hybrid_coo", "row_cache": "bloom"}, "euclidean", {}, False),
+    # baseline engines
+    ("naive_csr/euclidean", {"name": "naive_csr"}, "euclidean", {}, False),
+    ("expand_sort_contract/euclidean", {"name": "expand_sort_contract"},
+     "euclidean", {}, False),
+    ("csrgemm/euclidean", {"name": "csrgemm"}, "euclidean", {}, False),
+    ("host/euclidean", {"name": "host"}, "euclidean", {}, False),
+)
+
+
+def canonical_pair(positive: bool):
+    """The fixed input pair every golden case runs on."""
+    rng = seeded_rng(DEFAULT_SEED)
+    return (random_csr(rng, 40, 30, 0.3, positive=positive),
+            random_csr(rng, 25, 30, 0.25, positive=positive))
+
+
+def run_case(name, engine_kwargs, metric, params, positive):
+    """Execute one case; returns the JSON-ready record."""
+    kwargs = dict(engine_kwargs)
+    engine = make_engine(kwargs.pop("name"), **kwargs)
+    a, b = canonical_pair(positive)
+    result = pairwise_distances(a, b, metric=metric, engine=engine,
+                                memory_budget_bytes=BUDGET,
+                                return_result=True, **params)
+    return {
+        "metric": metric,
+        "params": params,
+        "shape": list(result.distances.shape),
+        "distances_hex": [v.hex() for v in result.distances.ravel()],
+        "stats": result.stats.as_dict(),
+        "simulated_seconds": result.simulated_seconds,
+        "serial_seconds": result.report.serial_seconds,
+        "n_tiles": result.report.n_tiles,
+    }

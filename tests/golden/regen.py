@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Regenerate ``tests/golden/fixtures/pairwise.json``.
+
+Run after an *intentional* change to kernel numerics or the cost model::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+and commit the refreshed fixture together with the change that motivated
+it. The test suite (``tests/golden/test_golden.py``) fails with a
+field-level diff whenever current behaviour drifts from this file.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
+
+from tests.golden.cases import CASES, FIXTURE_PATH, run_case  # noqa: E402
+
+
+def regenerate() -> dict:
+    doc = {"_comment": ("golden regression fixtures; regenerate with "
+                        "`PYTHONPATH=src python tests/golden/regen.py`"),
+           "cases": {}}
+    for name, engine_kwargs, metric, params, positive in CASES:
+        print(f"  {name} ...", flush=True)
+        doc["cases"][name] = run_case(name, engine_kwargs, metric, params,
+                                      positive)
+    return doc
+
+
+def main() -> None:
+    doc = regenerate()
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE_PATH.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {len(doc['cases'])} cases to {FIXTURE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

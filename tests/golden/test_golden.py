@@ -1,0 +1,61 @@
+"""Golden-regression suite: current behaviour vs committed fixtures.
+
+Distances must match **bit-exactly** (the fault-tolerance layer's
+bit-identity guarantees depend on the kernels being deterministic);
+kernel-stat counters and simulated seconds must match to 1e-12 relative —
+any drift is either a bug or an intentional change that must be
+re-recorded via ``PYTHONPATH=src python tests/golden/regen.py``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from tests.golden.cases import CASES, FIXTURE_PATH, run_case
+
+REGEN_HINT = ("golden mismatch — if this change is intentional, run "
+              "`PYTHONPATH=src python tests/golden/regen.py` and commit "
+              "the refreshed fixture")
+
+
+@pytest.fixture(scope="module")
+def fixtures():
+    assert FIXTURE_PATH.exists(), (
+        f"{FIXTURE_PATH} missing; generate it with "
+        "`PYTHONPATH=src python tests/golden/regen.py`")
+    return json.loads(FIXTURE_PATH.read_text())["cases"]
+
+
+def test_fixture_covers_every_case(fixtures):
+    assert sorted(fixtures) == sorted(name for name, *_ in CASES)
+
+
+@pytest.mark.parametrize(("name", "engine_kwargs", "metric", "params",
+                          "positive"), CASES, ids=[c[0] for c in CASES])
+def test_golden(fixtures, name, engine_kwargs, metric, params, positive):
+    want = fixtures[name]
+    got = run_case(name, engine_kwargs, metric, params, positive)
+
+    # distances: bit-exact
+    want_d = np.array([float.fromhex(h) for h in want["distances_hex"]])
+    got_d = np.array([float.fromhex(h) for h in got["distances_hex"]])
+    assert got["shape"] == want["shape"], REGEN_HINT
+    if not np.array_equal(got_d, want_d):
+        bad = np.flatnonzero(got_d != want_d)
+        i = bad[0]
+        raise AssertionError(
+            f"{name}: {bad.size}/{want_d.size} distances drifted; first at "
+            f"flat index {i}: got {got_d[i]!r} want {want_d[i]!r} "
+            f"(diff {got_d[i] - want_d[i]:g}). {REGEN_HINT}")
+
+    # kernel-stat counters: 1e-12 relative
+    drift = {k: (got["stats"][k], v) for k, v in want["stats"].items()
+             if not np.isclose(got["stats"][k], v, rtol=1e-12, atol=0.0)}
+    assert not drift, f"{name}: stats drifted {drift}. {REGEN_HINT}"
+
+    for field in ("simulated_seconds", "serial_seconds"):
+        assert got[field] == pytest.approx(want[field], rel=1e-12), (
+            f"{name}: {field} {got[field]!r} != {want[field]!r}. "
+            f"{REGEN_HINT}")
+    assert got["n_tiles"] == want["n_tiles"], REGEN_HINT

@@ -1,0 +1,94 @@
+"""Chrome ``trace_event`` export: document validity and lane layout."""
+
+import json
+
+from repro.core.pairwise import pairwise_distances
+from repro.obs import Tracer, to_chrome_trace, write_chrome_trace
+from tests.conftest import random_csr
+
+
+def _traced_run(rng, n_workers=1):
+    tracer = Tracer()
+    a = random_csr(rng, 40, 30, 0.3)
+    b = random_csr(rng, 25, 30, 0.25)
+    pairwise_distances(a, b, metric="euclidean", trace=tracer,
+                       memory_budget_bytes=600, n_workers=n_workers)
+    return tracer
+
+
+def test_document_shape_and_json_serializable(rng):
+    doc = to_chrome_trace(_traced_run(rng))
+    encoded = json.dumps(doc)  # must not raise
+    assert json.loads(encoded) == doc
+    assert doc["displayTimeUnit"] == "ms"
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert phases <= {"X", "i", "M"}
+    assert "X" in phases and "M" in phases
+
+
+def test_metadata_names_device_and_lanes(rng):
+    doc = to_chrome_trace(_traced_run(rng, n_workers=4))
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    names = {e["name"] for e in meta}
+    assert names == {"process_name", "thread_name", "thread_sort_index"}
+    process = next(e for e in meta if e["name"] == "process_name")
+    assert process["args"]["name"] == "repro simulated device"
+    lanes = sorted(e["tid"] for e in meta if e["name"] == "thread_name")
+    assert lanes == [0, 1, 2, 3]
+
+
+def test_tiles_land_on_round_robin_lanes(rng):
+    doc = to_chrome_trace(_traced_run(rng, n_workers=4))
+    tiles = sorted((e for e in doc["traceEvents"]
+                    if e["ph"] == "X" and e["cat"] == "tile"),
+                   key=lambda e: e["args"]["tile"])
+    assert len(tiles) == 9  # 3x3 grid under the 600B budget
+    for ordinal, tile in enumerate(tiles):
+        assert tile["tid"] == ordinal % 4
+    # lanes run back to back: within a lane, starts are non-decreasing
+    by_lane = {}
+    for t in tiles:
+        by_lane.setdefault(t["tid"], []).append(t["ts"])
+    for starts in by_lane.values():
+        assert starts == sorted(starts)
+
+
+def test_timestamps_are_simulated_microseconds(rng):
+    tracer = _traced_run(rng)
+    doc = to_chrome_trace(tracer)
+    (root,) = (e for e in doc["traceEvents"]
+               if e["ph"] == "X" and e["name"] == "plan.execute")
+    (root_span,) = tracer.spans_named("plan.execute")
+    # the root's width is the makespan the executor charged, in us
+    assert root["dur"] >= root_span.sim_seconds * 1e6 * 0.999
+    assert root["dur"] < 10e6  # simulated, not host, time
+
+
+def test_kernel_launch_instants_present(rng):
+    doc = to_chrome_trace(_traced_run(rng))
+    launches = [e for e in doc["traceEvents"]
+                if e["ph"] == "i" and e["cat"] == "launch"]
+    assert launches
+    assert all(e.get("cname") == "thread_state_runnable" for e in launches)
+    assert all("occupancy" in e["args"] for e in launches)
+
+
+def test_write_chrome_trace_creates_parents(tmp_path, rng):
+    tracer = _traced_run(rng)
+    path = write_chrome_trace(tracer, tmp_path / "deep" / "trace.json")
+    assert path.exists()
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]
+
+
+def test_multiple_roots_laid_out_sequentially(rng):
+    tracer = Tracer()
+    a = random_csr(rng, 10, 12, 0.4)
+    pairwise_distances(a, metric="cosine", trace=tracer)
+    pairwise_distances(a, metric="cosine", trace=tracer)
+    doc = to_chrome_trace(tracer)
+    roots = [e for e in doc["traceEvents"]
+             if e["ph"] == "X" and e["name"] == "plan.execute"]
+    assert len(roots) == 2
+    first, second = sorted(roots, key=lambda e: e["ts"])
+    assert second["ts"] >= first["ts"] + first["dur"]

@@ -1,0 +1,137 @@
+"""MetricsRegistry unit behaviour and exposition formats."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry()
+
+
+def test_counter_semantics(registry):
+    c = registry.counter("tiles_executed", "tiles delivered")
+    c.inc()
+    c.inc(3)
+    assert c.value() == 4
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_counter_labels(registry):
+    c = registry.counter("launches")
+    c.inc(engine="hybrid_coo")
+    c.inc(2, engine="host")
+    assert c.value(engine="hybrid_coo") == 1
+    assert c.value(engine="host") == 2
+    assert c.value() == 0  # unlabeled series is distinct
+
+
+def test_gauge_semantics(registry):
+    g = registry.gauge("peak_workspace_bytes")
+    g.set(100.0)
+    g.set_max(50.0)
+    assert g.value() == 100.0
+    g.set_max(250.0)
+    assert g.value() == 250.0
+    g.inc(10.0)
+    assert g.value() == 260.0
+
+
+def test_histogram_buckets_are_cumulative(registry):
+    h = registry.histogram("simulated_ms", buckets=(1.0, 10.0, 100.0))
+    for v in (0.5, 5.0, 50.0, 500.0):
+        h.observe(v)
+    (series,) = h._series.values()
+    # cumulative Prometheus semantics: bucket le=B counts all obs <= B
+    assert series.bucket_counts == [1, 2, 3]
+    assert series.count == 4
+    assert series.sum == 555.5
+    assert h.count() == 4
+    assert h.sum() == 555.5
+
+
+def test_get_or_create_returns_same_instrument(registry):
+    assert registry.counter("x") is registry.counter("x")
+    assert registry.names() == ("x",)
+
+
+def test_kind_mismatch_raises(registry):
+    registry.counter("n")
+    with pytest.raises(TypeError, match="already registered as counter"):
+        registry.gauge("n")
+    with pytest.raises(TypeError):
+        registry.histogram("n")
+
+
+def test_prometheus_text_format(registry):
+    registry.counter("tiles_executed", "tiles delivered").inc(7)
+    registry.gauge("peak_bytes").set(128)
+    h = registry.histogram("ms", buckets=(1.0, 10.0))
+    h.observe(0.5)
+    h.observe(20.0, engine="host")
+    text = registry.to_prometheus_text()
+    lines = text.splitlines()
+    assert "# HELP tiles_executed tiles delivered" in lines
+    assert "# TYPE tiles_executed counter" in lines
+    assert "tiles_executed 7" in lines
+    assert "# TYPE peak_bytes gauge" in lines
+    assert "peak_bytes 128" in lines
+    assert "# TYPE ms histogram" in lines
+    assert 'ms_bucket{le="1"} 1' in lines
+    assert 'ms_bucket{le="+Inf"} 1' in lines
+    assert 'ms_bucket{engine="host",le="+Inf"} 1' in lines
+    assert 'ms_sum{engine="host"} 20' in lines
+    assert 'ms_count{engine="host"} 1' in lines
+    assert text.endswith("\n")
+
+
+def test_json_exposition_round_trips(registry):
+    registry.counter("c", "help text").inc(2, kind="a")
+    registry.histogram("h", buckets=(1.0,)).observe(0.5)
+    doc = json.loads(registry.to_json())
+    assert doc["c"]["type"] == "counter"
+    assert doc["c"]["help"] == "help text"
+    assert doc["c"]["series"] == [{"labels": {"kind": "a"}, "value": 2}]
+    assert doc["h"]["series"][0]["buckets"] == {"1": 1}
+    assert doc["h"]["series"][0]["count"] == 1
+
+
+def test_default_buckets_sorted_nonempty():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    assert len(DEFAULT_BUCKETS) >= 5
+    with pytest.raises(ValueError):
+        Histogram("h", "", threading.Lock(), buckets=())
+
+
+def test_null_metrics_accepts_everything_silently():
+    c = NULL_METRICS.counter("anything")
+    g = NULL_METRICS.gauge("anything")
+    h = NULL_METRICS.histogram("anything")
+    # one shared no-op instrument serves all three kinds
+    assert c is g is h
+    c.inc(5, label="x")
+    g.set(1.0)
+    g.set_max(2.0)
+    h.observe(3.0)
+    assert c.value() == 0.0
+    assert NULL_METRICS.as_dict() == {}
+    assert NULL_METRICS.to_prometheus_text() == ""
+
+
+def test_instrument_classes_exported():
+    r = MetricsRegistry()
+    assert isinstance(r.counter("a"), Counter)
+    assert isinstance(r.gauge("b"), Gauge)
+    assert isinstance(r.histogram("c"), Histogram)

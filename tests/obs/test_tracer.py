@@ -1,0 +1,153 @@
+"""Tracer unit behaviour: nesting, parentage, canonical trees, and the
+zero-overhead guarantee of the disabled path."""
+
+import threading
+import tracemalloc
+
+from repro.core.pairwise import pairwise_distances
+from repro.obs.tracer import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    canonical_trees_equal,
+    current_metrics,
+    current_span,
+    current_tracer,
+    get_default_tracer,
+    set_default_tracer,
+)
+from tests.conftest import random_csr
+
+OBS_FILES = ("tracer.py", "metrics.py", "chrome_trace.py")
+
+
+def test_span_nesting_follows_thread_stack():
+    tracer = Tracer()
+    with tracer.span("outer", "plan") as outer:
+        assert current_span() is outer
+        assert current_tracer() is tracer
+        with tracer.span("inner", "kernel") as inner:
+            assert inner.parent is outer
+            assert current_span() is inner
+    assert current_span() is None
+    assert tracer.roots == [outer]
+    assert outer.children == [inner]
+
+
+def test_explicit_parent_wins_across_threads():
+    tracer = Tracer()
+    with tracer.span("root", "plan") as root:
+        def worker():
+            # No open span on this thread: without parent= this would
+            # become a new root; with it, it attaches under `root`.
+            with tracer.span("tile[0,0]", "tile", parent=root, tile=0):
+                pass
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+    assert [c.name for c in root.children] == ["tile[0,0]"]
+    assert tracer.roots == [root]
+
+
+def test_span_annotations_and_events():
+    tracer = Tracer()
+    with tracer.span("s", "tile", tile=3) as span:
+        span.annotate(retries=1).set_sim_seconds(0.5).add_sim_seconds(0.25)
+        span.event("retried", "fault", 0.1, kind="transient")
+        tracer.event("note", "note")  # attaches to the open span
+    assert span.args["retries"] == 1
+    assert span.sim_seconds == 0.75
+    assert [e.name for e in span.events] == ["retried", "note"]
+    assert tracer.fault_events()[0].args["kind"] == "transient"
+
+
+def test_error_exit_marks_span():
+    tracer = Tracer()
+    try:
+        with tracer.span("boom", "tile"):
+            raise ValueError("x")
+    except ValueError:
+        pass
+    (span,) = tracer.spans_named("boom")
+    assert span.status == "error"
+    assert span.args["error"] == "ValueError"
+
+
+def test_span_tree_canonicalizes_sibling_order():
+    a, b = Tracer(), Tracer()
+    for tracer, order in ((a, (0, 1, 2)), (b, (2, 0, 1))):
+        with tracer.span("plan.execute", "plan") as root:
+            for i in order:
+                with tracer.span(f"tile[{i},0]", "tile", parent=root,
+                                 tile=i):
+                    pass
+    assert canonical_trees_equal(a, b)
+    # ...but a genuinely different tree is detected
+    c = Tracer()
+    with c.span("plan.execute", "plan") as root:
+        with c.span("tile[0,0]", "tile", parent=root, tile=0):
+            pass
+    assert not canonical_trees_equal(a, c)
+
+
+def test_default_tracer_install_and_restore():
+    tracer = Tracer()
+    previous = set_default_tracer(tracer)
+    try:
+        assert get_default_tracer() is tracer
+    finally:
+        set_default_tracer(previous)
+    assert get_default_tracer() is previous
+
+
+def test_null_tracer_records_nothing():
+    assert isinstance(NULL_TRACER, NullTracer)
+    assert not NULL_TRACER.enabled
+    span = NULL_TRACER.span("anything", "tile", tile=1)
+    assert span is NULL_SPAN
+    with span as s:
+        assert s.annotate(x=1) is s
+        assert s.set_sim_seconds(1.0) is s
+        assert s.event("e") is None
+    assert NULL_TRACER.span_tree() == []
+    assert NULL_TRACER.spans == ()
+
+
+def _obs_allocations(snapshot):
+    """Bytes allocated (still live) from inside the obs modules."""
+    total = 0
+    for stat in snapshot.statistics("filename"):
+        filename = stat.traceback[0].filename
+        if filename.endswith(OBS_FILES) and "tests" not in filename:
+            total += stat.size
+    return total
+
+
+def test_disabled_path_allocates_nothing_per_tile(rng):
+    """The NullTracer/NullMetrics hot loop performs no per-tile
+    allocations: obs-module allocations are identical for a 1-tile and a
+    9-tile untraced execution (modulo one-time thread-local init, which is
+    warmed up beforehand)."""
+    a = random_csr(rng, 40, 30, 0.3)
+    b = random_csr(rng, 25, 30, 0.25)
+
+    def run(budget):
+        pairwise_distances(a, b, metric="euclidean",
+                           memory_budget_bytes=budget)
+
+    # Warm up: per-thread _TLS dict init, import-time caches, etc.
+    run(None)
+    current_tracer()
+    current_metrics()
+
+    tracemalloc.start()
+    try:
+        run(None)  # single tile
+        small = _obs_allocations(tracemalloc.take_snapshot())
+        run(600)  # 3x3 tile grid under the small budget
+        large = _obs_allocations(tracemalloc.take_snapshot())
+    finally:
+        tracemalloc.stop()
+    assert small == 0, f"obs allocated {small}B on an untraced 1-tile run"
+    assert large == 0, f"obs allocated {large}B on an untraced 9-tile run"

@@ -1,0 +1,156 @@
+"""Metric-axiom property suite over the full distance catalogue.
+
+For every catalogued distance (Table 1), driven by its own metadata:
+
+- **agreement** with the dense oracle (:func:`pairwise_reference`);
+- **symmetry** — d(x, y) == d(y, x) where ``measure.symmetric``;
+- **non-negativity** where ``measure.non_negative`` (dot and KL are signed);
+- **identity of indiscernibles** — d(x, x) == 0 where
+  ``measure.zero_diagonal`` (dot's self-distance is ||x||², Russell-Rao's
+  is (k - |x|) / k);
+- the **triangle inequality** where ``measure.is_metric``.
+
+Inputs are randomized CSR matrices sweeping density and degree skew, with
+empty rows and all-zero columns forced in — the edge cases the paper's
+formulas elide (d(∅, ∅), zero denominators, annihilated columns).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distances import available_distances, make_distance
+from repro.core.pairwise import pairwise_distances
+from repro.core.reference import pairwise_reference
+from repro.sparse.csr import CSRMatrix
+
+#: Distances whose formulas assume nonnegative (distribution-like) values.
+POSITIVE_ONLY = {"hellinger", "kl_divergence", "jensen_shannon"}
+
+ALL_METRICS = available_distances()
+
+#: Axiom tolerance. Root-taking finalizers amplify eps-level cancellation
+#: residue: sqrt(eps) ~ 1.5e-8 for euclidean/hellinger, eps^(1/3) ~ 6e-6
+#: for minkowski(p=3) — so axiom checks allow ~2e-5 of noise, still five
+#: orders of magnitude below any real axiom violation.
+ATOL = 2e-5
+
+
+@st.composite
+def sparse_matrix(draw, positive):
+    """One CSR matrix sweeping shape, density, and degree skew.
+
+    Degree skew comes from per-row density multipliers (some rows nearly
+    dense, some nearly empty); on top of that, an empty row and an all-zero
+    column are forced in with high probability.
+    """
+    m = draw(st.integers(2, 7))
+    k = draw(st.integers(2, 10))
+    seed = draw(st.integers(0, 2**31 - 1))
+    base_density = draw(st.floats(0.05, 0.95))
+    skew = draw(st.floats(0.0, 1.0))  # 0 = uniform, 1 = heavily skewed
+    force_empty_row = draw(st.booleans())
+    force_zero_col = draw(st.booleans())
+
+    rng = np.random.default_rng(seed)
+    values = rng.random((m, k)) + 0.01
+    if not positive:
+        values = values * rng.choice([-1.0, 1.0], size=(m, k))
+    # Per-row densities: interpolate between uniform and a steep ramp.
+    ramp = np.linspace(1.0, 0.05, m)
+    row_density = base_density * ((1.0 - skew) + skew * ramp)
+    mask = rng.random((m, k)) < row_density[:, None]
+    dense = values * mask
+    if force_empty_row:
+        dense[draw(st.integers(0, m - 1)), :] = 0.0
+    if force_zero_col:
+        dense[:, draw(st.integers(0, k - 1))] = 0.0
+    return dense
+
+
+def _axioms(metric, dense):
+    measure = make_distance(metric)
+    x = CSRMatrix.from_dense(dense)
+    d = pairwise_distances(x, metric=metric, engine="hybrid_coo")
+    m = dense.shape[0]
+    assert d.shape == (m, m)
+    assert np.isfinite(d).all()
+
+    # agreement with the dense oracle (atol absorbs root-amplified
+    # cancellation residue, see ATOL above)
+    want = pairwise_reference(dense, dense, metric)
+    scale = max(1.0, float(np.abs(want).max()))
+    np.testing.assert_allclose(d, want, atol=ATOL * scale, rtol=1e-9)
+
+    if measure.symmetric:
+        np.testing.assert_allclose(d, d.T, atol=ATOL * scale)
+
+    if measure.non_negative:
+        assert d.min() >= -ATOL * scale
+
+    if measure.zero_diagonal:
+        np.testing.assert_allclose(np.diag(d), 0.0, atol=ATOL * scale)
+
+    if measure.is_metric:
+        # d[i, j] <= d[i, l] + d[l, j] for every triple, vectorized.
+        via = d[:, :, None] + d[None, :, :]  # via[i, l, j]
+        slack = d[:, None, :] - via
+        assert slack.max() <= ATOL * scale, (
+            f"triangle inequality violated by {slack.max():g}")
+
+
+@pytest.mark.parametrize("metric",
+                         sorted(set(ALL_METRICS) - POSITIVE_ONLY))
+@given(dense=sparse_matrix(positive=False))
+@settings(max_examples=25, deadline=None)
+def test_axioms_mixed_sign(metric, dense):
+    _axioms(metric, dense)
+
+
+@pytest.mark.parametrize("metric", sorted(POSITIVE_ONLY))
+@given(dense=sparse_matrix(positive=True))
+@settings(max_examples=25, deadline=None)
+def test_axioms_positive_only(metric, dense):
+    _axioms(metric, dense)
+
+
+def test_catalogue_covers_paper_table1():
+    """The catalogue carries (at least) the paper's fifteen measures, and
+    every one declares the metadata the axiom suite keys on."""
+    assert len(ALL_METRICS) >= 15
+    for name in ALL_METRICS:
+        measure = make_distance(name)
+        assert isinstance(measure.symmetric, bool)
+        assert isinstance(measure.non_negative, bool)
+        assert isinstance(measure.zero_diagonal, bool)
+        assert isinstance(measure.is_metric, bool)
+        # a declared metric must also satisfy the weaker axioms
+        if measure.is_metric:
+            assert measure.symmetric
+            assert measure.non_negative
+            assert measure.zero_diagonal
+
+
+def test_signed_measures_are_actually_signed():
+    """The measures declared signed do produce negative values — i.e. the
+    ``non_negative=False`` metadata is load-bearing, not conservative."""
+    x = np.array([[1.0, 0.0], [-1.0, 0.0]])
+    d = pairwise_distances(CSRMatrix.from_dense(x), metric="dot")
+    assert d.min() < 0  # <x0, x1> = -1
+
+    # x log(x / y) < 0 when y > x on the intersection
+    kl = pairwise_distances(
+        CSRMatrix.from_dense(np.array([[0.1, 0.0], [10.0, 0.0]])),
+        metric="kl_divergence")
+    assert kl.min() < 0
+
+
+def test_nonzero_self_distance_measures():
+    """``zero_diagonal=False`` metadata is load-bearing too."""
+    x = np.array([[1.0, 2.0, 0.0]])
+    dot = pairwise_distances(CSRMatrix.from_dense(x), metric="dot")
+    assert dot[0, 0] == pytest.approx(5.0)  # ||x||^2, not 0
+
+    rr = pairwise_distances(CSRMatrix.from_dense(x), metric="russellrao")
+    assert rr[0, 0] == pytest.approx(1.0 / 3.0)  # (k - |x|) / k
