@@ -38,6 +38,7 @@ from repro.errors import (
 from repro.faults import FaultInjector, FaultSpec, RecoveryPolicy
 from repro.gpusim import AMPERE_A100, VOLTA_V100, DeviceSpec, get_device
 from repro.neighbors import NearestNeighbors, knn_graph
+from repro.serve import Server, ShardedIndex
 from repro.sparse import COOMatrix, CSRMatrix, as_csr
 
 __version__ = "1.0.0"
@@ -55,6 +56,9 @@ __all__ = [
     # neighbors
     "NearestNeighbors",
     "knn_graph",
+    # serving
+    "Server",
+    "ShardedIndex",
     # sparse
     "CSRMatrix",
     "COOMatrix",

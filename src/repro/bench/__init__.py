@@ -5,17 +5,19 @@ DESIGN.md §4 for the experiment-to-module index and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
-from repro.bench.reporting import results_dir, save_report
+from repro.bench.reporting import results_dir, save_json, save_report
 from repro.bench.runner import (
     BENCH_SCALES,
     KNN_K,
     MINKOWSKI_P,
     BenchCell,
     PlanCell,
+    ServeCell,
     bench_dataset,
     run_baseline_cell,
     run_knn_cell,
     run_plan_cell,
+    run_serve_cell,
 )
 from repro.bench.runner import run_cpu_cell
 from repro.bench.tables import bold_min, format_seconds, render_kv, render_table
@@ -23,11 +25,13 @@ from repro.bench.tables import bold_min, format_seconds, render_kv, render_table
 __all__ = [
     "BenchCell",
     "PlanCell",
+    "ServeCell",
     "bench_dataset",
     "run_knn_cell",
     "run_baseline_cell",
     "run_cpu_cell",
     "run_plan_cell",
+    "run_serve_cell",
     "BENCH_SCALES",
     "KNN_K",
     "MINKOWSKI_P",
@@ -37,4 +41,5 @@ __all__ = [
     "bold_min",
     "results_dir",
     "save_report",
+    "save_json",
 ]

@@ -12,9 +12,10 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Callable, Dict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Union
 
-from repro.bench.reporting import save_report
+from repro.bench.reporting import save_json, save_report
 from repro.bench.runner import (
     bench_dataset,
     run_baseline_cell,
@@ -22,6 +23,7 @@ from repro.bench.runner import (
     run_fault_cell,
     run_knn_cell,
     run_plan_cell,
+    run_serve_cell,
 )
 from repro.bench.tables import bold_min, format_seconds, render_table
 from repro.core.distances import DOT_PRODUCT_DISTANCES, NAMM_DISTANCES
@@ -29,6 +31,30 @@ from repro.core.distances import DOT_PRODUCT_DISTANCES, NAMM_DISTANCES
 DATASETS = ("movielens", "scrna", "nytimes", "sec_edgar")
 
 
+@dataclass
+class Report:
+    """A report function's product: the rendered table plus an optional
+    machine-readable payload written as ``<json_name>.json``."""
+
+    content: str
+    json_name: Optional[str] = None
+    json_payload: Optional[dict] = None
+
+
+#: Registry of report name → producer; ``main`` dispatches every report
+#: through this one table (print + save + optional JSON), so adding a
+#: report is a ``@report("name")`` decorator, not another dispatch block.
+REPORTS: Dict[str, Callable[[], Union[str, Report]]] = {}
+
+
+def report(name: str):
+    def register(fn: Callable[[], Union[str, Report]]):
+        REPORTS[name] = fn
+        return fn
+    return register
+
+
+@report("table2")
 def report_table2() -> str:
     from repro.datasets.synthetic import DATASET_PAPER_FACTS
 
@@ -46,6 +72,7 @@ def report_table2() -> str:
                         title="Table 2 — datasets")
 
 
+@report("fig1")
 def report_fig1() -> str:
     from repro.datasets.degree import degree_percentile
 
@@ -56,6 +83,7 @@ def report_fig1() -> str:
                         title="Figure 1 — degree quantiles")
 
 
+@report("table3")
 def report_table3() -> str:
     headers = ["group", "distance"]
     for ds in DATASETS:
@@ -77,6 +105,7 @@ def report_table3() -> str:
                         title="Table 3 — end-to-end kNN (simulated V100)")
 
 
+@report("speedup")
 def report_speedup() -> str:
     rows = []
     for group, metrics in (("dot", DOT_PRODUCT_DISTANCES),
@@ -94,6 +123,7 @@ def report_speedup() -> str:
                         rows, title="§4.2 — GPU speedup vs CPU")
 
 
+@report("plan")
 def report_plan() -> str:
     """Tiled vs monolithic execution plans: memory and modeled time."""
     def fmt_bytes(b: float) -> str:
@@ -120,6 +150,7 @@ def report_plan() -> str:
         title="Execution plans — tiled vs monolithic (simulated V100)")
 
 
+@report("faults")
 def report_faults() -> str:
     """Chaos matrix: faulty executions must reproduce clean runs bit-for-bit.
 
@@ -153,14 +184,54 @@ def report_faults() -> str:
         title="Fault matrix — recovered runs vs clean runs")
 
 
-REPORTS: Dict[str, Callable[[], str]] = {
-    "table2": report_table2,
-    "fig1": report_fig1,
-    "table3": report_table3,
-    "speedup": report_speedup,
-    "plan": report_plan,
-    "faults": report_faults,
-}
+@report("serve")
+def report_serve() -> Report:
+    """Serving-layer profile: throughput/latency vs batch size and shards.
+
+    Drives an open-loop simulated request stream through
+    :class:`~repro.serve.Server` for each (micro-batch size, shard count)
+    cell; alongside the table, the cells are written to
+    ``BENCH_serve.json`` (the CI serving-smoke artifact).
+    """
+    cells = []
+    rows = []
+    for max_batch_rows in (8, 32, 128):
+        for n_shards in (1, 2, 4):
+            cell = run_serve_cell(
+                "movielens", "cosine", n_shards=n_shards,
+                max_batch_rows=max_batch_rows, n_workers=2)
+            cells.append(cell)
+            rows.append([
+                str(max_batch_rows), str(n_shards), str(cell.n_batches),
+                f"{cell.mean_batch_rows:.1f}",
+                f"{cell.throughput_rows_per_s:,.0f}",
+                f"{cell.p50_latency_ms:.3f}", f"{cell.p99_latency_ms:.3f}",
+            ])
+        print(f"  ... batch={max_batch_rows} done", file=sys.stderr)
+    content = render_table(
+        ["batch rows", "shards", "batches", "rows/batch",
+         "rows/s (sim)", "p50 ms", "p99 ms"], rows,
+        title="Serving — movielens/cosine, open-loop stream "
+              "(simulated time)")
+    payload = {
+        "dataset": "movielens",
+        "metric": "cosine",
+        "cells": [{
+            "max_batch_rows": c.max_batch_rows,
+            "n_shards": c.n_shards,
+            "placement": c.placement,
+            "n_workers": c.n_workers,
+            "n_requests": c.n_requests,
+            "total_rows": c.total_rows,
+            "n_batches": c.n_batches,
+            "mean_batch_rows": c.mean_batch_rows,
+            "throughput_rows_per_s": c.throughput_rows_per_s,
+            "p50_latency_ms": c.p50_latency_ms,
+            "p99_latency_ms": c.p99_latency_ms,
+            "wall_seconds": c.wall_seconds,
+        } for c in cells],
+    }
+    return Report(content, json_name="BENCH_serve", json_payload=payload)
 
 
 def main(argv=None) -> int:
@@ -195,11 +266,18 @@ def main(argv=None) -> int:
     try:
         for name in names:
             start = time.perf_counter()
-            content = REPORTS[name]()
+            produced = REPORTS[name]()
             elapsed = time.perf_counter() - start
-            path = save_report(f"cli_{name}", content)
-            print(content)
-            print(f"[{name}: {elapsed:.1f}s, saved to {path}]\n")
+            if isinstance(produced, str):
+                produced = Report(produced)
+            path = save_report(f"cli_{name}", produced.content)
+            print(produced.content)
+            print(f"[{name}: {elapsed:.1f}s, saved to {path}]")
+            if produced.json_name is not None:
+                json_path = save_json(produced.json_name,
+                                      produced.json_payload)
+                print(f"[{name}: JSON saved to {json_path}]")
+            print()
     finally:
         if tracer is not None:
             from repro.obs import set_default_tracer, write_chrome_trace

@@ -10,7 +10,7 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-__all__ = ["results_dir", "save_report", "session_reports"]
+__all__ = ["results_dir", "save_report", "save_json", "session_reports"]
 
 _ENV_KEY = "REPRO_BENCH_RESULTS"
 
@@ -33,6 +33,20 @@ def save_report(name: str, content: str) -> Path:
     """Persist one report and return its path."""
     path = results_dir() / f"{name}.txt"
     path.write_text(content + "\n")
+    _SESSION_REPORTS.append((name, path))
+    return path
+
+
+def save_json(name: str, payload) -> Path:
+    """Persist one machine-readable report (``<name>.json``).
+
+    Used by reports that feed CI artifacts (e.g. ``BENCH_serve.json``);
+    the payload must be JSON-serializable.
+    """
+    import json
+
+    path = results_dir() / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     _SESSION_REPORTS.append((name, path))
     return path
 

@@ -28,10 +28,10 @@ from repro.kernels import make_engine
 from repro.neighbors.brute_force import NearestNeighbors
 from repro.plan.tiling import OUTPUT_ITEM_BYTES, WORKSPACE_ITEM_BYTES
 
-__all__ = ["BenchCell", "PlanCell", "FaultCell", "run_knn_cell",
-           "run_baseline_cell", "run_plan_cell", "run_fault_cell",
-           "BENCH_SCALES", "bench_dataset", "MINKOWSKI_P", "KNN_K",
-           "CHAOS_SPECS"]
+__all__ = ["BenchCell", "PlanCell", "FaultCell", "ServeCell",
+           "run_knn_cell", "run_baseline_cell", "run_plan_cell",
+           "run_fault_cell", "run_serve_cell", "BENCH_SCALES",
+           "bench_dataset", "MINKOWSKI_P", "KNN_K", "CHAOS_SPECS"]
 
 #: Scales used by every benchmark (documented in EXPERIMENTS.md); chosen so
 #: the full Table-3 sweep completes in minutes on a laptop while preserving
@@ -274,3 +274,82 @@ def run_cpu_cell(dataset: str, metric: str) -> BenchCell:
     wall = time.perf_counter() - start
     return BenchCell(dataset=dataset, metric=metric, engine="cpu-sklearn",
                      simulated_seconds=seconds, wall_seconds=wall)
+
+
+@dataclass
+class ServeCell:
+    """One serving configuration driven by a synthetic request stream."""
+
+    dataset: str
+    metric: str
+    n_shards: int
+    placement: str
+    max_batch_rows: int
+    n_workers: int
+    n_requests: int
+    total_rows: int
+    n_batches: int
+    mean_batch_rows: float
+    #: query rows served per simulated second (first arrival → last
+    #: completion)
+    throughput_rows_per_s: float
+    p50_latency_ms: float
+    p99_latency_ms: float
+    wall_seconds: float
+
+    @property
+    def label(self) -> str:
+        return (f"{self.dataset}/{self.metric}/shards{self.n_shards}"
+                f"/batch{self.max_batch_rows}")
+
+
+def run_serve_cell(dataset: str, metric: str, *, n_shards: int = 2,
+                   placement: str = "degree_balanced",
+                   max_batch_rows: int = 32, max_wait_ms: float = 2.0,
+                   n_workers: int = 1, n_requests: int = 48,
+                   rows_per_request: int = 4,
+                   arrival_gap_ms: float = 0.25,
+                   n_neighbors: int = KNN_K) -> ServeCell:
+    """Serve a synthetic open-loop request stream against one config.
+
+    Requests are ``rows_per_request``-row slices of the dataset itself,
+    arriving every ``arrival_gap_ms`` of simulated time; throughput and
+    latency percentiles come from the server's deterministic latency
+    model, so cells are exactly reproducible.
+    """
+    from repro.serve import Server, ShardedIndex
+
+    ds = bench_dataset(dataset)
+    index = ShardedIndex.build(
+        ds.matrix, metric=metric, metric_params=_metric_kwargs(metric),
+        n_shards=n_shards, placement=placement)
+    server = Server(index, max_batch_rows=max_batch_rows,
+                    max_wait_ms=max_wait_ms, n_workers=n_workers)
+
+    n_rows = ds.matrix.n_rows
+    start = time.perf_counter()
+    futures = []
+    for i in range(n_requests):
+        lo = (i * rows_per_request) % max(1, n_rows - rows_per_request)
+        block = ds.matrix.slice_rows(lo, lo + rows_per_request)
+        futures.append(server.submit(block, n_neighbors,
+                                     arrival_ms=i * arrival_gap_ms))
+    server.drain()
+    wall = time.perf_counter() - start
+    results = [f.result() for f in futures]
+
+    latencies = np.array([r.report.latency_ms for r in results])
+    total_rows = sum(b.n_rows for b in server.batch_reports)
+    span_ms = (max(b.completion_ms for b in server.batch_reports)
+               - min(r.report.arrival_ms for r in results))
+    throughput = total_rows / (span_ms / 1e3) if span_ms > 0 else 0.0
+    return ServeCell(
+        dataset=dataset, metric=metric, n_shards=n_shards,
+        placement=placement, max_batch_rows=max_batch_rows,
+        n_workers=n_workers, n_requests=n_requests, total_rows=total_rows,
+        n_batches=len(server.batch_reports),
+        mean_batch_rows=total_rows / len(server.batch_reports),
+        throughput_rows_per_s=throughput,
+        p50_latency_ms=float(np.percentile(latencies, 50)),
+        p99_latency_ms=float(np.percentile(latencies, 99)),
+        wall_seconds=wall)

@@ -9,6 +9,7 @@ vectorizers plus text generators the examples use
 
 from repro.datasets.corpus import generate_company_names, generate_documents
 from repro.datasets.degree import (
+    degree_balanced_shards,
     degree_cdf,
     degree_percentile,
     degree_summary,
@@ -37,6 +38,7 @@ __all__ = [
     "degree_percentile",
     "fraction_below",
     "degree_summary",
+    "degree_balanced_shards",
     "TfidfVectorizer",
     "CharNgramVectorizer",
     "save_csr",

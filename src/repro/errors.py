@@ -80,6 +80,30 @@ class InjectedHashCapacityFault(InjectedFault, HashCapacityError):
     """An injected hash-table capacity overflow (degrade the strategy)."""
 
 
+class ServeError(ReproError):
+    """Base class for errors raised by the online serving layer."""
+
+
+class SnapshotFormatError(ServeError):
+    """A :class:`~repro.serve.ShardedIndex` snapshot is malformed,
+    truncated, or written by an incompatible version."""
+
+
+class ShardFailedError(ServeError):
+    """Every shard of a served query failed beyond recovery.
+
+    Single-shard failures degrade to a ``partial=True`` result instead;
+    this error means no shard produced neighbors at all. ``fault_log``
+    aggregates the per-shard :class:`~repro.faults.FaultEvent` records.
+    """
+
+    def __init__(self, message: str, *, failed_shards: tuple = (),
+                 fault_log: tuple = ()):
+        super().__init__(message)
+        self.failed_shards = tuple(failed_shards)
+        self.fault_log = tuple(fault_log)
+
+
 class ExecutionFaultError(ReproError):
     """A plan execution failed on a fault its recovery could not absorb.
 

@@ -32,9 +32,15 @@ from repro.gpusim.stats import KernelStats
 from repro.kernels.base import PairwiseKernel
 from repro.obs import resolve_trace, write_chrome_trace
 from repro.obs.metrics import MetricsRegistry
+from repro.core.distances import DistanceMeasure, make_distance
 from repro.plan.consumers import CallbackConsumer, TopKConsumer
 from repro.plan.executor import PlanExecutor
-from repro.plan.pairwise_plan import PairwisePlan, build_pairwise_plan
+from repro.plan.pairwise_plan import (
+    PairwisePlan,
+    PreparedOperand,
+    build_pairwise_plan,
+    prepare_operand,
+)
 from repro.sparse.convert import as_csr
 from repro.sparse.csr import CSRMatrix
 
@@ -148,6 +154,8 @@ class NearestNeighbors:
         self.tracer, self._trace_path = resolve_trace(trace)
         self.metrics = metrics
         self._fit_matrix: Optional[CSRMatrix] = None
+        self._prepared: Optional[PreparedOperand] = None
+        self._prepared_key = None
         self.last_report: Optional[KnnQueryReport] = None
 
     # ------------------------------------------------------------------
@@ -155,11 +163,33 @@ class NearestNeighbors:
         """Index the rows of ``x``.
 
         Stored raw (metric pre-transforms such as Hellinger's √x are applied
-        by the plan builder, once per query) so the same fitted index can
-        serve queries under any compatible metric.
+        once, lazily, by :meth:`prepared_operands`) so the same fitted index
+        can serve queries under any compatible metric.
         """
         self._fit_matrix = as_csr(x)
+        self._prepared = None
+        self._prepared_key = None
         return self
+
+    def _measure(self) -> DistanceMeasure:
+        return make_distance(self.metric, **self.metric_params)
+
+    def prepared_operands(self) -> PreparedOperand:
+        """The fitted matrix prepared for this estimator's metric, cached.
+
+        The measure's value pre-transform and the expansion's row norms are
+        computed on first use and reused by every subsequent query — and by
+        :class:`~repro.serve.ShardedIndex`, which slices (never recomputes)
+        them per shard. The cache is invalidated when ``metric`` /
+        ``metric_params`` change or on re-``fit``.
+        """
+        self._check_fitted()
+        key = (self.metric, tuple(sorted(self.metric_params.items())))
+        if self._prepared is None or self._prepared_key != key:
+            self._prepared = prepare_operand(self._fit_matrix,
+                                             self._measure())
+            self._prepared_key = key
+        return self._prepared
 
     @property
     def n_samples_fit(self) -> int:
@@ -174,15 +204,17 @@ class NearestNeighbors:
     def _build_plan(self, x) -> PairwisePlan:
         """One plan per query call: queries on the A side, the fitted index
         tiled along B in ``batch_rows`` bands (self-join when ``x`` is None,
-        so preparation and norms happen once, not twice)."""
+        so preparation and norms happen once, not twice). The fitted side is
+        always the cached :meth:`prepared_operands` — its transform and
+        norms are computed once per fitted metric, not once per query."""
+        fitted = self.prepared_operands()
         queries = None if x is None else as_csr(x)
         return build_pairwise_plan(
-            self._fit_matrix if queries is None else queries,
-            None if queries is None else self._fit_matrix,
-            self.metric, engine=self.engine, device=self.device,
+            fitted if queries is None else queries,
+            None if queries is None else fitted,
+            self._measure(), engine=self.engine, device=self.device,
             memory_budget_bytes=self.memory_budget_bytes,
-            max_tile_rows_b=self.batch_rows, tracer=self.tracer,
-            **self.metric_params)
+            max_tile_rows_b=self.batch_rows, tracer=self.tracer)
 
     def _executor(self, plan) -> PlanExecutor:
         return PlanExecutor(plan, n_workers=self.n_workers,

@@ -9,7 +9,7 @@ maintains the running k-best across batches of *candidate columns*.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -32,7 +32,20 @@ def select_topk(distances: np.ndarray, k: int,
     k = min(k, n_cols)
     keyed = distances if ascending else -distances
     if k < n_cols:
-        part_idx = np.argpartition(keyed, kth=k - 1, axis=1)[:, :k]
+        full_idx = np.argpartition(keyed, kth=k - 1, axis=1)
+        part_idx = full_idx[:, :k]
+        # argpartition keeps an *arbitrary* subset of entries tied exactly
+        # at the k boundary, so two runs partitioned differently (e.g. one
+        # shard vs the full block) could keep different ids. Re-select any
+        # row whose boundary value also appears among the excluded entries
+        # with a stable full sort, so boundary ties resolve by index.
+        boundary = np.take_along_axis(keyed, part_idx, axis=1).max(axis=1)
+        excluded = np.take_along_axis(keyed, full_idx[:, k:], axis=1)
+        tied = np.nonzero((excluded == boundary[:, None]).any(axis=1))[0]
+        if tied.size:
+            part_idx = part_idx.copy()
+            part_idx[tied] = np.argsort(keyed[tied], axis=1,
+                                        kind="stable")[:, :k]
     else:
         part_idx = np.tile(np.arange(n_cols), (n_rows, 1))
     part_val = np.take_along_axis(keyed, part_idx, axis=1)
@@ -54,27 +67,78 @@ class TopKAccumulator:
         self._values = np.full((n_rows, 0), np.inf)
         self._indices = np.zeros((n_rows, 0), dtype=np.int64)
 
-    def update(self, distances: np.ndarray, col_offset: int) -> None:
-        """Merge a new batch of columns ``[col_offset, ...)`` into the
-        running best."""
+    def update(self, distances: np.ndarray, col_offset: int = 0, *,
+               offset_indices: Optional[np.ndarray] = None) -> None:
+        """Merge a new batch of columns into the running best.
+
+        The batch's local column ``c`` maps to global column
+        ``col_offset + c`` — or, when ``offset_indices`` is given, to
+        ``offset_indices[c]``. The latter is the cross-shard merge path: a
+        shard's distance block is computed over shard-local rows, and
+        ``offset_indices`` (the shard's sorted global row ids) remaps each
+        local column back to its global identity so tie-breaks stay
+        globally deterministic.
+        """
         distances = np.asarray(distances, dtype=np.float64)
+        if distances.ndim != 2:
+            raise ValueError(
+                f"update expects a 2-D batch, got {distances.ndim}-D")
         if distances.shape[0] != self.n_rows:
             raise ValueError(
                 f"batch has {distances.shape[0]} rows, expected {self.n_rows}")
+        if offset_indices is None:
+            if col_offset < 0:
+                raise ValueError(
+                    f"col_offset must be non-negative, got {col_offset}")
+        else:
+            offset_indices = np.asarray(offset_indices, dtype=np.int64)
+            if offset_indices.ndim != 1:
+                raise ValueError("offset_indices must be 1-D")
+            if offset_indices.shape[0] != distances.shape[1]:
+                raise ValueError(
+                    f"offset_indices has {offset_indices.shape[0]} entries "
+                    f"but the batch has {distances.shape[1]} columns")
         k_local = min(self.k, distances.shape[1])
         if k_local == 0:
             return
         val, idx = select_topk(distances, k_local)
-        idx = idx + col_offset
+        idx = (idx + col_offset if offset_indices is None
+               else offset_indices[idx])
+        self._merge(val, idx)
+
+    def update_pairs(self, values: np.ndarray, indices: np.ndarray) -> None:
+        """Merge pre-selected ``(values, indices)`` candidates.
+
+        This is the shard-merge entry point: each shard contributes its own
+        per-row top-k (values plus *global* column ids) and the accumulator
+        keeps the global k best, breaking ties by global id exactly as a
+        single unsharded selection would.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if values.shape != indices.shape or values.ndim != 2:
+            raise ValueError(
+                f"values {values.shape} and indices {indices.shape} must be "
+                f"equal-shaped 2-D arrays")
+        if values.shape[0] != self.n_rows:
+            raise ValueError(
+                f"batch has {values.shape[0]} rows, expected {self.n_rows}")
+        if values.shape[1] == 0:
+            return
+        self._merge(values, indices)
+
+    def _merge(self, val: np.ndarray, idx: np.ndarray) -> None:
         self._values = np.concatenate([self._values, val], axis=1)
         self._indices = np.concatenate([self._indices, idx], axis=1)
         if self._values.shape[1] > self.k:
             self._compact()
 
     def _compact(self) -> None:
-        val, local = select_topk(self._values, self.k)
-        self._values = val
-        self._indices = np.take_along_axis(self._indices, local, axis=1)
+        # Tie-break on the *stored global* ids, not buffer position: shard
+        # merges feed interleaved ids, where positional order lies.
+        order = np.lexsort((self._indices, self._values), axis=1)[:, :self.k]
+        self._values = np.take_along_axis(self._values, order, axis=1)
+        self._indices = np.take_along_axis(self._indices, order, axis=1)
 
     def finalize(self) -> Tuple[np.ndarray, np.ndarray]:
         """Sorted ``(distances, indices)`` of the k best seen so far."""

@@ -28,8 +28,10 @@ from repro.plan.consumers import (
 from repro.plan.executor import PlanExecutionReport, PlanExecutor
 from repro.plan.pairwise_plan import (
     PairwisePlan,
+    PreparedOperand,
     build_pairwise_plan,
     prepare_matrix,
+    prepare_operand,
 )
 from repro.plan.tiling import (
     OUTPUT_ITEM_BYTES,
@@ -42,8 +44,10 @@ from repro.plan.tiling import (
 
 __all__ = [
     "PairwisePlan",
+    "PreparedOperand",
     "build_pairwise_plan",
     "prepare_matrix",
+    "prepare_operand",
     "PlanExecutor",
     "PlanExecutionReport",
     "TileConsumer",

@@ -34,7 +34,8 @@ from repro.plan.tiling import (
 from repro.sparse.convert import as_csr
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["PairwisePlan", "build_pairwise_plan", "prepare_matrix"]
+__all__ = ["PairwisePlan", "PreparedOperand", "build_pairwise_plan",
+           "prepare_matrix", "prepare_operand"]
 
 
 def prepare_matrix(x, measure: DistanceMeasure) -> CSRMatrix:
@@ -45,6 +46,61 @@ def prepare_matrix(x, measure: DistanceMeasure) -> CSRMatrix:
     if measure.transform is not None:
         csr = csr.map_values(measure.transform)
     return csr
+
+
+@dataclass(frozen=True)
+class PreparedOperand:
+    """One operand fully prepared for a measure: transform applied, norms
+    cached.
+
+    Passing a ``PreparedOperand`` (instead of a raw matrix) to
+    :func:`build_pairwise_plan` skips ingestion, the value pre-transform,
+    and the expansion's norm reductions entirely — the single code path the
+    fitted :class:`~repro.neighbors.NearestNeighbors` estimator and the
+    serving layer's :class:`~repro.serve.ShardedIndex` share, so a resident
+    index never re-prepares or re-norms its rows per query (or per shard).
+    """
+
+    csr: CSRMatrix
+    measure_name: str
+    norms: Optional[Dict[str, np.ndarray]] = None
+
+    @property
+    def n_rows(self) -> int:
+        return self.csr.n_rows
+
+    @property
+    def n_cols(self) -> int:
+        return self.csr.n_cols
+
+    def take_rows(self, rows: np.ndarray) -> "PreparedOperand":
+        """The prepared operand restricted to ``rows`` (sharding primitive):
+        values and norms are sliced, never recomputed."""
+        rows = np.asarray(rows, dtype=np.int64)
+        norms = (None if self.norms is None
+                 else {k: v[rows] for k, v in self.norms.items()})
+        return PreparedOperand(self.csr.take_rows(rows), self.measure_name,
+                               norms)
+
+
+def prepare_operand(x, measure: DistanceMeasure) -> PreparedOperand:
+    """Prepare one operand for ``measure`` exactly once (matrix + norms)."""
+    if isinstance(x, PreparedOperand):
+        _check_operand_measure(x, measure)
+        return x
+    csr = prepare_matrix(x, measure)
+    norms = (compute_norms(csr, measure.norms)
+             if measure.kind == EXPANDED else None)
+    return PreparedOperand(csr, measure.name, norms)
+
+
+def _check_operand_measure(operand: PreparedOperand,
+                           measure: DistanceMeasure) -> None:
+    if operand.measure_name != measure.name:
+        raise ValueError(
+            f"operand was prepared for measure {operand.measure_name!r} but "
+            f"the plan computes {measure.name!r}; prepare_operand() again "
+            f"for the new measure")
 
 
 @dataclass
@@ -186,6 +242,10 @@ def build_pairwise_plan(
     of the device's global memory) and the optional per-side row caps.
     ``tracer`` records the planning work as a ``plan.build`` span (defaults
     to the process-wide tracer, normally the zero-overhead null one).
+
+    Either side may be a :class:`PreparedOperand` (see
+    :func:`prepare_operand`), in which case its pre-transformed values and
+    cached norms are reused verbatim — the resident-index fast path.
     """
     if tracer is None:
         tracer = get_default_tracer()
@@ -195,14 +255,18 @@ def build_pairwise_plan(
                    else make_distance(metric, **metric_params))
         kernel, spec = _resolve_engine_and_spec(engine, device)
 
-        a = prepare_matrix(x, measure)
+        op_a = prepare_operand(x, measure)
         b_is_a = y is None
-        b = a if b_is_a else prepare_matrix(y, measure)
+        op_b = op_a if b_is_a else prepare_operand(y, measure)
+        a, b = op_a.csr, op_b.csr
 
         norms_a = norms_b = None
         if measure.kind == EXPANDED:
-            norms_a = compute_norms(a, measure.norms)
-            norms_b = norms_a if b_is_a else compute_norms(b, measure.norms)
+            norms_a = (op_a.norms if op_a.norms is not None
+                       else compute_norms(a, measure.norms))
+            norms_b = (norms_a if b_is_a
+                       else (op_b.norms if op_b.norms is not None
+                             else compute_norms(b, measure.norms)))
 
         budget = (default_memory_budget(spec) if memory_budget_bytes is None
                   else int(memory_budget_bytes))

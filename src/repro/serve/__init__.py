@@ -1,0 +1,62 @@
+"""Online k-NN serving: sharded resident index + micro-batched queries.
+
+The offline layers prepare and execute one pairwise job at a time; this
+package turns them into a *service* (see DESIGN.md §10):
+
+- :class:`ShardedIndex` — the corpus prepared exactly once
+  (pre-transform + cached norms via
+  :class:`~repro.plan.PreparedOperand`), rows partitioned across N
+  simulated devices (contiguous bands or nnz-balanced placement), with
+  ``save()``/``load()`` snapshots;
+- :class:`QueryScheduler` — an admission window coalescing concurrent
+  query blocks into micro-batches on a simulated clock
+  (``max_batch_rows`` / ``max_wait_ms``);
+- :class:`Server` — ``submit()``/``kneighbors_async()`` futures, fan-out
+  of each batch across the shards, cross-shard top-k merge with global
+  tie-breaks (bit-identical to the unsharded estimator), watermark
+  resume on injected shard faults, and ``partial=True`` degradation when
+  a shard is irrecoverable — all reported through ``serve.batch`` /
+  ``shard[i]`` / ``serve.request`` spans and the ``serve_*`` metrics.
+
+Quick start::
+
+    from repro.serve import Server, ShardedIndex
+
+    index = ShardedIndex.build(corpus, metric="cosine", n_shards=4,
+                               placement="degree_balanced")
+    server = Server(index, max_batch_rows=64, max_wait_ms=2.0)
+    future = server.submit(queries, n_neighbors=10)
+    server.drain()
+    result = future.result()        # .distances, .indices, .report
+"""
+
+from repro.errors import ServeError, ShardFailedError, SnapshotFormatError
+from repro.serve.request import (
+    BatchReport,
+    RequestReport,
+    ServeFuture,
+    ServeRequest,
+    ServeResult,
+    ShardReport,
+)
+from repro.serve.scheduler import MicroBatch, QueryScheduler
+from repro.serve.server import Server
+from repro.serve.sharding import PLACEMENTS, Shard, ShardedIndex
+
+__all__ = [
+    "Server",
+    "ShardedIndex",
+    "Shard",
+    "PLACEMENTS",
+    "QueryScheduler",
+    "MicroBatch",
+    "ServeRequest",
+    "ServeResult",
+    "ServeFuture",
+    "ShardReport",
+    "BatchReport",
+    "RequestReport",
+    "ServeError",
+    "SnapshotFormatError",
+    "ShardFailedError",
+]

@@ -1,0 +1,148 @@
+"""Micro-batch admission: coalesce concurrent queries before fan-out.
+
+Online k-NN traffic arrives as many small query blocks, but the pairwise
+kernels amortize their fixed costs (norm slicing, tile setup, launch
+overhead) over query *rows* — a batch of 64 one-row queries costs barely
+more than one. :class:`QueryScheduler` therefore holds an admission
+window: requests accumulate into the forming :class:`MicroBatch` until it
+reaches ``max_batch_rows`` (closed ``"full"``) or the first admitted
+request has waited ``max_wait_ms`` of simulated time (closed
+``"timeout"``). ``flush`` closes whatever is forming (``"flush"``), e.g.
+at drain.
+
+The scheduler is pure batching logic on the simulated clock — it never
+executes anything and holds no locks of its own; the
+:class:`~repro.serve.Server` serializes access and runs the closed
+batches it returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.serve.request import ServeRequest
+
+__all__ = ["MicroBatch", "QueryScheduler"]
+
+
+@dataclass
+class MicroBatch:
+    """A group of requests that will share one fan-out execution."""
+
+    batch_id: int
+    requests: Tuple[ServeRequest, ...]
+    #: simulated ms the batch left the queue: open + max_wait on timeout,
+    #: the filling request's arrival when closed full, clamped "now" on
+    #: flush
+    dispatch_ms: float
+    close_reason: str  # "full" | "timeout" | "flush"
+
+    @property
+    def n_rows(self) -> int:
+        return sum(r.n_rows for r in self.requests)
+
+    @property
+    def open_ms(self) -> float:
+        """Arrival of the first request — when the window opened."""
+        return self.requests[0].arrival_ms
+
+    @property
+    def k_max(self) -> int:
+        return max(r.n_neighbors for r in self.requests)
+
+
+class QueryScheduler:
+    """Admission queue turning a request stream into micro-batches.
+
+    ``offer(request)`` admits one request and returns the batches it
+    closed (usually zero or one; arrival order must be non-decreasing in
+    simulated time). A request never splits across batches: if admitting
+    it would exceed ``max_batch_rows``, the forming batch closes first and
+    the request opens the next window. A single oversized request
+    (``n_rows > max_batch_rows``) gets a batch of its own.
+    """
+
+    def __init__(self, *, max_batch_rows: int = 128,
+                 max_wait_ms: float = 2.0):
+        if max_batch_rows <= 0:
+            raise ValueError(
+                f"max_batch_rows must be positive, got {max_batch_rows}")
+        if max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be non-negative, got {max_wait_ms}")
+        self.max_batch_rows = int(max_batch_rows)
+        self.max_wait_ms = float(max_wait_ms)
+        self._forming: List[ServeRequest] = []
+        self._forming_rows = 0
+        self._next_batch_id = 0
+        self._last_arrival_ms = float("-inf")
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting in the forming batch."""
+        return len(self._forming)
+
+    @property
+    def forming_rows(self) -> int:
+        return self._forming_rows
+
+    def _deadline_ms(self) -> float:
+        return self._forming[0].arrival_ms + self.max_wait_ms
+
+    def _close(self, dispatch_ms: float, reason: str) -> MicroBatch:
+        batch = MicroBatch(batch_id=self._next_batch_id,
+                           requests=tuple(self._forming),
+                           dispatch_ms=float(dispatch_ms),
+                           close_reason=reason)
+        self._next_batch_id += 1
+        self._forming = []
+        self._forming_rows = 0
+        return batch
+
+    # ------------------------------------------------------------------
+    def offer(self, request: ServeRequest) -> List[MicroBatch]:
+        """Admit one request; return any batches this admission closed."""
+        if request.arrival_ms < self._last_arrival_ms:
+            raise ValueError(
+                f"request {request.request_id} arrives at "
+                f"{request.arrival_ms}ms, before the previously admitted "
+                f"{self._last_arrival_ms}ms; the simulated clock is "
+                f"monotone")
+        self._last_arrival_ms = request.arrival_ms
+
+        closed: List[MicroBatch] = []
+        # The window expired while this request was in flight: the forming
+        # batch dispatched at its deadline, before this arrival.
+        if self._forming and request.arrival_ms > self._deadline_ms():
+            closed.append(self._close(self._deadline_ms(), "timeout"))
+        # No room for this request: close what's forming at "now".
+        if (self._forming
+                and self._forming_rows + request.n_rows
+                > self.max_batch_rows):
+            closed.append(self._close(request.arrival_ms, "full"))
+
+        self._forming.append(request)
+        self._forming_rows += request.n_rows
+
+        # The admitted request filled (or overflowed, if oversized) the
+        # window by itself — dispatch immediately.
+        if self._forming_rows >= self.max_batch_rows:
+            closed.append(self._close(request.arrival_ms, "full"))
+        return closed
+
+    def flush(self, now_ms: Optional[float] = None) -> List[MicroBatch]:
+        """Close the forming batch regardless of fill level.
+
+        The dispatch stamp is ``now_ms`` clamped into the window
+        ``[open, open + max_wait]`` — a flush can neither dispatch before
+        the window opened nor later than it would have timed out.
+        """
+        if not self._forming:
+            return []
+        open_ms = self._forming[0].arrival_ms
+        if now_ms is None:
+            now_ms = self._last_arrival_ms
+        dispatch = min(max(float(now_ms), open_ms), self._deadline_ms())
+        return [self._close(dispatch, "flush")]

@@ -1,0 +1,433 @@
+"""The serving facade: admission → fan-out → merge → report.
+
+``Server`` ties the layer together: :meth:`submit` hands a query block to
+the :class:`~repro.serve.QueryScheduler` and returns a
+:class:`~repro.serve.ServeFuture`; whenever the scheduler closes a
+micro-batch the server executes it — one
+:class:`~repro.plan.PairwisePlan` per shard (optionally on concurrent
+fan-out threads), per-shard top-k remapped to global ids, cross-shard
+merge through :class:`~repro.neighbors.topk.TopKAccumulator` — and
+resolves every coalesced future with its rows and a
+:class:`~repro.serve.RequestReport`.
+
+Fault story: each shard runs under the executor's
+:class:`~repro.faults.RecoveryPolicy`; if a fault still escapes as an
+:class:`~repro.errors.ExecutionFaultError`, the server resumes the shard
+from the error's watermark with an escalated retry budget, up to
+``max_shard_resumes`` times. A shard that exhausts that ladder is dropped
+from the candidate pool and the batch's results are delivered with
+``partial=True``; only if *every* shard fails do the futures raise
+:class:`~repro.errors.ShardFailedError`.
+
+Latency is modeled, not measured: arrival and dispatch stamps come from
+the scheduler's simulated clock, service time is the slowest shard's
+modeled kernel seconds, and a batch cannot start before the devices
+finished the previous one — so queue depth, batching delay, and p50/p99
+spread all emerge deterministically from the configuration.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionFaultError, ShardFailedError
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import RecoveryPolicy
+from repro.obs import resolve_trace, write_chrome_trace
+from repro.obs.metrics import NULL_METRICS
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER
+from repro.plan.consumers import TopKConsumer
+from repro.plan.executor import PlanExecutor
+from repro.plan.pairwise_plan import PreparedOperand
+from repro.serve.request import (
+    BatchReport,
+    RequestReport,
+    ServeFuture,
+    ServeRequest,
+    ServeResult,
+    ShardReport,
+)
+from repro.serve.scheduler import MicroBatch, QueryScheduler
+from repro.serve.sharding import ShardedIndex
+from repro.sparse.ops import vstack
+
+__all__ = ["Server"]
+
+
+class Server:
+    """Online k-NN serving over a :class:`~repro.serve.ShardedIndex`.
+
+    Parameters
+    ----------
+    index:
+        The fitted, sharded index to serve.
+    max_batch_rows, max_wait_ms:
+        Micro-batch admission knobs (see
+        :class:`~repro.serve.QueryScheduler`).
+    n_workers:
+        Fan-out threads per batch: how many shards execute concurrently.
+        Results are bit-identical for any value.
+    recovery:
+        :class:`~repro.faults.RecoveryPolicy` applied inside every shard's
+        executor (default: the standard policy).
+    fault_injectors:
+        Optional ``{shard_id: FaultInjector}`` — deterministic fault
+        schedules replayed into individual shards.
+    max_shard_resumes:
+        Watermark resumes the server attempts per shard per batch before
+        declaring the shard failed and degrading to a partial result.
+    trace:
+        ``None`` | path | :class:`~repro.obs.Tracer` — records
+        ``serve.batch`` → ``serve.request`` / ``shard[i]`` →
+        ``plan.execute`` span trees; a path is written as a Chrome trace
+        on :meth:`drain`.
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry` receiving the
+        ``serve_*`` instrument family.
+    """
+
+    def __init__(self, index: ShardedIndex, *, max_batch_rows: int = 128,
+                 max_wait_ms: float = 2.0, n_workers: int = 1,
+                 recovery: Optional[RecoveryPolicy] = None,
+                 fault_injectors: Optional[Dict[int, FaultInjector]] = None,
+                 max_shard_resumes: int = 2, trace=None, metrics=None):
+        if n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
+        if max_shard_resumes < 0:
+            raise ValueError("max_shard_resumes must be non-negative")
+        self.index = index
+        self.scheduler = QueryScheduler(max_batch_rows=max_batch_rows,
+                                        max_wait_ms=max_wait_ms)
+        self.n_workers = int(n_workers)
+        self.recovery = recovery if recovery is not None else RecoveryPolicy()
+        self.fault_injectors = dict(fault_injectors or {})
+        self.max_shard_resumes = int(max_shard_resumes)
+        self.tracer, self._trace_path = resolve_trace(trace)
+        if self.tracer is None:
+            self.tracer = NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+        #: every executed batch / resolved request, in execution order
+        self.batch_reports: List[BatchReport] = []
+        self.request_reports: List[RequestReport] = []
+        self._lock = threading.RLock()
+        self._pending: Dict[int, ServeFuture] = {}
+        self._resolved: List[ServeFuture] = []
+        self._next_request_id = 0
+        self._now_ms = 0.0
+        #: simulated time at which the shard devices become free
+        self._device_free_ms = 0.0
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def submit(self, queries, n_neighbors: int = 5, *,
+               arrival_ms: Optional[float] = None,
+               deadline_ms: Optional[float] = None) -> ServeFuture:
+        """Admit one query block; returns a future resolved at batch time.
+
+        ``arrival_ms`` places the request on the simulated clock (must be
+        non-decreasing across submissions; default: the current simulated
+        time). ``deadline_ms`` is an absolute completion deadline —
+        advisory: late results are still delivered, flagged
+        ``deadline_missed``.
+        """
+        if n_neighbors <= 0:
+            raise ValueError(
+                f"n_neighbors must be positive, got {n_neighbors!r}")
+        with self._lock:
+            prepared = self.index.prepare_queries(queries)
+            if prepared.n_rows == 0:
+                raise ValueError("cannot serve an empty query block")
+            if arrival_ms is None:
+                arrival_ms = self._now_ms
+            arrival_ms = float(arrival_ms)
+            if arrival_ms < self._now_ms:
+                raise ValueError(
+                    f"arrival_ms={arrival_ms} is before the simulated "
+                    f"clock ({self._now_ms}ms); time is monotone")
+            self._now_ms = arrival_ms
+            self._next_request_id += 1
+            request = ServeRequest(
+                request_id=self._next_request_id, queries=prepared,
+                n_neighbors=int(n_neighbors), n_rows=prepared.n_rows,
+                arrival_ms=arrival_ms, deadline_ms=deadline_ms)
+            future = ServeFuture(request)
+            self._pending[request.request_id] = future
+            self.metrics.counter(
+                "serve_requests_total",
+                "query blocks admitted by the server").inc()
+            for batch in self.scheduler.offer(request):
+                self._execute_batch(batch)
+            self.metrics.gauge(
+                "serve_queue_depth",
+                "requests waiting in the forming batch").set(
+                    self.scheduler.queue_depth)
+        return future
+
+    def kneighbors_async(self, x, n_neighbors: int = 5,
+                         **kwargs) -> ServeFuture:
+        """Estimator-flavored alias for :meth:`submit`."""
+        return self.submit(x, n_neighbors, **kwargs)
+
+    def drain(self, now_ms: Optional[float] = None) -> List[ServeResult]:
+        """Flush and execute the forming batch; resolve all futures.
+
+        Returns the results of every *successful* request resolved so far
+        (admission order); rejected futures — all shards failed — keep
+        their error and raise it from their own ``result()``. If the
+        server was constructed with a trace *path*, the Chrome trace is
+        (re)written here.
+        """
+        with self._lock:
+            for batch in self.scheduler.flush(now_ms):
+                self._execute_batch(batch)
+            self.metrics.gauge(
+                "serve_queue_depth",
+                "requests waiting in the forming batch").set(0)
+            if self._trace_path is not None:
+                write_chrome_trace(self.tracer, self._trace_path)
+            return [f._result for f in self._resolved
+                    if f._error is None]
+
+    @property
+    def now_ms(self) -> float:
+        """The server's simulated clock (last arrival seen)."""
+        return self._now_ms
+
+    @property
+    def queue_depth(self) -> int:
+        return self.scheduler.queue_depth
+
+    # ------------------------------------------------------------------
+    # batch execution
+    # ------------------------------------------------------------------
+    def _execute_batch(self, batch: MicroBatch) -> None:
+        """Fan a closed micro-batch across the shards and resolve futures."""
+        queries = _stack_queries([r.queries for r in batch.requests])
+        k = min(batch.k_max, self.index.n_rows)
+
+        span = (self.tracer.span("serve.batch", "serve",
+                                 batch_id=batch.batch_id,
+                                 n_requests=len(batch.requests),
+                                 n_rows=batch.n_rows,
+                                 close_reason=batch.close_reason)
+                if self.tracer.enabled else NULL_SPAN)
+        with span:
+            shard_reports, parts = self._fan_out(queries, k, span)
+
+            failed = tuple(r.shard_id for r in shard_reports if r.failed)
+            start_ms = max(batch.dispatch_ms, self._device_free_ms)
+            service_s = max(
+                (r.simulated_seconds for r in shard_reports if not r.failed),
+                default=0.0)
+            completion_ms = start_ms + service_s * 1e3
+            self._device_free_ms = completion_ms
+            span.set_sim_seconds(service_s)
+            span.annotate(failed_shards=list(failed))
+
+            report = BatchReport(
+                batch_id=batch.batch_id,
+                request_ids=tuple(r.request_id for r in batch.requests),
+                n_rows=batch.n_rows, close_reason=batch.close_reason,
+                dispatch_ms=batch.dispatch_ms, start_ms=start_ms,
+                completion_ms=completion_ms,
+                shard_reports=tuple(shard_reports))
+            self.batch_reports.append(report)
+            self._record_batch_metrics(batch, report)
+
+            if len(failed) == self.index.n_shards:
+                error = ShardFailedError(
+                    f"all {self.index.n_shards} shards failed serving "
+                    f"batch {batch.batch_id}",
+                    failed_shards=failed,
+                    fault_log=tuple(e for r in shard_reports
+                                    for e in r.fault_log))
+                self._resolve_requests(batch, report, span,
+                                       error=error)
+                return
+
+            distances, indices = ShardedIndex.merge_shard_topk(
+                parts, queries.n_rows, k)
+            self._resolve_requests(batch, report, span,
+                                   distances=distances, indices=indices)
+
+    def _fan_out(self, queries: PreparedOperand, k: int, batch_span,
+                 ) -> Tuple[List[ShardReport],
+                            List[Tuple[np.ndarray, np.ndarray]]]:
+        """Run every shard (possibly concurrently); collect reports +
+        ``(distances, global_indices)`` for the surviving shards."""
+        n_shards = self.index.n_shards
+        if self.n_workers > 1 and n_shards > 1:
+            with ThreadPoolExecutor(
+                    max_workers=min(self.n_workers, n_shards)) as pool:
+                futures = [pool.submit(self._run_shard, i, queries, k,
+                                       batch_span)
+                           for i in range(n_shards)]
+                outcomes = [f.result() for f in futures]
+        else:
+            outcomes = [self._run_shard(i, queries, k, batch_span)
+                        for i in range(n_shards)]
+        reports = [rep for rep, _ in outcomes]
+        parts = [part for _, part in outcomes if part is not None]
+        return reports, parts
+
+    def _run_shard(self, shard_id: int, queries: PreparedOperand, k: int,
+                   batch_span,
+                   ) -> Tuple[ShardReport,
+                              Optional[Tuple[np.ndarray, np.ndarray]]]:
+        """One shard's plan, with watermark resume on unabsorbed faults."""
+        shard = self.index.shards[shard_id]
+        span = (self.tracer.span(f"shard[{shard_id}]", "serve",
+                                 parent=batch_span, shard_id=shard_id,
+                                 device=shard.device.name)
+                if self.tracer.enabled else NULL_SPAN)
+        with span:
+            plan = self.index.shard_plan(shard_id, queries)
+            consumer = TopKConsumer(min(k, shard.n_rows))
+            injector = self.fault_injectors.get(shard_id)
+            fault_log: list = []
+            resumes = 0
+            resume_from = 0
+            report = None
+            while report is None:
+                # Escalate the retry budget on every resume: the executor
+                # gave up under the base policy, so replaying the same
+                # budget from the watermark could fail identically forever.
+                recovery = (self.recovery if resumes == 0 else
+                            replace(self.recovery,
+                                    max_retries=(self.recovery.max_retries
+                                                 + resumes)))
+                executor = PlanExecutor(
+                    plan, recovery=recovery, fault_injector=injector,
+                    tracer=self.tracer, metrics=self.metrics)
+                try:
+                    report = executor.execute(consumer,
+                                              resume_from=resume_from)
+                except ExecutionFaultError as err:
+                    fault_log.extend(err.fault_log)
+                    span.event("shard.fault", "fault",
+                               watermark=err.watermark,
+                               error=type(err.cause).__name__
+                               if err.cause else "ExecutionFaultError")
+                    if resumes >= self.max_shard_resumes:
+                        self.metrics.counter(
+                            "serve_shard_failures_total",
+                            "shards dropped after exhausting resumes",
+                        ).inc()
+                        span.annotate(failed=True, n_resumes=resumes)
+                        return ShardReport(
+                            shard_id=shard_id, simulated_seconds=0.0,
+                            n_tiles=plan.n_tiles, n_resumes=resumes,
+                            failed=True,
+                            fault_log=tuple(fault_log)), None
+                    resumes += 1
+                    resume_from = err.watermark
+                    self.metrics.counter(
+                        "serve_shard_resumes_total",
+                        "watermark resumes after unabsorbed faults").inc()
+
+            fault_log.extend(report.fault_log)
+            span.set_sim_seconds(report.simulated_seconds)
+            span.annotate(n_tiles=report.n_tiles, n_resumes=resumes)
+            distances, local_idx = report.value
+            shard_report = ShardReport(
+                shard_id=shard_id,
+                simulated_seconds=report.simulated_seconds,
+                n_tiles=report.n_tiles, n_retries=report.n_retries,
+                n_tile_splits=report.n_tile_splits, n_resumes=resumes,
+                failed=False, fault_log=tuple(fault_log))
+            return shard_report, (distances, shard.global_ids[local_idx])
+
+    # ------------------------------------------------------------------
+    # resolution + accounting
+    # ------------------------------------------------------------------
+    def _resolve_requests(self, batch: MicroBatch, report: BatchReport,
+                          batch_span, *, distances=None, indices=None,
+                          error=None) -> None:
+        row = 0
+        for request in batch.requests:
+            req_report = RequestReport(
+                request_id=request.request_id,
+                arrival_ms=request.arrival_ms,
+                completion_ms=report.completion_ms,
+                batch=report, deadline_ms=request.deadline_ms)
+            self.request_reports.append(req_report)
+            self._record_request_metrics(req_report)
+            if self.tracer.enabled:
+                with self.tracer.span(
+                        "serve.request", "serve", parent=batch_span,
+                        request_id=request.request_id,
+                        n_rows=request.n_rows,
+                        k=request.n_neighbors) as req_span:
+                    req_span.set_sim_seconds(req_report.latency_ms / 1e3)
+                    if req_report.deadline_missed:
+                        req_span.annotate(deadline_missed=True)
+                    if req_report.partial:
+                        req_span.annotate(partial=True)
+
+            future = self._pending.pop(request.request_id)
+            if error is not None:
+                future._reject(error)
+            else:
+                k_req = min(request.n_neighbors, self.index.n_rows)
+                block = slice(row, row + request.n_rows)
+                future._resolve(ServeResult(
+                    distances=distances[block, :k_req],
+                    indices=indices[block, :k_req],
+                    report=req_report))
+            self._resolved.append(future)
+            row += request.n_rows
+
+    def _record_batch_metrics(self, batch: MicroBatch,
+                              report: BatchReport) -> None:
+        m = self.metrics
+        m.counter("serve_batches_total",
+                  "micro-batches executed").inc(reason=batch.close_reason)
+        m.histogram("serve_batch_rows",
+                    "query rows per executed micro-batch",
+                    ).observe(report.n_rows)
+        m.histogram("serve_batch_requests",
+                    "coalesced requests per micro-batch",
+                    ).observe(len(batch.requests))
+        m.histogram("serve_service_ms",
+                    "simulated batch service time").observe(
+                        report.service_ms)
+        if report.n_fault_events:
+            m.counter("serve_fault_events_total",
+                      "fault events observed across shard executions",
+                      ).inc(report.n_fault_events)
+        if report.partial:
+            m.counter("serve_partial_batches_total",
+                      "batches that lost at least one shard").inc()
+
+    def _record_request_metrics(self, report: RequestReport) -> None:
+        m = self.metrics
+        m.histogram("serve_latency_ms",
+                    "simulated request latency (arrival to completion)",
+                    ).observe(report.latency_ms)
+        m.histogram("serve_queue_wait_ms",
+                    "simulated wait before the batch started",
+                    ).observe(report.queue_wait_ms)
+        if report.partial:
+            m.counter("serve_partial_results_total",
+                      "requests answered from a degraded shard set").inc()
+        if report.deadline_missed:
+            m.counter("serve_deadline_missed_total",
+                      "requests completed after their deadline").inc()
+
+def _stack_queries(blocks: List[PreparedOperand]) -> PreparedOperand:
+    """Vertically stack prepared query blocks (values + norms)."""
+    if len(blocks) == 1:
+        return blocks[0]
+    csr = vstack([b.csr for b in blocks])
+    norm_kinds = sorted(blocks[0].norms or ())
+    norms = None
+    if norm_kinds:
+        norms = {kind: np.concatenate([b.norms[kind] for b in blocks])
+                 for kind in norm_kinds}
+    return PreparedOperand(csr, blocks[0].measure_name, norms)

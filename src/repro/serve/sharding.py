@@ -1,0 +1,383 @@
+"""The resident, immutable, row-sharded k-NN index.
+
+A :class:`ShardedIndex` is the serving layer's fitted state: the corpus is
+prepared exactly once (measure pre-transform + expansion row norms, the
+same :class:`~repro.plan.PreparedOperand` path the offline estimator
+uses), then its rows are partitioned across N simulated devices — either
+in contiguous bands or nnz-balanced via
+:func:`repro.datasets.degree.degree_balanced_shards`, mirroring the
+row-split load-balancing analysis of the sparse-GEMM design-principles
+work. Each shard keeps its slice of the prepared operand and norms, so a
+query fans out as one :class:`~repro.plan.PairwisePlan` per shard with
+zero per-shard re-preparation.
+
+Shard-local row order is always ascending in global ids, which makes
+shard-local tie-breaks agree with global tie-breaks; the cross-shard merge
+(:meth:`ShardedIndex.merge_shard_topk`) then reproduces the unsharded
+``NearestNeighbors.kneighbors`` result bit for bit.
+
+``save()``/``load()`` snapshot the prepared state (values, norms, shard
+assignment, config) into a single ``.npz`` so an index is built once and
+served forever.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.distances import DistanceMeasure, make_distance
+from repro.datasets.degree import degree_balanced_shards
+from repro.errors import ShapeMismatchError, SnapshotFormatError
+from repro.gpusim.specs import DeviceSpec, get_device
+from repro.neighbors.topk import TopKAccumulator
+from repro.plan.consumers import TopKConsumer
+from repro.plan.executor import PlanExecutionReport, PlanExecutor
+from repro.plan.pairwise_plan import (
+    PairwisePlan,
+    PreparedOperand,
+    build_pairwise_plan,
+    prepare_operand,
+)
+from repro.sparse.convert import as_csr
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["Shard", "ShardedIndex", "PLACEMENTS"]
+
+#: Supported row-placement strategies.
+PLACEMENTS = ("contiguous", "degree_balanced")
+
+#: Snapshot format version (bump on incompatible layout changes).
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One device's slice of the index: prepared rows + their global ids."""
+
+    shard_id: int
+    #: global row ids this shard owns, sorted ascending
+    global_ids: np.ndarray
+    #: prepared rows (transform applied) with norms sliced, not recomputed
+    operand: PreparedOperand
+    device: DeviceSpec
+
+    @property
+    def n_rows(self) -> int:
+        return self.operand.n_rows
+
+    @property
+    def nnz(self) -> int:
+        return self.operand.csr.nnz
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Shard({self.shard_id}, rows={self.n_rows}, "
+                f"nnz={self.nnz}, device={self.device.name})")
+
+
+def _resolve_devices(devices, n_shards: int) -> List[DeviceSpec]:
+    if devices is None:
+        return [get_device("volta")] * n_shards
+    if isinstance(devices, (str, DeviceSpec)):
+        spec = get_device(devices) if isinstance(devices, str) else devices
+        return [spec] * n_shards
+    specs = [get_device(d) if isinstance(d, str) else d for d in devices]
+    if len(specs) != n_shards:
+        raise ValueError(
+            f"got {len(specs)} devices for {n_shards} shards; pass one "
+            f"spec per shard (or a single spec for all)")
+    return specs
+
+
+class ShardedIndex:
+    """A fitted, immutable k-NN index partitioned across simulated devices.
+
+    Build one with :meth:`build`, serve it through
+    :class:`~repro.serve.Server` (micro-batched, async) or query it
+    directly with :meth:`kneighbors` (synchronous fan-out + merge). The
+    index owns no mutable query state, so any number of concurrent
+    schedulers may read it.
+    """
+
+    def __init__(self, shards: Sequence[Shard], measure: DistanceMeasure,
+                 *, engine: str, placement: str, batch_rows: int = 4096,
+                 memory_budget_bytes: Optional[int] = None):
+        if not shards:
+            raise ValueError("a ShardedIndex needs at least one shard")
+        if placement not in PLACEMENTS:
+            raise ValueError(f"unknown placement {placement!r}; expected "
+                             f"one of {PLACEMENTS}")
+        if not isinstance(engine, str):
+            raise ValueError(
+                "ShardedIndex requires a named engine (a string from "
+                "available_engines()); kernel instances are not "
+                "snapshot-serializable")
+        self.shards: Tuple[Shard, ...] = tuple(shards)
+        self.measure = measure
+        self.engine = engine
+        self.placement = placement
+        self.batch_rows = int(batch_rows)
+        self.memory_budget_bytes = memory_budget_bytes
+        self._n_rows = int(sum(s.n_rows for s in self.shards))
+        self._n_cols = self.shards[0].operand.n_cols
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, x, *, metric: str = "euclidean",
+              metric_params: Optional[dict] = None, n_shards: int = 2,
+              placement: str = "contiguous", engine: str = "hybrid_coo",
+              devices=None, batch_rows: int = 4096,
+              memory_budget_bytes: Optional[int] = None) -> "ShardedIndex":
+        """Prepare ``x`` once and partition its rows across ``n_shards``.
+
+        ``placement="contiguous"`` cuts near-equal row bands;
+        ``"degree_balanced"`` assigns rows greedily so each shard carries a
+        near-equal nnz load (Figure 1's skewed degree distributions make
+        this the production choice). ``devices`` is one spec/name for all
+        shards or a per-shard list.
+        """
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        if placement not in PLACEMENTS:
+            raise ValueError(f"unknown placement {placement!r}; expected "
+                             f"one of {PLACEMENTS}")
+        measure = (metric if isinstance(metric, DistanceMeasure)
+                   else make_distance(metric, **(metric_params or {})))
+        prepared = prepare_operand(as_csr(x), measure)
+        if n_shards > prepared.n_rows:
+            raise ValueError(
+                f"cannot cut {prepared.n_rows} rows into {n_shards} shards")
+
+        if placement == "contiguous":
+            base, extra = divmod(prepared.n_rows, n_shards)
+            sizes = np.full(n_shards, base, dtype=np.int64)
+            sizes[:extra] += 1
+            bounds = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(sizes)])
+            assignment = [np.arange(bounds[i], bounds[i + 1], dtype=np.int64)
+                          for i in range(n_shards)]
+        else:
+            assignment = degree_balanced_shards(prepared.csr, n_shards)
+
+        specs = _resolve_devices(devices, n_shards)
+        shards = [
+            Shard(shard_id=i, global_ids=ids,
+                  operand=prepared.take_rows(ids), device=specs[i])
+            for i, ids in enumerate(assignment)
+        ]
+        return cls(shards, measure, engine=engine, placement=placement,
+                   batch_rows=batch_rows,
+                   memory_budget_bytes=memory_budget_bytes)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_rows(self) -> int:
+        """Total indexed rows across all shards."""
+        return self._n_rows
+
+    @property
+    def n_cols(self) -> int:
+        return self._n_cols
+
+    @property
+    def metric(self) -> str:
+        return self.measure.name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ShardedIndex({self.measure.name}, "
+                f"{self.n_rows}x{self.n_cols}, shards={self.n_shards}, "
+                f"placement={self.placement})")
+
+    # ------------------------------------------------------------------
+    def prepare_queries(self, x) -> PreparedOperand:
+        """Prepare a query block once for all shards (transform + norms)."""
+        queries = prepare_operand(as_csr(x), self.measure)
+        if queries.n_cols != self.n_cols:
+            raise ShapeMismatchError(
+                f"queries have {queries.n_cols} columns but the index was "
+                f"built over {self.n_cols}")
+        return queries
+
+    def shard_plan(self, shard_id: int,
+                   queries: PreparedOperand) -> PairwisePlan:
+        """The pairwise plan for one shard: queries × the shard's rows."""
+        shard = self.shards[shard_id]
+        return build_pairwise_plan(
+            queries, shard.operand, self.measure, engine=self.engine,
+            device=shard.device,
+            memory_budget_bytes=self.memory_budget_bytes,
+            max_tile_rows_b=self.batch_rows)
+
+    def query_shard(self, shard_id: int, queries: PreparedOperand,
+                    k: int, **executor_kwargs,
+                    ) -> Tuple[np.ndarray, np.ndarray, PlanExecutionReport]:
+        """Top-k of one shard, with local ids remapped to global.
+
+        Returns ``(distances, global_indices, report)``; ``k`` is clamped
+        to the shard's row count. Extra keyword arguments go to the
+        :class:`~repro.plan.PlanExecutor` (recovery, fault injector,
+        tracer, metrics).
+        """
+        shard = self.shards[shard_id]
+        plan = self.shard_plan(shard_id, queries)
+        consumer = TopKConsumer(min(k, shard.n_rows))
+        report = PlanExecutor(plan, **executor_kwargs).execute(consumer)
+        distances, local_idx = report.value
+        return distances, shard.global_ids[local_idx], report
+
+    @staticmethod
+    def merge_shard_topk(parts: Sequence[Tuple[np.ndarray, np.ndarray]],
+                         n_rows: int, k: int,
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+        """Merge per-shard ``(distances, global_indices)`` into the global
+        k best per row, ties broken by global id — bit-identical to an
+        unsharded selection."""
+        acc = TopKAccumulator(n_rows, k)
+        for distances, indices in parts:
+            acc.update_pairs(distances, indices)
+        return acc.finalize()
+
+    def kneighbors(self, x, n_neighbors: int = 5, *, n_workers: int = 1,
+                   **executor_kwargs) -> Tuple[np.ndarray, np.ndarray]:
+        """Synchronous fan-out query: every shard, merged, no queue.
+
+        This is the one-shot path (tests, batch jobs); online traffic goes
+        through :class:`~repro.serve.Server`, which adds micro-batching,
+        deadlines, and fault handling on top of the same plan machinery.
+        """
+        if n_neighbors <= 0:
+            raise ValueError(
+                f"n_neighbors must be positive, got {n_neighbors!r}")
+        queries = self.prepare_queries(x)
+        k = min(int(n_neighbors), self.n_rows)
+        if n_workers > 1 and self.n_shards > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(
+                    max_workers=min(n_workers, self.n_shards)) as pool:
+                futures = [pool.submit(self.query_shard, i, queries, k,
+                                       **executor_kwargs)
+                           for i in range(self.n_shards)]
+                parts = [f.result() for f in futures]
+        else:
+            parts = [self.query_shard(i, queries, k, **executor_kwargs)
+                     for i in range(self.n_shards)]
+        return self.merge_shard_topk([(d, g) for d, g, _ in parts],
+                                     queries.n_rows, k)
+
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Snapshot the prepared index (values, norms, shards, config).
+
+        The snapshot is a single ``.npz``; loading it skips ingestion, the
+        measure transform, and every norm reduction — build once, serve
+        forever.
+        """
+        full = _restack_operand(self.shards)
+        meta = {
+            "version": SNAPSHOT_VERSION,
+            "metric": self.measure.name,
+            "metric_params": dict(self.measure.params),
+            "engine": self.engine,
+            "placement": self.placement,
+            "batch_rows": self.batch_rows,
+            "memory_budget_bytes": self.memory_budget_bytes,
+            "n_shards": self.n_shards,
+            "n_rows": self.n_rows,
+            "n_cols": self.n_cols,
+            "devices": [s.device.name for s in self.shards],
+            "norm_kinds": sorted(full.norms or ()),
+        }
+        arrays = {
+            "meta": np.frombuffer(
+                json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+            "indptr": full.csr.indptr,
+            "indices": full.csr.indices,
+            "data": full.csr.data,
+        }
+        for kind, values in (full.norms or {}).items():
+            arrays[f"norm_{kind}"] = values
+        for shard in self.shards:
+            arrays[f"shard_{shard.shard_id}_ids"] = shard.global_ids
+        with open(path, "wb") as fh:
+            np.savez(fh, **arrays)
+
+    @classmethod
+    def load(cls, path) -> "ShardedIndex":
+        """Rebuild a served index from a :meth:`save` snapshot."""
+        try:
+            with np.load(path) as archive:
+                arrays = {name: archive[name] for name in archive.files}
+        except (OSError, ValueError, KeyError) as exc:
+            raise SnapshotFormatError(
+                f"cannot read index snapshot {path!r}: {exc}") from exc
+        try:
+            meta = json.loads(bytes(arrays["meta"]).decode("utf-8"))
+        except (KeyError, UnicodeDecodeError,
+                json.JSONDecodeError) as exc:
+            raise SnapshotFormatError(
+                f"snapshot {path!r} has no readable metadata") from exc
+        if meta.get("version") != SNAPSHOT_VERSION:
+            raise SnapshotFormatError(
+                f"snapshot version {meta.get('version')!r} is not "
+                f"supported (expected {SNAPSHOT_VERSION})")
+        required = {"indptr", "indices", "data"}
+        missing = required - set(arrays)
+        if missing:
+            raise SnapshotFormatError(
+                f"snapshot {path!r} is missing arrays: {sorted(missing)}")
+
+        measure = make_distance(meta["metric"], **meta["metric_params"])
+        csr = CSRMatrix(arrays["indptr"], arrays["indices"], arrays["data"],
+                        (int(meta["n_rows"]), int(meta["n_cols"])),
+                        check=False, sort=False)
+        norms: Optional[Dict[str, np.ndarray]] = None
+        if meta["norm_kinds"]:
+            try:
+                norms = {kind: arrays[f"norm_{kind}"]
+                         for kind in meta["norm_kinds"]}
+            except KeyError as exc:
+                raise SnapshotFormatError(
+                    f"snapshot {path!r} is missing norm array {exc}"
+                ) from exc
+        prepared = PreparedOperand(csr, measure.name, norms)
+
+        shards = []
+        for i in range(int(meta["n_shards"])):
+            try:
+                ids = arrays[f"shard_{i}_ids"]
+            except KeyError as exc:
+                raise SnapshotFormatError(
+                    f"snapshot {path!r} is missing shard {i} ids") from exc
+            shards.append(Shard(
+                shard_id=i, global_ids=np.asarray(ids, dtype=np.int64),
+                operand=prepared.take_rows(ids),
+                device=get_device(meta["devices"][i])))
+        return cls(shards, measure, engine=meta["engine"],
+                   placement=meta["placement"],
+                   batch_rows=int(meta["batch_rows"]),
+                   memory_budget_bytes=meta["memory_budget_bytes"])
+
+
+def _restack_operand(shards: Sequence[Shard]) -> PreparedOperand:
+    """Reassemble the full prepared operand (global row order) from shards."""
+    from repro.sparse.ops import vstack
+
+    order = np.argsort(np.concatenate([s.global_ids for s in shards]))
+    stacked = vstack([s.operand.csr for s in shards]).take_rows(order)
+    norm_kinds = sorted((shards[0].operand.norms or {}))
+    norms = None
+    if norm_kinds:
+        norms = {
+            kind: np.concatenate(
+                [s.operand.norms[kind] for s in shards])[order]
+            for kind in norm_kinds
+        }
+    return PreparedOperand(stacked, shards[0].operand.measure_name, norms)

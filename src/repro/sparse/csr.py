@@ -161,6 +161,31 @@ class CSRMatrix:
                          self.data[lo:hi].copy(), (stop - start, self._shape[1]),
                          check=False, sort=False)
 
+    def take_rows(self, rows) -> "CSRMatrix":
+        """Gather an arbitrary set of rows (in the given order) as a new CSR.
+
+        This is the row-placement primitive behind degree-balanced index
+        sharding: unlike :meth:`slice_rows`, the selected rows need not be
+        contiguous. Duplicate row ids are allowed (the row is copied).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 1:
+            raise ValueError("take_rows expects a 1-D array of row ids")
+        if rows.size and (rows.min() < 0 or rows.max() >= self._shape[0]):
+            raise ValueError(
+                f"row ids must be within [0, {self._shape[0]}), got range "
+                f"[{rows.min()}, {rows.max()}]")
+        degrees = self.row_degrees()[rows] if rows.size else rows
+        indptr = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        total = int(indptr[-1])
+        gather = (np.repeat(self.indptr[rows] - indptr[:-1], degrees)
+                  + np.arange(total, dtype=np.int64))
+        return CSRMatrix(indptr, self.indices[gather].copy(),
+                         self.data[gather].copy(),
+                         (rows.size, self._shape[1]),
+                         check=False, sort=False)
+
     def to_dense(self) -> np.ndarray:
         """Materialize as a dense ``float64`` array."""
         out = np.zeros(self._shape, dtype=np.float64)

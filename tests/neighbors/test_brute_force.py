@@ -144,3 +144,43 @@ class TestGraph:
         nn = NearestNeighbors(n_neighbors=2).fit(random_dense(rng, 5, 4))
         with pytest.raises(ValueError):
             nn.kneighbors_graph(mode="fuzzy")
+
+
+class TestPreparedOperands:
+    """The fitted-state preparation shared with the serving layer."""
+
+    def test_cached_across_queries(self, rng):
+        nn = NearestNeighbors(n_neighbors=3, metric="euclidean")
+        nn.fit(random_csr(rng, 20, 10, 0.4))
+        first = nn.prepared_operands()
+        assert nn.prepared_operands() is first     # no re-preparation
+        nn.kneighbors(random_csr(rng, 5, 10, 0.4), 3)
+        assert nn.prepared_operands() is first     # queries don't evict it
+
+    def test_refit_invalidates(self, rng):
+        nn = NearestNeighbors(n_neighbors=3)
+        nn.fit(random_csr(rng, 12, 8, 0.4))
+        first = nn.prepared_operands()
+        nn.fit(random_csr(rng, 12, 8, 0.4))
+        assert nn.prepared_operands() is not first
+
+    def test_norms_cached_for_expanded_measures(self, rng):
+        nn = NearestNeighbors(n_neighbors=3, metric="cosine")
+        nn.fit(random_csr(rng, 15, 9, 0.5))
+        prepared = nn.prepared_operands()
+        assert prepared.norms                       # expansion norms cached
+        assert prepared.measure_name == "cosine"
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(ReproError):
+            NearestNeighbors(n_neighbors=2).prepared_operands()
+
+    def test_take_rows_slices_norms(self, rng):
+        nn = NearestNeighbors(n_neighbors=3, metric="euclidean")
+        nn.fit(random_csr(rng, 18, 7, 0.5))
+        prepared = nn.prepared_operands()
+        rows = np.array([4, 9, 16])
+        sliced = prepared.take_rows(rows)
+        assert sliced.n_rows == 3
+        for kind, values in prepared.norms.items():
+            np.testing.assert_array_equal(sliced.norms[kind], values[rows])

@@ -81,3 +81,111 @@ class TestAccumulator:
     def test_invalid_construction(self):
         with pytest.raises(ValueError):
             TopKAccumulator(5, 0)
+
+
+class TestBoundaryTies:
+    def test_partition_boundary_ties_pick_smallest_ids(self):
+        """Entries tied exactly at the k boundary must resolve by index,
+        whatever subset argpartition happened to keep."""
+        d = np.array([[5.0, 1.0, 1.0, 1.0, 1.0, 0.5]])
+        _, idx = select_topk(d, 3)
+        np.testing.assert_array_equal(idx, [[5, 1, 2]])
+
+    def test_split_selection_equals_full_selection(self, rng):
+        """Selecting per column-half then merging must equal one full
+        selection even when values repeat across the split."""
+        vals = rng.integers(0, 4, size=(6, 30)).astype(np.float64)
+        want_val, want_idx = select_topk(vals, 5)
+        acc = TopKAccumulator(6, 5)
+        acc.update(vals[:, :13], 0)
+        acc.update(vals[:, 13:], 13)
+        got_val, got_idx = acc.finalize()
+        np.testing.assert_array_equal(got_val, want_val)
+        np.testing.assert_array_equal(got_idx, want_idx)
+
+
+class TestUpdateValidation:
+    def test_rejects_1d_batch(self, rng):
+        with pytest.raises(ValueError, match="2-D"):
+            TopKAccumulator(4, 2).update(rng.random(5), 0)
+
+    def test_rejects_row_count_mismatch(self, rng):
+        with pytest.raises(ValueError, match="rows"):
+            TopKAccumulator(4, 2).update(rng.random((3, 5)), 0)
+
+    def test_rejects_negative_offset(self, rng):
+        with pytest.raises(ValueError, match="col_offset"):
+            TopKAccumulator(4, 2).update(rng.random((4, 5)), -1)
+
+    def test_rejects_bad_offset_indices(self, rng):
+        acc = TopKAccumulator(4, 2)
+        with pytest.raises(ValueError, match="1-D"):
+            acc.update(rng.random((4, 5)),
+                       offset_indices=np.zeros((5, 1), dtype=np.int64))
+        with pytest.raises(ValueError, match="columns"):
+            acc.update(rng.random((4, 5)),
+                       offset_indices=np.arange(4))
+
+
+class TestOffsetIndices:
+    def test_remaps_to_global_ids(self, rng):
+        d = rng.random((3, 4))
+        ids = np.array([7, 2, 11, 5])
+        acc = TopKAccumulator(3, 2)
+        acc.update(d, offset_indices=ids)
+        _, idx = acc.finalize()
+        assert set(idx.ravel()) <= set(ids.tolist())
+        # column argmin maps through the id table
+        np.testing.assert_array_equal(idx[:, 0], ids[np.argmin(d, axis=1)])
+
+    def test_interleaved_shards_equal_full(self, rng):
+        """Columns split round-robin across two 'shards' and merged via
+        offset_indices must equal selecting over the full block."""
+        d = rng.random((5, 16))
+        want_val, want_idx = select_topk(d, 6)
+        acc = TopKAccumulator(5, 6)
+        even = np.arange(0, 16, 2)
+        odd = np.arange(1, 16, 2)
+        acc.update(d[:, even], offset_indices=even)
+        acc.update(d[:, odd], offset_indices=odd)
+        got_val, got_idx = acc.finalize()
+        np.testing.assert_array_equal(got_val, want_val)
+        np.testing.assert_array_equal(got_idx, want_idx)
+
+
+class TestUpdatePairs:
+    def test_merges_preselected_candidates(self, rng):
+        d = rng.random((4, 20))
+        want_val, want_idx = select_topk(d, 5)
+        acc = TopKAccumulator(4, 5)
+        for lo, hi in ((0, 8), (8, 20)):
+            val, idx = select_topk(d[:, lo:hi], 5)
+            acc.update_pairs(val, idx + lo)
+        got_val, got_idx = acc.finalize()
+        np.testing.assert_array_equal(got_val, want_val)
+        np.testing.assert_array_equal(got_idx, want_idx)
+
+    def test_tie_break_by_global_id(self):
+        """Candidates arriving in descending-id order still tie-break by
+        the global id, not arrival position."""
+        acc = TopKAccumulator(1, 2)
+        acc.update_pairs(np.array([[1.0, 3.0]]), np.array([[9, 12]]))
+        acc.update_pairs(np.array([[1.0, 1.0]]), np.array([[4, 2]]))
+        val, idx = acc.finalize()
+        np.testing.assert_array_equal(val, [[1.0, 1.0]])
+        np.testing.assert_array_equal(idx, [[2, 4]])
+
+    def test_shape_validation(self, rng):
+        acc = TopKAccumulator(3, 2)
+        with pytest.raises(ValueError, match="equal-shaped"):
+            acc.update_pairs(rng.random((3, 4)),
+                             np.zeros((3, 5), dtype=np.int64))
+        with pytest.raises(ValueError, match="rows"):
+            acc.update_pairs(rng.random((2, 4)),
+                             np.zeros((2, 4), dtype=np.int64))
+
+    def test_empty_batch_noop(self):
+        acc = TopKAccumulator(2, 3)
+        acc.update_pairs(np.zeros((2, 0)), np.zeros((2, 0), dtype=np.int64))
+        val, idx = acc.finalize()
+        assert val.shape == (2, 0)

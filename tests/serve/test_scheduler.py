@@ -1,0 +1,103 @@
+"""QueryScheduler batch-formation rules on the simulated clock."""
+
+import pytest
+
+from repro.serve import QueryScheduler, ServeRequest
+
+
+def req(rid, n_rows, arrival_ms, k=5):
+    return ServeRequest(request_id=rid, queries=None, n_neighbors=k,
+                        n_rows=n_rows, arrival_ms=arrival_ms)
+
+
+class TestFormation:
+    def test_accumulates_below_capacity(self):
+        s = QueryScheduler(max_batch_rows=10, max_wait_ms=5.0)
+        assert s.offer(req(1, 3, 0.0)) == []
+        assert s.offer(req(2, 3, 1.0)) == []
+        assert s.queue_depth == 2
+        assert s.forming_rows == 6
+
+    def test_closes_full_on_exact_fill(self):
+        s = QueryScheduler(max_batch_rows=8, max_wait_ms=5.0)
+        s.offer(req(1, 4, 0.0))
+        closed = s.offer(req(2, 4, 1.0))
+        assert len(closed) == 1
+        batch = closed[0]
+        assert batch.close_reason == "full"
+        assert batch.n_rows == 8
+        assert batch.dispatch_ms == 1.0
+        assert [r.request_id for r in batch.requests] == [1, 2]
+        assert s.queue_depth == 0
+
+    def test_request_never_splits(self):
+        """A request that would overflow closes the forming batch and opens
+        the next window."""
+        s = QueryScheduler(max_batch_rows=8, max_wait_ms=5.0)
+        s.offer(req(1, 6, 0.0))
+        closed = s.offer(req(2, 6, 1.0))
+        assert len(closed) == 1
+        assert closed[0].close_reason == "full"
+        assert [r.request_id for r in closed[0].requests] == [1]
+        assert closed[0].dispatch_ms == 1.0
+        assert s.queue_depth == 1      # request 2 opened the next window
+
+    def test_oversized_request_gets_own_batch(self):
+        s = QueryScheduler(max_batch_rows=8, max_wait_ms=5.0)
+        closed = s.offer(req(1, 20, 0.0))
+        assert len(closed) == 1
+        assert closed[0].n_rows == 20
+        assert closed[0].close_reason == "full"
+
+    def test_timeout_closes_at_deadline(self):
+        """An arrival after the window expired dispatches the forming batch
+        at exactly open + max_wait, not at the arrival."""
+        s = QueryScheduler(max_batch_rows=100, max_wait_ms=2.0)
+        s.offer(req(1, 3, 1.0))
+        closed = s.offer(req(2, 3, 9.0))
+        assert len(closed) == 1
+        assert closed[0].close_reason == "timeout"
+        assert closed[0].dispatch_ms == 3.0      # 1.0 + 2.0
+        assert [r.request_id for r in closed[0].requests] == [1]
+        assert s.queue_depth == 1
+
+    def test_flush_clamps_dispatch_into_window(self):
+        s = QueryScheduler(max_batch_rows=100, max_wait_ms=2.0)
+        s.offer(req(1, 3, 1.0))
+        closed = s.flush(now_ms=50.0)
+        assert closed[0].close_reason == "flush"
+        assert closed[0].dispatch_ms == 3.0      # clamped to the deadline
+
+        s.offer(req(2, 3, 60.0))
+        closed = s.flush(now_ms=60.5)
+        assert closed[0].dispatch_ms == 60.5     # inside the window
+
+    def test_flush_empty_is_noop(self):
+        s = QueryScheduler()
+        assert s.flush() == []
+
+    def test_monotone_arrivals_enforced(self):
+        s = QueryScheduler(max_batch_rows=100, max_wait_ms=50.0)
+        s.offer(req(1, 2, 5.0))
+        with pytest.raises(ValueError, match="monotone"):
+            s.offer(req(2, 2, 4.0))
+
+    def test_batch_ids_increment(self):
+        s = QueryScheduler(max_batch_rows=2, max_wait_ms=5.0)
+        ids = []
+        for i in range(4):
+            for b in s.offer(req(i, 2, float(i))):
+                ids.append(b.batch_id)
+        assert ids == [0, 1, 2, 3]
+
+    def test_k_max_over_coalesced_requests(self):
+        s = QueryScheduler(max_batch_rows=4, max_wait_ms=5.0)
+        s.offer(req(1, 2, 0.0, k=3))
+        (batch,) = s.offer(req(2, 2, 0.0, k=9))
+        assert batch.k_max == 9
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            QueryScheduler(max_batch_rows=0)
+        with pytest.raises(ValueError):
+            QueryScheduler(max_wait_ms=-1.0)

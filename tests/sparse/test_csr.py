@@ -178,3 +178,30 @@ class TestMisc:
         from repro.errors import ShapeMismatchError
         with pytest.raises(ShapeMismatchError):
             check_same_n_cols(a, b)
+
+
+class TestTakeRows:
+    def test_gathers_arbitrary_rows(self, rng):
+        m = random_csr(rng, 12, 9, 0.4)
+        rows = np.array([7, 0, 7, 3])
+        got = m.take_rows(rows)
+        assert got.shape == (4, 9)
+        np.testing.assert_allclose(got.to_dense(), m.to_dense()[rows])
+
+    def test_empty_selection(self, rng):
+        m = random_csr(rng, 6, 5, 0.4)
+        got = m.take_rows(np.array([], dtype=np.int64))
+        assert got.shape == (0, 5)
+        assert got.nnz == 0
+
+    def test_out_of_range_rejected(self, rng):
+        m = random_csr(rng, 6, 5, 0.4)
+        with pytest.raises(ValueError):
+            m.take_rows(np.array([6]))
+        with pytest.raises(ValueError):
+            m.take_rows(np.array([-1]))
+
+    def test_2d_rejected(self, rng):
+        m = random_csr(rng, 6, 5, 0.4)
+        with pytest.raises(ValueError):
+            m.take_rows(np.zeros((2, 2), dtype=np.int64))
