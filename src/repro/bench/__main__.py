@@ -3,8 +3,12 @@
     python -m repro.bench table2 fig1          # selected reports
     python -m repro.bench --all                # everything (minutes)
     python -m repro.bench --list
+    python -m repro.bench compare              # gate results vs baselines
 
-Each report is printed and saved under ``benchmarks/results/``.
+Each report is printed and saved under ``benchmarks/results/``; the
+``compare`` subcommand (see :mod:`repro.bench.compare`) diffs the
+machine-readable ``BENCH_*.json`` payloads against the committed
+``benchmarks/baselines/`` and exits nonzero on regression.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Union
 
-from repro.bench.reporting import save_json, save_report
+from repro.bench.reporting import results_dir, save_json, save_report
 from repro.bench.runner import (
     bench_dataset,
     run_baseline_cell,
@@ -24,6 +28,7 @@ from repro.bench.runner import (
     run_knn_cell,
     run_plan_cell,
     run_serve_cell,
+    run_slo_cell,
 )
 from repro.bench.tables import bold_min, format_seconds, render_table
 from repro.core.distances import DOT_PRODUCT_DISTANCES, NAMM_DISTANCES
@@ -228,16 +233,112 @@ def report_serve() -> Report:
             "throughput_rows_per_s": c.throughput_rows_per_s,
             "p50_latency_ms": c.p50_latency_ms,
             "p99_latency_ms": c.p99_latency_ms,
+            "deadline_missed": c.deadline_missed,
+            "partial_results": c.partial_results,
+            "latency_samples_ms": list(c.latency_samples_ms),
             "wall_seconds": c.wall_seconds,
         } for c in cells],
     }
     return Report(content, json_name="BENCH_serve", json_payload=payload)
 
 
+@report("profile")
+def report_profile() -> Report:
+    """Performance profile of a traced k-NN query per row-cache strategy.
+
+    Each strategy runs one end-to-end movielens/cosine query under a
+    :class:`~repro.obs.Tracer`; the resulting :class:`~repro.obs.Profile`
+    yields the critical path, the per-category time split, a roofline
+    bound-ness table, and a folded-stack flamegraph
+    (``profile_<strategy>.folded`` under the results directory — drag into
+    speedscope or feed to ``flamegraph.pl``). The summary is written to
+    ``BENCH_profile.json`` for the baseline gate.
+    """
+    from repro.gpusim.specs import VOLTA_V100
+    from repro.kernels import make_engine
+    from repro.neighbors.brute_force import NearestNeighbors
+    from repro.obs import Profile, Tracer, write_folded
+    from repro.plan.tiling import OUTPUT_ITEM_BYTES, WORKSPACE_ITEM_BYTES
+
+    ds = bench_dataset("movielens")
+    n_rows = ds.matrix.n_rows
+    monolithic = (float(n_rows) * n_rows * OUTPUT_ITEM_BYTES
+                  + float(ds.matrix.nnz) * WORKSPACE_ITEM_BYTES)
+    budget = max(1, int(monolithic // 8))
+
+    sections = []
+    payload = {"dataset": "movielens", "metric": "cosine",
+               "strategies": {}}
+    for row_cache in ("hash", "bloom"):
+        tracer = Tracer()
+        kernel = make_engine("hybrid_coo", VOLTA_V100, row_cache=row_cache)
+        nn = NearestNeighbors(
+            n_neighbors=10, metric="cosine", engine=kernel,
+            device=VOLTA_V100, batch_rows=max(1, n_rows),
+            memory_budget_bytes=budget, trace=tracer)
+        nn.fit(ds.matrix)
+        nn.kneighbors()
+        profile = Profile(tracer)
+        folded = write_folded(
+            profile, results_dir() / f"profile_{row_cache}.folded")
+        cp = profile.critical_path(1)
+        sections.append(
+            f"== row_cache={row_cache} "
+            f"(flamegraph: {folded.name}) ==\n{profile.render()}")
+        payload["strategies"][row_cache] = profile.as_dict(n_workers=1)
+        print(f"  ... {row_cache}: {cp.sim_seconds * 1e3:.3f} ms critical "
+              f"path", file=sys.stderr)
+    return Report("\n\n".join(sections), json_name="BENCH_profile",
+                  json_payload=payload)
+
+
+@report("slo")
+def report_slo() -> Report:
+    """SLO monitoring of a phased serve stream (healthy → burst → recover).
+
+    Drives :func:`~repro.bench.runner.run_slo_cell` and renders every
+    monitor tick's objective statuses plus the burn-rate alerts the
+    overload phase fired; the payload lands in ``BENCH_slo.json``.
+    """
+    cell = run_slo_cell("movielens", "cosine")
+    rows = [[obj, f"{at:.1f}", f"{obs:.3f}", "yes" if ok else "NO",
+             f"{burn:.2f}", f"{budget:.1%}"]
+            for obj, at, obs, ok, burn, budget in cell.statuses]
+    content = render_table(
+        ["objective", "tick ms", "observed", "ok", "burn", "budget left"],
+        rows, title="SLO monitor — movielens/cosine, phased stream "
+                    "(simulated time)")
+    content += (f"\n\n{len(cell.alerts)} burn-rate alert(s); "
+                f"{cell.deadline_missed}/{cell.n_requests} deadlines "
+                f"missed; p99 {cell.p99_latency_ms:.3f} ms\n\n"
+                + cell.report_text)
+    payload = {
+        "dataset": cell.dataset,
+        "metric": cell.metric,
+        "n_requests": cell.n_requests,
+        "deadline_missed": cell.deadline_missed,
+        "p50_latency_ms": cell.p50_latency_ms,
+        "p99_latency_ms": cell.p99_latency_ms,
+        "statuses": [{
+            "objective": obj, "at_ms": at, "observed": obs, "ok": ok,
+            "burn_rate": burn, "budget_remaining": budget,
+        } for obj, at, obs, ok, burn, budget in cell.statuses],
+        "alerts": [{"objective": obj, "at_ms": at, "burn_rate": burn}
+                   for obj, at, burn in cell.alerts],
+    }
+    return Report(content, json_name="BENCH_slo", json_payload=payload)
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "compare":
+        from repro.bench.compare import main as compare_main
+
+        return compare_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Regenerate the paper's tables and figures.")
+        description="Regenerate the paper's tables and figures "
+                    "(or `compare` results against baselines).")
     parser.add_argument("reports", nargs="*", choices=[*REPORTS, []],
                         help="which reports to run")
     parser.add_argument("--all", action="store_true", help="run everything")

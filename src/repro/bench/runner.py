@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,10 +28,11 @@ from repro.kernels import make_engine
 from repro.neighbors.brute_force import NearestNeighbors
 from repro.plan.tiling import OUTPUT_ITEM_BYTES, WORKSPACE_ITEM_BYTES
 
-__all__ = ["BenchCell", "PlanCell", "FaultCell", "ServeCell",
+__all__ = ["BenchCell", "PlanCell", "FaultCell", "ServeCell", "SLOCell",
            "run_knn_cell", "run_baseline_cell", "run_plan_cell",
-           "run_fault_cell", "run_serve_cell", "BENCH_SCALES",
-           "bench_dataset", "MINKOWSKI_P", "KNN_K", "CHAOS_SPECS"]
+           "run_fault_cell", "run_serve_cell", "run_slo_cell",
+           "BENCH_SCALES", "bench_dataset", "MINKOWSKI_P", "KNN_K",
+           "CHAOS_SPECS"]
 
 #: Scales used by every benchmark (documented in EXPERIMENTS.md); chosen so
 #: the full Table-3 sweep completes in minutes on a laptop while preserving
@@ -293,9 +294,18 @@ class ServeCell:
     #: query rows served per simulated second (first arrival → last
     #: completion)
     throughput_rows_per_s: float
+    #: interpolated quantiles from the ``serve_latency_ms`` histogram
+    #: (:meth:`~repro.obs.metrics.Histogram.quantile`), accurate to within
+    #: one latency bucket
     p50_latency_ms: float
     p99_latency_ms: float
     wall_seconds: float
+    #: per-request simulated latencies, admission order (exact samples the
+    #: histogram quantiles approximate; kept in ``BENCH_serve.json`` for
+    #: offline analysis, not gated on directly)
+    latency_samples_ms: Tuple[float, ...] = ()
+    deadline_missed: int = 0
+    partial_results: int = 0
 
     @property
     def label(self) -> str:
@@ -313,18 +323,23 @@ def run_serve_cell(dataset: str, metric: str, *, n_shards: int = 2,
     """Serve a synthetic open-loop request stream against one config.
 
     Requests are ``rows_per_request``-row slices of the dataset itself,
-    arriving every ``arrival_gap_ms`` of simulated time; throughput and
-    latency percentiles come from the server's deterministic latency
-    model, so cells are exactly reproducible.
+    arriving every ``arrival_gap_ms`` of simulated time; throughput comes
+    from the server's deterministic latency model and latency percentiles
+    from the ``serve_latency_ms`` histogram's interpolated
+    :meth:`~repro.obs.metrics.Histogram.quantile`, so cells are exactly
+    reproducible.
     """
+    from repro.obs.metrics import MetricsRegistry
     from repro.serve import Server, ShardedIndex
 
     ds = bench_dataset(dataset)
     index = ShardedIndex.build(
         ds.matrix, metric=metric, metric_params=_metric_kwargs(metric),
         n_shards=n_shards, placement=placement)
+    metrics = MetricsRegistry()
     server = Server(index, max_batch_rows=max_batch_rows,
-                    max_wait_ms=max_wait_ms, n_workers=n_workers)
+                    max_wait_ms=max_wait_ms, n_workers=n_workers,
+                    metrics=metrics)
 
     n_rows = ds.matrix.n_rows
     start = time.perf_counter()
@@ -338,7 +353,8 @@ def run_serve_cell(dataset: str, metric: str, *, n_shards: int = 2,
     wall = time.perf_counter() - start
     results = [f.result() for f in futures]
 
-    latencies = np.array([r.report.latency_ms for r in results])
+    latencies = tuple(float(r.report.latency_ms) for r in results)
+    hist = metrics.histogram("serve_latency_ms")
     total_rows = sum(b.n_rows for b in server.batch_reports)
     span_ms = (max(b.completion_ms for b in server.batch_reports)
                - min(r.report.arrival_ms for r in results))
@@ -350,6 +366,105 @@ def run_serve_cell(dataset: str, metric: str, *, n_shards: int = 2,
         n_batches=len(server.batch_reports),
         mean_batch_rows=total_rows / len(server.batch_reports),
         throughput_rows_per_s=throughput,
-        p50_latency_ms=float(np.percentile(latencies, 50)),
-        p99_latency_ms=float(np.percentile(latencies, 99)),
+        p50_latency_ms=hist.quantile(0.50),
+        p99_latency_ms=hist.quantile(0.99),
+        wall_seconds=wall,
+        latency_samples_ms=latencies,
+        deadline_missed=int(
+            metrics.counter("serve_deadline_missed_total").value()),
+        partial_results=int(
+            metrics.counter("serve_partial_results_total").value()))
+
+
+@dataclass
+class SLOCell:
+    """One SLO-monitored serve run: phased traffic + burn-rate evaluation."""
+
+    dataset: str
+    metric: str
+    n_requests: int
+    deadline_missed: int
+    p50_latency_ms: float
+    p99_latency_ms: float
+    #: ``(objective, at_ms, observed, ok, burn_rate, budget_remaining)``
+    #: for every monitor tick, in tick order
+    statuses: List[tuple] = field(default_factory=list)
+    alerts: List[tuple] = field(default_factory=list)
+    report_text: str = ""
+    wall_seconds: float = 0.0
+
+
+def run_slo_cell(dataset: str, metric: str, *, n_shards: int = 2,
+                 max_batch_rows: int = 16, n_workers: int = 1,
+                 phase_requests: int = 16, rows_per_request: int = 4,
+                 p99_latency_ms: float = 16.0,
+                 deadline_miss_rate: float = 0.05,
+                 burn_alert: float = 2.0,
+                 window_ms: float = 40.0,
+                 n_neighbors: int = KNN_K) -> SLOCell:
+    """Drive a three-phase request stream under an :class:`SLOMonitor`.
+
+    Phase 1 is healthy (wide arrival gaps, loose deadlines), phase 2 is an
+    overload burst (near-simultaneous arrivals, tight deadlines — the
+    deadline-miss burn rate spikes and alerts fire), phase 3 recovers. The
+    monitor ticks on the simulated clock after each phase's drain, so the
+    alert sequence is deterministic run to run.
+    """
+    from repro.obs import SLOMonitor, default_serve_objectives
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serve import Server, ShardedIndex
+
+    ds = bench_dataset(dataset)
+    index = ShardedIndex.build(
+        ds.matrix, metric=metric, metric_params=_metric_kwargs(metric),
+        n_shards=n_shards, placement="degree_balanced")
+    metrics = MetricsRegistry()
+    server = Server(index, max_batch_rows=max_batch_rows,
+                    max_wait_ms=2.0, n_workers=n_workers, metrics=metrics)
+    monitor = SLOMonitor(
+        metrics,
+        default_serve_objectives(p99_latency_ms=p99_latency_ms,
+                                 deadline_miss_rate=deadline_miss_rate,
+                                 burn_alert=burn_alert),
+        window_ms=window_ms)
+
+    n_rows = ds.matrix.n_rows
+    #: (arrival gap ms, deadline slack ms) per phase; the burst slack sits
+    #: inside the batch turnaround time so most burst requests miss
+    phases = [(2.0, 500.0), (0.05, 0.05), (2.0, 500.0)]
+    start = time.perf_counter()
+    arrival = 0.0
+    tick_ms = 0.0
+    futures = []
+    statuses: List[tuple] = []
+    for gap_ms, slack_ms in phases:
+        for _ in range(phase_requests):
+            lo = (len(futures) * rows_per_request) \
+                % max(1, n_rows - rows_per_request)
+            block = ds.matrix.slice_rows(lo, lo + rows_per_request)
+            futures.append(server.submit(
+                block, n_neighbors, arrival_ms=arrival,
+                deadline_ms=arrival + slack_ms))
+            arrival += gap_ms
+        server.drain()
+        tick_ms = max(tick_ms + 1.0,
+                      max(b.completion_ms for b in server.batch_reports))
+        statuses.extend(
+            (s.objective, s.at_ms, s.observed, s.ok, s.burn_rate,
+             s.budget_remaining)
+            for s in monitor.observe(tick_ms))
+    wall = time.perf_counter() - start
+    for f in futures:
+        f.result()
+
+    hist = metrics.histogram("serve_latency_ms")
+    return SLOCell(
+        dataset=dataset, metric=metric, n_requests=len(futures),
+        deadline_missed=int(
+            metrics.counter("serve_deadline_missed_total").value()),
+        p50_latency_ms=hist.quantile(0.50),
+        p99_latency_ms=hist.quantile(0.99),
+        statuses=statuses,
+        alerts=[(a.objective, a.at_ms, a.burn_rate) for a in monitor.alerts],
+        report_text=monitor.render(),
         wall_seconds=wall)

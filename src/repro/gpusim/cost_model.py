@@ -54,11 +54,30 @@ class SimulatedTime:
     fixed_seconds: float
     occupancy_fraction: float
 
+    #: occupancy below which compute issue starves (``hide_c < 1``)
+    COMPUTE_HIDE_KNEE = 0.5
+    #: occupancy below which memory latency hiding degrades (``hide_m < 1``)
+    MEMORY_HIDE_KNEE = 0.25
+
     @property
     def bound(self) -> str:
         """Which resource bound the kernel: ``compute`` or ``memory``."""
         return "compute" if self.compute_seconds >= self.memory_seconds \
             else "memory"
+
+    @property
+    def limited(self) -> str:
+        """Roofline-style attribution: ``compute``, ``memory``, or
+        ``occupancy``.
+
+        ``occupancy`` means the binding side's latency hiding is degraded
+        — the kernel runs below the knee where residency saturates that
+        resource (0.5 for compute issue, 0.25 for memory bandwidth), so
+        raising occupancy, not raw throughput, is the lever.
+        """
+        knee = (self.COMPUTE_HIDE_KNEE if self.bound == "compute"
+                else self.MEMORY_HIDE_KNEE)
+        return "occupancy" if self.occupancy_fraction < knee else self.bound
 
 
 class CostModel:

@@ -93,11 +93,20 @@ def simulate_launch(spec: DeviceSpec, stats: KernelStats, *,
         metrics.counter("launches_compute_bound_total").inc()
     else:
         metrics.counter("launches_memory_bound_total").inc()
+    metrics.counter("launches_limited_total").inc(factor=time.limited)
+    metrics.counter("launch_compute_seconds_total").inc(time.compute_seconds)
+    metrics.counter("launch_memory_seconds_total").inc(time.memory_seconds)
+    metrics.counter("launch_fixed_seconds_total").inc(time.fixed_seconds)
     tracer = current_tracer()
     if tracer.enabled:
         tracer.event(
             "gpusim.launch", "launch", time.seconds,
             grid_blocks=int(grid_blocks), block_threads=int(block_threads),
             smem_per_block=int(smem_per_block),
-            occupancy=round(time.occupancy_fraction, 4), bound=time.bound)
+            occupancy=round(time.occupancy_fraction, 4), bound=time.bound,
+            limited=time.limited,
+            limiting_factor=occupancy.limiting_factor,
+            compute_us=time.compute_seconds * 1e6,
+            memory_us=time.memory_seconds * 1e6,
+            fixed_us=time.fixed_seconds * 1e6)
     return LaunchResult(stats=stats, occupancy=occupancy, time=time)

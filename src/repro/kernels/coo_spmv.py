@@ -257,7 +257,10 @@ class LoadBalancedCooKernel(PairwiseKernel):
             pspan.set_sim_seconds(launch.seconds)
             pspan.annotate(strategy=strategy.value, n_blocks=int(n_blocks),
                            hit_rate=round(hit_rate, 6),
-                           mean_probe_per_lookup=round(mean_probe_lookup, 4))
+                           mean_probe_per_lookup=round(mean_probe_lookup, 4),
+                           n_partitioned_rows=(
+                               plan.n_partitioned_rows if plan is not None
+                               else 0))
         return KernelResult(block=np.empty(0), stats=launch.stats,
                             seconds=launch.seconds)
 

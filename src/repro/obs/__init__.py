@@ -10,7 +10,13 @@ Three pieces (see DESIGN.md §9):
   with Prometheus-text and JSON exposition;
 - :func:`write_chrome_trace` — Chrome ``trace_event`` export that opens
   directly in ``chrome://tracing`` / Perfetto, with deterministic worker
-  lanes laid out in simulated time.
+  lanes laid out in simulated time;
+- :class:`Profile` — analysis over a finished tracer (critical path,
+  per-category time, folded-stack flamegraphs, roofline bound-ness per
+  row-cache strategy; see DESIGN.md §11);
+- :class:`SLOMonitor` — declarative :class:`SLObjective` evaluation with
+  windowed error-budget burn rates over the serve layer's simulated-clock
+  metrics.
 
 Quick start::
 
@@ -32,6 +38,20 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.profile import (
+    CategoryTime,
+    CriticalPath,
+    Profile,
+    RooflineReport,
+    write_folded,
+)
+from repro.obs.slo import (
+    SLOAlert,
+    SLObjective,
+    SLOMonitor,
+    SLOStatus,
+    default_serve_objectives,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -60,6 +80,16 @@ __all__ = [
     "NULL_METRICS",
     "to_chrome_trace",
     "write_chrome_trace",
+    "Profile",
+    "CategoryTime",
+    "CriticalPath",
+    "RooflineReport",
+    "write_folded",
+    "SLObjective",
+    "SLOStatus",
+    "SLOAlert",
+    "SLOMonitor",
+    "default_serve_objectives",
     "current_tracer",
     "current_span",
     "current_metrics",

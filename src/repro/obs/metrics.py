@@ -29,7 +29,8 @@ import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["MetricsRegistry", "Counter", "Gauge", "Histogram",
-           "NULL_METRICS", "DEFAULT_BUCKETS"]
+           "NULL_METRICS", "DEFAULT_BUCKETS", "quantile_from_buckets",
+           "count_at_or_below"]
 
 #: Default histogram buckets: wide log-ish spread covering sub-ms launches
 #: through multi-second plans (values in the instrument's own unit).
@@ -44,11 +45,77 @@ def _label_key(labels: dict) -> _LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double-quote, and line feed must be written as ``\\\\``,
+    ``\\"``, and ``\\n`` respectively."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _render_labels(key: _LabelKey, extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in key]
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in key]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def count_at_or_below(bounds: Sequence[float], cum_counts: Sequence[float],
+                      total: float, value: float) -> float:
+    """Observations ``<= value`` implied by cumulative bucket counts.
+
+    Exact at bucket bounds; linearly interpolated inside a bucket (the
+    same uniform-within-bucket assumption Prometheus' ``histogram_quantile``
+    makes). Values above the top finite bound land in the implicit +Inf
+    bucket, whose population is ``total - cum_counts[-1]``; since that
+    bucket has no width, everything at or above the top bound counts.
+    """
+    if not bounds:
+        raise ValueError("need at least one bucket bound")
+    prev_cum = 0.0
+    prev_bound = min(0.0, float(bounds[0]))  # first bucket spans from 0
+    for bound, cum in zip(bounds, cum_counts):
+        if value <= bound:
+            width = bound - prev_bound
+            if width <= 0:
+                return float(cum)
+            frac = (value - prev_bound) / width
+            return prev_cum + max(0.0, min(1.0, frac)) * (cum - prev_cum)
+        prev_cum, prev_bound = float(cum), float(bound)
+    return float(total)
+
+
+def quantile_from_buckets(bounds: Sequence[float],
+                          cum_counts: Sequence[float], total: float,
+                          q: float) -> float:
+    """Interpolated q-quantile of a cumulative-bucket histogram.
+
+    Linear interpolation within the bucket holding the target rank,
+    assuming observations spread uniformly across it (the first bucket is
+    taken to span from 0, matching Prometheus). Ranks falling in the
+    implicit **+Inf bucket** — observations above the top finite bound —
+    return the top finite bound itself, because the +Inf bucket has no
+    width to interpolate over (documented Prometheus behavior). Returns
+    NaN when the histogram is empty.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be within [0, 1], got {q!r}")
+    if not bounds:
+        raise ValueError("need at least one bucket bound")
+    if total <= 0:
+        return float("nan")
+    rank = q * total
+    prev_cum = 0.0
+    prev_bound = min(0.0, float(bounds[0]))
+    for bound, cum in zip(bounds, cum_counts):
+        if rank <= cum:
+            in_bucket = cum - prev_cum
+            if in_bucket <= 0:
+                return float(bound)
+            frac = (rank - prev_cum) / in_bucket
+            return prev_bound + frac * (bound - prev_bound)
+        prev_cum, prev_bound = float(cum), float(bound)
+    return float(bounds[-1])  # rank lives in the +Inf bucket
 
 
 class _Instrument:
@@ -168,6 +235,37 @@ class Histogram(_Instrument):
         series = self._series.get(_label_key(labels))
         return series.sum if series else 0.0
 
+    def cumulative_counts(self, **labels) -> Tuple[int, ...]:
+        """Per-bucket cumulative counts (``le`` semantics), one entry per
+        finite bound in :attr:`buckets`; the implicit +Inf bucket is
+        :meth:`count`."""
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            return (0,) * len(self.buckets)
+        with self._lock:
+            return tuple(series.bucket_counts)
+
+    def quantile(self, q: float, **labels) -> float:
+        """Interpolated q-quantile (``q`` in [0, 1]) of one label series.
+
+        Linear interpolation within the cumulative bucket holding the
+        target rank, exactly like Prometheus' ``histogram_quantile``: the
+        first bucket spans from 0, and a rank landing in the implicit
+        **+Inf bucket** (observations above the top finite bound) returns
+        the top finite bound — the histogram cannot resolve beyond it.
+        Accurate to within one bucket width; returns NaN for an empty or
+        unknown series, raises ``ValueError`` for q outside [0, 1].
+        """
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError(f"q must be within [0, 1], got {q!r}")
+            return float("nan")
+        with self._lock:
+            cum = tuple(series.bucket_counts)
+            total = series.count
+        return quantile_from_buckets(self.buckets, cum, total, q)
+
     def _expose(self) -> List[str]:
         lines = []
         for key, series in sorted(self._series.items()):
@@ -271,6 +369,12 @@ class _NullInstrument:
 
     def value(self, **labels):
         return 0.0
+
+    def quantile(self, q, **labels):
+        return float("nan")
+
+    def cumulative_counts(self, **labels):
+        return ()
 
 
 _NULL_INSTRUMENT = _NullInstrument()

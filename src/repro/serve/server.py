@@ -56,7 +56,16 @@ from repro.serve.scheduler import MicroBatch, QueryScheduler
 from repro.serve.sharding import ShardedIndex
 from repro.sparse.ops import vstack
 
-__all__ = ["Server"]
+__all__ = ["Server", "LATENCY_BUCKETS_MS"]
+
+#: Bucket bounds for the ``serve_latency_ms`` / ``serve_queue_wait_ms``
+#: histograms: a power-of-two ladder from sub-ms to multi-second, much
+#: finer than :data:`~repro.obs.metrics.DEFAULT_BUCKETS` in the ms range
+#: so interpolated quantiles (``Histogram.quantile``) stay within one
+#: narrow bucket of the exact sample percentiles.
+LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+    512.0, 1024.0, 2048.0, 4096.0, 8192.0)
 
 
 class Server:
@@ -409,10 +418,10 @@ class Server:
         m = self.metrics
         m.histogram("serve_latency_ms",
                     "simulated request latency (arrival to completion)",
-                    ).observe(report.latency_ms)
+                    buckets=LATENCY_BUCKETS_MS).observe(report.latency_ms)
         m.histogram("serve_queue_wait_ms",
                     "simulated wait before the batch started",
-                    ).observe(report.queue_wait_ms)
+                    buckets=LATENCY_BUCKETS_MS).observe(report.queue_wait_ms)
         if report.partial:
             m.counter("serve_partial_results_total",
                       "requests answered from a degraded shard set").inc()

@@ -1,8 +1,10 @@
 """MetricsRegistry unit behaviour and exposition formats."""
 
 import json
+import re
 import threading
 
+import numpy as np
 import pytest
 
 from repro.obs.metrics import (
@@ -12,6 +14,8 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    count_at_or_below,
+    quantile_from_buckets,
 )
 
 
@@ -135,3 +139,110 @@ def test_instrument_classes_exported():
     assert isinstance(r.counter("a"), Counter)
     assert isinstance(r.gauge("b"), Gauge)
     assert isinstance(r.histogram("c"), Histogram)
+
+
+# -- interpolated quantiles ------------------------------------------------
+
+def test_quantile_validation_and_empty(registry):
+    h = registry.histogram("ms", buckets=(1.0, 10.0))
+    with pytest.raises(ValueError, match="q must be within"):
+        h.quantile(1.5)
+    with pytest.raises(ValueError):
+        h.quantile(-0.1)
+    assert h.quantile(0.5) != h.quantile(0.5)  # NaN: no observations yet
+    assert NULL_METRICS.histogram("x").quantile(0.5) \
+        != NULL_METRICS.histogram("x").quantile(0.5)
+
+
+def test_quantile_matches_numpy_within_one_bucket_width(registry):
+    """Interpolated quantiles land in the same bucket numpy's exact
+    percentile does — the error is bounded by that bucket's width."""
+    rng = np.random.default_rng(42)
+    samples = rng.gamma(shape=2.0, scale=5.0, size=2000)
+    bounds = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+    h = registry.histogram("lat", buckets=bounds)
+    for v in samples:
+        h.observe(float(v))
+    edges = (0.0,) + bounds
+    for q in (0.05, 0.25, 0.5, 0.75, 0.9, 0.99):
+        exact = float(np.percentile(samples, q * 100))
+        approx = h.quantile(q)
+        width = max(hi - lo for lo, hi in zip(edges, edges[1:])
+                    if lo <= exact <= hi or lo <= approx <= hi)
+        assert abs(approx - exact) <= width
+
+
+def test_quantile_respects_labels(registry):
+    h = registry.histogram("lat", buckets=(1.0, 10.0, 100.0))
+    h.observe(0.5, shard="0")
+    h.observe(50.0, shard="1")
+    assert h.quantile(0.5, shard="0") <= 1.0
+    assert h.quantile(0.5, shard="1") > 10.0
+    assert h.quantile(0.5, shard="missing") \
+        != h.quantile(0.5, shard="missing")  # NaN for unknown series
+
+
+def test_quantile_inf_bucket_returns_top_finite_bound(registry):
+    """Ranks landing in the implicit +Inf bucket clamp to the top finite
+    bound — the documented Prometheus ``histogram_quantile`` behavior."""
+    h = registry.histogram("ms", buckets=(1.0, 10.0))
+    for v in (0.5, 5.0, 100.0, 200.0, 300.0):
+        h.observe(v)
+    assert h.quantile(0.99) == 10.0
+    assert h.quantile(1.0) == 10.0
+
+
+def test_quantile_from_buckets_interpolates_linearly():
+    # 10 observations spread uniformly through (0, 10]: p50 = 5.0
+    assert quantile_from_buckets((10.0,), (10,), 10, 0.5) \
+        == pytest.approx(5.0)
+    # first bucket spans from 0 even when its bound is far from it
+    assert quantile_from_buckets((100.0, 200.0), (4, 8), 8, 0.25) \
+        == pytest.approx(50.0)
+    assert quantile_from_buckets((1.0,), (0,), 0, 0.5) \
+        != quantile_from_buckets((1.0,), (0,), 0, 0.5)  # NaN when empty
+    with pytest.raises(ValueError):
+        quantile_from_buckets((), (), 0, 0.5)
+
+
+def test_count_at_or_below_reconciles_with_totals():
+    bounds = (1.0, 10.0, 100.0)
+    cum = (2, 5, 9)
+    assert count_at_or_below(bounds, cum, 10, 1.0) == 2.0
+    assert count_at_or_below(bounds, cum, 10, 10.0) == 5.0
+    # halfway through the (1, 10] bucket: 2 + 0.5 * 3
+    assert count_at_or_below(bounds, cum, 10, 5.5) == pytest.approx(3.5)
+    # above the top bound counts everything, +Inf population included
+    assert count_at_or_below(bounds, cum, 10, 1000.0) == 10.0
+
+
+# -- Prometheus label escaping ---------------------------------------------
+
+_LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return (value.replace("\\n", "\n").replace('\\"', '"')
+            .replace("\\\\", "\\"))
+
+
+def test_label_values_escaped_round_trip(registry):
+    """Hostile label values survive the text exposition format: each
+    rendered line stays single-line, and unescaping recovers the original
+    value exactly."""
+    hostile = 'path\\to"dir"\nline2'
+    registry.counter("c").inc(3, file=hostile, plain="ok")
+    text = registry.to_prometheus_text()
+    (line,) = [ln for ln in text.splitlines() if ln.startswith("c{")]
+    assert "\n" not in line  # the newline was escaped, not emitted
+    labels = {m.group(1): _unescape(m.group(2))
+              for m in _LABEL_RE.finditer(line)}
+    assert labels == {"file": hostile, "plain": "ok"}
+
+
+def test_label_escaping_in_histogram_series(registry):
+    h = registry.histogram("ms", buckets=(1.0,))
+    h.observe(0.5, tag='a"b\\c')
+    text = registry.to_prometheus_text()
+    assert 'tag="a\\"b\\\\c"' in text
+    assert text.count("\n") == len(text.splitlines())  # no stray newlines

@@ -1,0 +1,262 @@
+"""Profile analysis: critical path, flamegraphs, roofline attribution.
+
+The acceptance bar (DESIGN.md §11):
+
+- ``critical_path(N).sim_seconds`` equals
+  ``PlanExecutionReport.simulated_seconds`` with **exact float equality**
+  for the matching worker count — the profile recomputes the executor's
+  round-robin lane model, accumulating in the same order;
+- profiling the serial and the 4-worker execution of one plan yields
+  byte-identical folded stacks, category tables, roofline reports, and
+  (with a pinned worker count) JSON summaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.specs import VOLTA_V100
+from repro.kernels import make_engine
+from repro.obs import NullTracer, Profile, Tracer, write_folded
+from repro.obs.profile import LIMITED_CLASSES
+from repro.plan import DenseBlockConsumer, PlanExecutor, build_pairwise_plan
+from tests.conftest import random_csr
+
+#: Budget that cuts the (40, 25) pair into a multi-tile grid.
+BUDGET = 600
+
+
+@pytest.fixture
+def pair(rng):
+    return (random_csr(rng, 40, 30, 0.3), random_csr(rng, 25, 30, 0.25))
+
+
+def _traced_run(pair, *, n_workers=1, engine="hybrid_coo", device=None):
+    tracer = Tracer()
+    plan = build_pairwise_plan(*pair, "euclidean", engine=engine,
+                               device=device, memory_budget_bytes=BUDGET,
+                               tracer=tracer)
+    report = PlanExecutor(plan, n_workers=n_workers,
+                          tracer=tracer).execute(DenseBlockConsumer())
+    return tracer, report
+
+
+class TestCriticalPath:
+    @pytest.mark.parametrize("n_workers", [1, 2, 3, 4])
+    def test_equals_report_simulated_seconds_exactly(self, pair, n_workers):
+        tracer, report = _traced_run(pair, n_workers=n_workers)
+        cp = Profile(tracer).critical_path(n_workers)
+        assert cp.sim_seconds == report.simulated_seconds  # bit-exact
+        assert cp.n_workers == n_workers
+
+    def test_default_worker_count_is_the_traced_runs(self, pair):
+        tracer, report = _traced_run(pair, n_workers=3)
+        cp = Profile(tracer).critical_path()
+        assert cp.n_workers == 3
+        assert cp.sim_seconds == report.simulated_seconds
+
+    def test_serial_path_covers_every_tile(self, pair):
+        tracer, report = _traced_run(pair, n_workers=1)
+        cp = Profile(tracer).critical_path(1)
+        assert len(cp.steps) == report.n_tiles
+        assert cp.lane == 0
+        assert cp.tile_seconds == pytest.approx(
+            sum(s.seconds for s in cp.steps))
+        # steps come back in planned tile order
+        assert [s.tile for s in cp.steps] == sorted(s.tile for s in cp.steps)
+
+    def test_any_worker_count_from_any_trace(self, pair):
+        """The schedule enters only through the requested worker count,
+        never through the traced run's schedule."""
+        serial, _ = _traced_run(pair, n_workers=1)
+        fourway, _ = _traced_run(pair, n_workers=4)
+        for n in (1, 2, 3, 5, 7):
+            a = Profile(serial).critical_path(n)
+            b = Profile(fourway).critical_path(n)
+            assert a == b
+
+    def test_lane_realizes_the_makespan(self, pair):
+        tracer, _ = _traced_run(pair)
+        profile = Profile(tracer)
+        cp = profile.critical_path(3)
+        lanes = {}
+        for i, step in enumerate(profile.critical_path(1).steps):
+            lanes.setdefault(i % 3, []).append(step.seconds)
+        assert cp.sim_seconds - cp.prologue_seconds \
+            == pytest.approx(max(sum(v) for v in lanes.values()))
+        assert all(s.tile % 3 == cp.lane for s in cp.steps)
+
+    def test_invalid_worker_count(self, pair):
+        tracer, _ = _traced_run(pair)
+        with pytest.raises(ValueError):
+            Profile(tracer).critical_path(0)
+
+    def test_as_dict_round_trips(self, pair):
+        tracer, _ = _traced_run(pair)
+        d = Profile(tracer).critical_path(2).as_dict()
+        assert d["n_workers"] == 2
+        assert d["sim_seconds"] == pytest.approx(
+            d["prologue_seconds"] + sum(s["seconds"] for s in d["steps"]))
+
+
+class TestWorkerCountIndependence:
+    """Serial and 4-worker executions of one plan profile identically."""
+
+    @pytest.fixture
+    def profiles(self, pair):
+        serial, _ = _traced_run(pair, n_workers=1)
+        fourway, _ = _traced_run(pair, n_workers=4)
+        return Profile(serial), Profile(fourway)
+
+    def test_folded_stacks_byte_identical(self, profiles):
+        p1, p4 = profiles
+        assert p1.folded_stacks() == p4.folded_stacks()
+
+    def test_categories_identical(self, profiles):
+        p1, p4 = profiles
+        assert p1.categories() == p4.categories()
+
+    def test_roofline_identical(self, profiles):
+        p1, p4 = profiles
+        assert p1.roofline().as_dict() == p4.roofline().as_dict()
+
+    def test_json_identical_with_pinned_workers(self, profiles):
+        p1, p4 = profiles
+        assert p1.to_json(n_workers=1) == p4.to_json(n_workers=1)
+        assert p1.to_json(n_workers=4) == p4.to_json(n_workers=4)
+
+
+class TestCategories:
+    def test_expected_categories_present(self, pair):
+        tracer, report = _traced_run(pair)
+        cats = {c.category: c for c in Profile(tracer).categories()}
+        for expected in ("plan", "tile", "kernel", "epilogue", "norms"):
+            assert expected in cats
+        assert cats["tile"].n_spans == report.n_tiles
+        # output is sorted by category name
+        assert list(cats) == sorted(cats)
+
+    def test_plan_spans_have_no_self_time(self, pair):
+        """plan.execute's makespan is normalized away — all simulated time
+        belongs to the work underneath it."""
+        tracer, _ = _traced_run(pair)
+        cats = {c.category: c for c in Profile(tracer).categories()}
+        assert cats["plan"].self_seconds == pytest.approx(0.0)
+        assert cats["plan"].total_seconds >= cats["tile"].total_seconds
+
+    def test_self_time_sums_to_total_duration(self, pair):
+        tracer, _ = _traced_run(pair)
+        profile = Profile(tracer)
+        total_self = sum(c.self_seconds for c in profile.categories())
+        assert total_self == pytest.approx(
+            sum(c.total_seconds for c in profile.categories()
+                if c.category == "plan"))
+
+
+class TestFoldedStacks:
+    def test_format_and_ordering(self, pair):
+        tracer, _ = _traced_run(pair)
+        lines = Profile(tracer).folded_stacks().splitlines()
+        assert lines == sorted(lines)
+        for line in lines:
+            path, weight = line.rsplit(" ", 1)
+            assert int(weight) > 0  # zero-weight frames dropped
+            assert path  # every frame named
+        assert any(line.startswith("plan.execute;") for line in lines)
+
+    def test_weights_total_matches_durations(self, pair):
+        tracer, _ = _traced_run(pair)
+        profile = Profile(tracer)
+        total_ns = sum(int(line.rsplit(" ", 1)[1])
+                       for line in profile.folded_stacks().splitlines())
+        total_self = sum(c.self_seconds for c in profile.categories())
+        assert total_ns == pytest.approx(total_self * 1e9, abs=100)
+
+    def test_write_folded_accepts_tracer_or_profile(self, pair, tmp_path):
+        tracer, _ = _traced_run(pair)
+        a = write_folded(tracer, tmp_path / "a.folded")
+        b = write_folded(Profile(tracer), tmp_path / "b.folded")
+        assert a.read_text() == b.read_text()
+        assert a.read_text().strip()
+
+
+class TestRoofline:
+    def test_hash_strategy_bucket(self, pair):
+        kernel = make_engine("hybrid_coo", VOLTA_V100, row_cache="hash")
+        tracer, _ = _traced_run(pair, engine=kernel)
+        roofline = Profile(tracer).roofline()
+        names = [s.strategy for s in roofline.strategies]
+        assert "hash" in names
+        assert "epilogue" in names
+        assert "norms" in names
+
+    def test_degree_partitioned_bucket(self, pair):
+        """A shared-memory budget too small for the densest rows pushes
+        the hash cache into degree partitioning, and the roofline
+        attributes those launches to their own bucket."""
+        spec = VOLTA_V100.with_overrides(smem_per_block_max_bytes=256,
+                                         smem_per_sm_bytes=256)
+        kernel = make_engine("hybrid_coo", spec, row_cache="hash")
+        tracer, _ = _traced_run(pair, engine=kernel, device=spec)
+        names = [s.strategy for s in Profile(tracer).roofline().strategies]
+        assert "degree_partitioned" in names
+
+    def test_rollup_arithmetic(self, pair):
+        tracer, report = _traced_run(pair)
+        roofline = Profile(tracer).roofline()
+        for s in roofline.strategies:
+            assert s.dominant in LIMITED_CLASSES
+            assert 0.0 <= s.weighted_occupancy <= 1.0
+            assert sum(s.limited_seconds.values()) \
+                == pytest.approx(s.seconds)
+        assert sum(s.n_launches for s in roofline.strategies) \
+            == len(roofline.launches)
+        assert len(roofline.tiles) == report.n_tiles
+        for t in roofline.tiles:
+            assert t.strategies
+            assert t.dominant in LIMITED_CLASSES
+
+    def test_launches_carry_time_split(self, pair):
+        tracer, _ = _traced_run(pair)
+        for r in Profile(tracer).roofline().launches:
+            # the cost model overlaps compute and memory, so the wall
+            # charge is bounded by the dominant term and the serial sum
+            assert r.seconds > 0
+            assert r.seconds <= (r.compute_seconds + r.memory_seconds
+                                 + r.fixed_seconds) + 1e-12
+            assert r.seconds >= max(r.compute_seconds,
+                                    r.memory_seconds) - 1e-12
+            assert r.limited in LIMITED_CLASSES
+
+
+class TestConstruction:
+    def test_null_tracer_rejected(self):
+        with pytest.raises(ValueError, match="NullTracer"):
+            Profile(NullTracer())
+
+    def test_no_plan_root_raises(self):
+        tracer = Tracer()
+        with tracer.span("orphan", "kernel"):
+            pass
+        with pytest.raises(ValueError, match="plan.execute"):
+            Profile(tracer).critical_path()
+
+    def test_render_mentions_critical_path(self, pair):
+        tracer, _ = _traced_run(pair)
+        text = Profile(tracer).render()
+        assert "critical path" in text
+        assert "dominant" in text
+
+
+def test_deterministic_across_runs(rng):
+    """Two identical traced runs profile byte-identically end to end."""
+    a = random_csr(np.random.default_rng(3), 40, 30, 0.3)
+    b = random_csr(np.random.default_rng(4), 25, 30, 0.25)
+    jsons = []
+    for _ in range(2):
+        tracer = Tracer()
+        plan = build_pairwise_plan(a, b, "cosine",
+                                   memory_budget_bytes=BUDGET,
+                                   tracer=tracer)
+        PlanExecutor(plan, tracer=tracer).execute(DenseBlockConsumer())
+        jsons.append(Profile(tracer).to_json(n_workers=1))
+    assert jsons[0] == jsons[1]

@@ -1,0 +1,242 @@
+"""SLO objectives, error-budget burn rates, and alert determinism.
+
+Two layers: synthetic registries where every burn rate is hand-computable,
+and a real :class:`~repro.serve.Server` stream whose monitor counts must
+reconcile exactly with the ``serve_*`` metric family.
+"""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    SLObjective,
+    SLOMonitor,
+    default_serve_objectives,
+)
+from repro.serve import Server, ShardedIndex
+from tests.conftest import random_csr
+
+RATIO = SLObjective(name="miss_rate", kind="ratio", threshold=0.05,
+                    numerator="bad_total", denominator="all_total",
+                    burn_alert=2.0)
+QUANTILE = SLObjective(name="p90_ms", kind="quantile", threshold=10.0,
+                       metric="latency_ms", q=0.90, burn_alert=2.0)
+
+
+class TestObjectiveValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            SLObjective(name="x", kind="slope", threshold=1.0)
+
+    def test_quantile_needs_metric_and_q(self):
+        with pytest.raises(ValueError):
+            SLObjective(name="x", kind="quantile", threshold=1.0)
+        with pytest.raises(ValueError, match="in \\(0, 1\\)"):
+            SLObjective(name="x", kind="quantile", threshold=1.0,
+                        metric="m", q=1.0)
+
+    def test_ratio_needs_counters_and_sane_threshold(self):
+        with pytest.raises(ValueError):
+            SLObjective(name="x", kind="ratio", threshold=0.1)
+        with pytest.raises(ValueError, match="threshold"):
+            SLObjective(name="x", kind="ratio", threshold=1.5,
+                        numerator="a", denominator="b")
+
+    def test_burn_alert_positive(self):
+        with pytest.raises(ValueError, match="burn_alert"):
+            SLObjective(name="x", kind="ratio", threshold=0.1,
+                        numerator="a", denominator="b", burn_alert=0.0)
+
+    def test_allowed_bad_fraction(self):
+        assert RATIO.allowed_bad_fraction == 0.05
+        assert QUANTILE.allowed_bad_fraction == pytest.approx(0.10)
+
+
+class TestObjectiveCounts:
+    def test_ratio_counts_read_counters(self):
+        m = MetricsRegistry()
+        m.counter("bad_total").inc(3)
+        m.counter("all_total").inc(60)
+        assert RATIO.counts(m) == (3.0, 60.0)
+        assert RATIO.observed(m) == pytest.approx(0.05)
+
+    def test_missing_metrics_count_zero(self):
+        m = MetricsRegistry()
+        assert RATIO.counts(m) == (0.0, 0.0)
+        assert RATIO.observed(m) == 0.0
+        assert math.isnan(QUANTILE.observed(m))
+
+    def test_quantile_bad_plus_good_is_total(self):
+        """Interpolated bad counts reconcile with the histogram exactly."""
+        m = MetricsRegistry()
+        h = m.histogram("latency_ms", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 3.0, 8.0, 40.0, 200.0):
+            h.observe(v)
+        bad, total = QUANTILE.counts(m)
+        assert total == 5.0
+        # 3 observations <= 10ms exactly at the bound; 2 above
+        assert bad == pytest.approx(2.0)
+        assert QUANTILE.observed(m) == h.quantile(0.90)
+
+    def test_quantile_on_non_histogram_raises(self):
+        m = MetricsRegistry()
+        m.counter("latency_ms").inc()
+        with pytest.raises(TypeError, match="histogram"):
+            QUANTILE.counts(m)
+
+
+class TestMonitor:
+    def test_construction_validation(self):
+        m = MetricsRegistry()
+        with pytest.raises(ValueError, match="window_ms"):
+            SLOMonitor(m, [RATIO], window_ms=0.0)
+        with pytest.raises(ValueError, match="objective"):
+            SLOMonitor(m, [])
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOMonitor(m, [RATIO, RATIO])
+
+    def test_monotone_clock_enforced(self):
+        m = MetricsRegistry()
+        monitor = SLOMonitor(m, [RATIO], window_ms=100.0)
+        monitor.observe(50.0)
+        with pytest.raises(ValueError, match="monotone"):
+            monitor.observe(49.0)
+
+    def test_burn_rate_is_hand_computable(self):
+        """10 bad of 20 in one window at 5% allowed → burn 10.0, exactly."""
+        m = MetricsRegistry()
+        bad, total = m.counter("bad_total"), m.counter("all_total")
+        monitor = SLOMonitor(m, [RATIO], window_ms=100.0)
+        bad.inc(10)
+        total.inc(20)
+        (status,) = monitor.observe(100.0)
+        assert status.window_bad == 10.0
+        assert status.window_total == 20.0
+        assert status.burn_rate == pytest.approx((10 / 20) / 0.05)
+        assert not status.ok
+        assert status.budget_remaining == pytest.approx(1 - 10.0)
+
+    def test_alert_fires_once_per_offending_tick(self):
+        m = MetricsRegistry()
+        bad, total = m.counter("bad_total"), m.counter("all_total")
+        monitor = SLOMonitor(m, [RATIO], window_ms=100.0)
+
+        total.inc(100)  # healthy traffic, no bad
+        (s,) = monitor.observe(100.0)
+        assert s.burn_rate == 0.0 and s.ok
+        assert monitor.alerts == []
+
+        bad.inc(30)     # burst: 30 bad of 100 → burn 6.0 > alert 2.0
+        total.inc(100)
+        (s,) = monitor.observe(200.0)
+        assert s.burn_rate == pytest.approx((30 / 100) / 0.05)
+        assert len(monitor.alerts) == 1
+        alert = monitor.alerts[0]
+        assert alert.objective == "miss_rate"
+        assert alert.at_ms == 200.0
+        assert alert.burn_rate == pytest.approx(6.0)
+        assert "burn 6.00x" in alert.message
+
+        total.inc(100)  # recovery: clean window, burn back to zero
+        (s,) = monitor.observe(300.0)
+        assert s.burn_rate == 0.0
+        assert len(monitor.alerts) == 1  # no new alert
+
+    def test_window_uses_trailing_edge_snapshot(self):
+        """Burn compares against the newest snapshot at or before
+        ``now - window``, so old badness ages out of the window."""
+        m = MetricsRegistry()
+        bad, total = m.counter("bad_total"), m.counter("all_total")
+        monitor = SLOMonitor(m, [RATIO], window_ms=100.0)
+        bad.inc(10)
+        total.inc(10)
+        monitor.observe(100.0)
+        total.inc(10)
+        (s,) = monitor.observe(250.0)  # window [150, 250]: only clean traffic
+        assert s.window_bad == 0.0
+        assert s.burn_rate == 0.0
+        assert s.bad == 10.0  # cumulative totals still remember the burst
+
+    def test_determinism(self):
+        """The same metric timeline yields identical alerts, run to run."""
+        def run():
+            m = MetricsRegistry()
+            monitor = SLOMonitor(m, [RATIO], window_ms=50.0)
+            for tick in range(1, 11):
+                m.counter("bad_total").inc(tick % 3)
+                m.counter("all_total").inc(5)
+                monitor.observe(25.0 * tick)
+            return [(a.at_ms, a.objective, a.burn_rate)
+                    for a in monitor.alerts]
+
+        first, second = run(), run()
+        assert first == second
+        assert first  # the timeline does alert
+
+    def test_render_lists_alerts(self):
+        m = MetricsRegistry()
+        monitor = SLOMonitor(m, [RATIO], window_ms=100.0)
+        m.counter("bad_total").inc(50)
+        m.counter("all_total").inc(100)
+        monitor.observe(100.0)
+        text = monitor.render()
+        assert "miss_rate" in text
+        assert "alert(s):" in text
+
+
+class TestDefaultServeObjectives:
+    def test_shape(self):
+        objs = default_serve_objectives()
+        assert [o.name for o in objs] == [
+            "p99_latency_ms", "deadline_miss_rate", "partial_result_rate"]
+        assert objs[0].kind == "quantile"
+        assert objs[0].metric == "serve_latency_ms"
+        assert objs[1].numerator == "serve_deadline_missed_total"
+
+    def test_reconciles_with_real_server(self, rng):
+        """Monitor counts must equal the server's own serve_* counters to
+        the integer, and the observed p99 must be the histogram's."""
+        matrix = random_csr(rng, 64, 32, 0.3)
+        index = ShardedIndex.build(matrix, metric="cosine", n_shards=2,
+                                   placement="degree_balanced")
+        metrics = MetricsRegistry()
+        server = Server(index, max_batch_rows=16, max_wait_ms=2.0,
+                        metrics=metrics)
+        monitor = SLOMonitor(
+            metrics,
+            default_serve_objectives(p99_latency_ms=16.0,
+                                     deadline_miss_rate=0.05,
+                                     burn_alert=1.0),
+            window_ms=50.0)
+
+        futures = []
+        arrival = 0.0
+        for i in range(16):
+            block = matrix.slice_rows(i * 4, i * 4 + 4)
+            futures.append(server.submit(block, 5, arrival_ms=arrival,
+                                         deadline_ms=arrival + 0.05))
+            arrival += 0.05
+        server.drain()
+        for f in futures:
+            f.result()
+
+        tick = max(b.completion_ms for b in server.batch_reports) + 1.0
+        statuses = {s.objective: s for s in monitor.observe(tick)}
+
+        missed = metrics.counter("serve_deadline_missed_total").value()
+        requests = metrics.counter("serve_requests_total").value()
+        assert requests == 16
+        assert missed > 0  # the tight deadline did bite
+        miss = statuses["deadline_miss_rate"]
+        assert miss.bad == missed
+        assert miss.total == requests
+        assert not miss.ok
+        assert any(a.objective == "deadline_miss_rate"
+                   for a in monitor.alerts)
+
+        p99 = statuses["p99_latency_ms"]
+        assert p99.observed == \
+            metrics.histogram("serve_latency_ms").quantile(0.99)
+        assert p99.total == requests
