@@ -69,6 +69,7 @@ class CsrGemmKernel(PairwiseKernel):
     def run(self, a: CSRMatrix, b: CSRMatrix, semiring: Semiring) -> KernelResult:
         self._check_inputs(a, b)
         self._fault_checkpoint()
+        self._record_engine_selection()
         if semiring.requires_union:
             raise SemiringError(
                 "csrgemm fixes the inner product to the dot product semiring "

@@ -22,6 +22,7 @@ from typing import Callable, Dict, Optional, Union
 from repro.bench.reporting import results_dir, save_json, save_report
 from repro.bench.runner import (
     bench_dataset,
+    run_ablation_cell,
     run_baseline_cell,
     run_cpu_cell,
     run_fault_cell,
@@ -327,6 +328,84 @@ def report_slo() -> Report:
                    for obj, at, burn in cell.alerts],
     }
     return Report(content, json_name="BENCH_slo", json_payload=payload)
+
+
+#: (regime, n_cols, mean_degree) — the two column regimes the ablation
+#: sweeps: "narrow" fits the dense row cache in shared memory; "wide"
+#: exceeds it (32768 × 4 B > 96 KiB), so the dense candidate is gated out
+#: and hash staging competes with nonzero splitting on its own.
+ABLATION_REGIMES = (("narrow", 512, 128.0), ("wide", 32768, 768.0))
+
+#: lognormal degree-skew levels swept per regime
+ABLATION_SIGMAS = (0.5, 1.5, 2.5, 3.5)
+
+ABLATION_METRICS = ("cosine", "manhattan")
+
+
+@report("ablation")
+def report_ablation() -> Report:
+    """Engine ablation over skewed degree distributions.
+
+    Sweeps lognormal degree skew (``sigma``) × column regime × metric on a
+    96-row self-join, running every fixed engine configuration the device
+    can express (hybrid CSR+COO with dense/hash row caches, merge-path)
+    plus ``engine="auto"``. The claim locked into ``BENCH_ablation.json``:
+    on every cell ``auto`` matches or beats the best fixed configuration,
+    and all configurations produce bit-identical distances.
+    """
+    cells = []
+    rows = []
+    for regime, n_cols, mean_degree in ABLATION_REGIMES:
+        for metric in ABLATION_METRICS:
+            for sigma in ABLATION_SIGMAS:
+                cell = run_ablation_cell(
+                    metric, sigma=sigma, regime=regime, n_cols=n_cols,
+                    mean_degree=mean_degree)
+                cells.append(cell)
+                auto_label = cell.auto_engine + (
+                    f"/{cell.auto_row_cache}" if cell.auto_row_cache else "")
+                rows.append([
+                    regime, metric, f"{sigma:.1f}", f"{cell.degree_cv:.2f}",
+                    *[format_seconds(cell.fixed_seconds[label])
+                      if label in cell.fixed_seconds else "-"
+                      for label in ("hybrid/dense", "hybrid/hash",
+                                    "merge_path")],
+                    auto_label, format_seconds(cell.auto_seconds),
+                    "yes" if cell.auto_matches_best else "NO",
+                    "yes" if cell.identical else "DIVERGED",
+                ])
+            print(f"  ... {regime}/{metric} done", file=sys.stderr)
+    content = render_table(
+        ["regime", "metric", "sigma", "deg cv", "hybrid/dense",
+         "hybrid/hash", "merge_path", "auto choice", "auto", "auto=best",
+         "identical"], rows,
+        title="Engine ablation — skewed self-joins, fixed configs vs auto "
+              "(simulated V100)")
+    payload = {
+        "n_rows": 96,
+        "regimes": [{"regime": r, "n_cols": c, "mean_degree": d}
+                    for r, c, d in ABLATION_REGIMES],
+        "cells": [{
+            "regime": c.regime,
+            "metric": c.metric,
+            "sigma": c.sigma,
+            "n_rows": c.n_rows,
+            "n_cols": c.n_cols,
+            "nnz": c.nnz,
+            "degree_cv": c.degree_cv,
+            "fixed_seconds": dict(sorted(c.fixed_seconds.items())),
+            "auto_engine": c.auto_engine,
+            "auto_row_cache": c.auto_row_cache,
+            "auto_seconds": c.auto_seconds,
+            "best_fixed_label": c.best_fixed_label,
+            "best_fixed_seconds": c.best_fixed_seconds,
+            "auto_matches_best": c.auto_matches_best,
+            "auto_minus_best_seconds": c.auto_minus_best_seconds,
+            "identical": c.identical,
+            "wall_seconds": c.wall_seconds,
+        } for c in cells],
+    }
+    return Report(content, json_name="BENCH_ablation", json_payload=payload)
 
 
 def main(argv=None) -> int:

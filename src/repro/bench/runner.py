@@ -20,17 +20,23 @@ import numpy as np
 from repro.baselines import baseline_engine_for
 from repro.baselines.cpu_bruteforce import CpuBruteForce
 from repro.core.distances import make_distance
-from repro.datasets.synthetic import SyntheticDataset, load_dataset
+from repro.datasets.synthetic import SyntheticDataset, load_dataset, \
+    make_skewed
 from repro.faults import FaultInjector, FaultSpec, RecoveryPolicy
 from repro.gpusim.specs import DeviceSpec, VOLTA_V100
 from repro.gpusim.stats import KernelStats
 from repro.kernels import make_engine
+from repro.kernels.strategy import DENSE_ITEM_BYTES
 from repro.neighbors.brute_force import NearestNeighbors
+from repro.plan.consumers import DenseBlockConsumer
+from repro.plan.executor import PlanExecutor
+from repro.plan.pairwise_plan import build_pairwise_plan
 from repro.plan.tiling import OUTPUT_ITEM_BYTES, WORKSPACE_ITEM_BYTES
 
 __all__ = ["BenchCell", "PlanCell", "FaultCell", "ServeCell", "SLOCell",
-           "run_knn_cell", "run_baseline_cell", "run_plan_cell",
-           "run_fault_cell", "run_serve_cell", "run_slo_cell",
+           "AblationCell", "run_knn_cell", "run_baseline_cell",
+           "run_plan_cell", "run_fault_cell", "run_serve_cell",
+           "run_slo_cell", "run_ablation_cell", "ablation_fixed_configs",
            "BENCH_SCALES", "bench_dataset", "MINKOWSKI_P", "KNN_K",
            "CHAOS_SPECS"]
 
@@ -263,6 +269,107 @@ def run_fault_cell(dataset: str, metric: str, *, seed: int = 0,
                      identical=identical,
                      clean_seconds=c_rep.simulated_seconds,
                      faulty_seconds=f_rep.simulated_seconds)
+
+
+@dataclass
+class AblationCell:
+    """One degree-skew cell of the engine ablation: every fixed
+    configuration vs ``engine="auto"``."""
+
+    sigma: float
+    regime: str
+    metric: str
+    n_rows: int
+    n_cols: int
+    nnz: int
+    degree_cv: float
+    #: config label -> simulated seconds, monolithic plan (default budget)
+    fixed_seconds: Dict[str, float]
+    #: engine/row-cache the autotuner chose
+    auto_engine: str
+    auto_row_cache: Optional[str]
+    auto_seconds: float
+    best_fixed_label: str
+    best_fixed_seconds: float
+    #: ``auto`` matched or beat the best fixed configuration
+    auto_matches_best: bool
+    auto_minus_best_seconds: float
+    #: every configuration produced bit-identical distances
+    identical: bool
+    wall_seconds: float
+
+    @property
+    def label(self) -> str:
+        return f"{self.regime}/{self.metric}/sigma{self.sigma}"
+
+
+def ablation_fixed_configs(n_cols: int, spec: DeviceSpec = VOLTA_V100,
+                           ) -> List[Tuple[str, str, dict]]:
+    """(label, engine, kwargs) for every fixed config the device can run.
+
+    Mirrors :meth:`~repro.plan.Autotuner.engine_candidates` exactly: the
+    dense row cache is runnable iff one staged row fits shared memory, so
+    ``auto``'s candidate set always covers this sweep and "auto ≥ best
+    fixed" is a fair comparison, not a rigged one.
+    """
+    configs: List[Tuple[str, str, dict]] = []
+    if n_cols * DENSE_ITEM_BYTES <= spec.smem_per_block_max_bytes:
+        configs.append(("hybrid/dense", "hybrid_coo", {"row_cache": "dense"}))
+    configs.append(("hybrid/hash", "hybrid_coo", {"row_cache": "hash"}))
+    configs.append(("merge_path", "merge_path", {}))
+    return configs
+
+
+def run_ablation_cell(metric: str, *, sigma: float, regime: str,
+                      n_cols: int, mean_degree: float, n_rows: int = 96,
+                      seed: int = 46,
+                      spec: DeviceSpec = VOLTA_V100) -> AblationCell:
+    """Run one skewed self-join through every fixed config and ``auto``.
+
+    The operand is a :func:`~repro.datasets.synthetic.make_skewed` matrix
+    (lognormal degrees with the given ``sigma``); every configuration runs
+    the same monolithic pairwise plan, so the recorded simulated seconds
+    are exactly the numbers the autotuner's dry runs priced — ``auto``
+    matching the per-cell argmin is the claim this cell checks.
+    """
+    mat = make_skewed(n_rows=n_rows, n_cols=n_cols,
+                      mean_degree=mean_degree, sigma=sigma, seed=seed)
+    start = time.perf_counter()
+    fixed: Dict[str, float] = {}
+    reference = None
+    identical = True
+    for label, engine, kwargs in ablation_fixed_configs(n_cols, spec):
+        kernel = make_engine(engine, spec, **kwargs)
+        plan = build_pairwise_plan(mat, None, metric, engine=kernel,
+                                   device=spec)
+        report = PlanExecutor(plan).execute(DenseBlockConsumer())
+        fixed[label] = report.simulated_seconds
+        if reference is None:
+            reference = report.value
+        elif not np.array_equal(reference, report.value):
+            identical = False
+
+    plan = build_pairwise_plan(mat, None, metric, engine="auto", device=spec)
+    report = PlanExecutor(plan).execute(DenseBlockConsumer())
+    if reference is not None and not np.array_equal(reference, report.value):
+        identical = False
+    wall = time.perf_counter() - start
+
+    best_label, best_seconds = min(fixed.items(),
+                                   key=lambda kv: (kv[1], kv[0]))
+    auto_seconds = report.simulated_seconds
+    tuning = plan.tuning
+    return AblationCell(
+        sigma=sigma, regime=regime, metric=metric, n_rows=mat.n_rows,
+        n_cols=mat.n_cols, nnz=mat.nnz,
+        degree_cv=float(tuning.probe_a.degree_cv),
+        fixed_seconds=fixed,
+        auto_engine=tuning.engine, auto_row_cache=tuning.row_cache,
+        auto_seconds=auto_seconds,
+        best_fixed_label=best_label, best_fixed_seconds=best_seconds,
+        auto_matches_best=auto_seconds <= best_seconds + 1e-12,
+        auto_minus_best_seconds=auto_seconds - best_seconds,
+        identical=identical, wall_seconds=wall)
 
 
 def run_cpu_cell(dataset: str, metric: str) -> BenchCell:

@@ -27,11 +27,13 @@ from repro.datasets.synthetic import (
     SyntheticDataset,
     available_datasets,
     load_dataset,
+    make_skewed,
 )
 
 __all__ = [
     "load_dataset",
     "available_datasets",
+    "make_skewed",
     "SyntheticDataset",
     "DATASET_PAPER_FACTS",
     "degree_cdf",

@@ -38,7 +38,7 @@ import numpy as np
 from repro.sparse.csr import CSRMatrix
 
 __all__ = ["SyntheticDataset", "load_dataset", "available_datasets",
-           "DATASET_PAPER_FACTS"]
+           "make_skewed", "DATASET_PAPER_FACTS"]
 
 
 @dataclass(frozen=True)
@@ -246,6 +246,32 @@ def make_nytimes(scale: float = 64.0, seed: int = 45) -> SyntheticDataset:
     matrix = _sample_matrix(rng, m, k, degrees, weights, tfidf)
     return SyntheticDataset("nytimes", matrix, scale, paper,
                             "NYTimes-BoW-like TF-IDF document vectors")
+
+
+def make_skewed(n_rows: int = 96, n_cols: int = 4096, *,
+                mean_degree: float = 256.0, sigma: float = 1.0,
+                seed: int = 46) -> CSRMatrix:
+    """A parametric degree-skew matrix for the engine-ablation sweep.
+
+    Unlike the four Table-2 replicas, this generator exposes the lognormal
+    ``sigma`` directly: sweeping it moves the matrix along Figure 1's
+    skew axis while the *mean* degree (and so the nnz budget) stays fixed.
+    That isolates exactly the variable the hybrid kernel's §3.3.3
+    partitioning is sensitive to — and the merge-path engine is not —
+    which is what the ``python -m repro.bench ablation`` report measures.
+    Values are TF-IDF-like positive floats, so every catalogue distance
+    (including KL/Hellinger's positive-input family) accepts the matrix.
+    """
+    rng = np.random.default_rng(seed)
+    degrees = _lognormal_degrees(
+        rng, n_rows, mean_degree=mean_degree, sigma=sigma,
+        min_degree=1, max_degree=n_cols)
+    weights = _zipf_weights(n_cols, alpha=1.0, rng=rng)
+
+    def tfidf(r, n):
+        return r.gamma(shape=1.5, scale=0.5, size=n) + 0.02
+
+    return _sample_matrix(rng, n_rows, n_cols, degrees, weights, tfidf)
 
 
 _GENERATORS = {

@@ -27,6 +27,42 @@ class DeviceConfigError(ReproError):
     """A simulated device configuration is invalid or unsatisfiable."""
 
 
+class EngineConfigError(ReproError):
+    """An execution-engine request cannot be satisfied.
+
+    Raised for unknown engine names (the message lists every registered
+    engine) and for configuration a given engine cannot express — e.g.
+    passing ``row_cache=`` to an engine whose
+    :attr:`~repro.kernels.base.PairwiseKernel.row_cache_strategies` is
+    empty. ``engine`` names the offending engine (empty for unknown names)
+    and ``available`` carries the registry listing.
+    """
+
+    def __init__(self, message: str, *, engine: str = "",
+                 available: tuple = ()):
+        super().__init__(message)
+        self.engine = str(engine)
+        self.available = tuple(available)
+
+
+class IndexWidthError(ReproError):
+    """An operand needs wider device indices than the plan allows.
+
+    Raised by :func:`repro.plan.index_width.resolve_index_dtype` when an
+    explicit ``index_width="int32"`` cannot address the operands (row/col
+    counts, nnz, or the flattened output block exceed ``2**31 - 1``) —
+    failing loudly at plan time instead of silently overflowing 32-bit
+    indices on billion-row inputs. ``quantity`` names the overflowing
+    extent and ``value`` its magnitude.
+    """
+
+    def __init__(self, message: str, *, quantity: str = "",
+                 value: int = 0):
+        super().__init__(message)
+        self.quantity = str(quantity)
+        self.value = int(value)
+
+
 class KernelLaunchError(ReproError):
     """A simulated kernel could not be scheduled with the requested resources."""
 

@@ -10,7 +10,8 @@ would issue; the model prices it; the benchmarks report the priced
 See DESIGN.md §2 for why this substitution preserves the paper's claims.
 """
 
-from repro.gpusim.cost_model import CostModel, SimulatedTime
+from repro.gpusim.cost_model import (CostModel, OperandProbe,
+                                     SimulatedTime, price_launch)
 from repro.gpusim.executor import LaunchResult, simulate_launch
 from repro.gpusim.memory import (
     TRANSACTION_BYTES,
@@ -35,6 +36,8 @@ __all__ = [
     "Occupancy",
     "compute_occupancy",
     "CostModel",
+    "OperandProbe",
+    "price_launch",
     "SimulatedTime",
     "LaunchResult",
     "simulate_launch",

@@ -34,14 +34,16 @@ kernels that incur them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
 
 from repro.gpusim.occupancy import Occupancy, compute_occupancy
 from repro.gpusim.specs import DeviceSpec
 from repro.gpusim.stats import KernelStats
 
-__all__ = ["CostModel", "SimulatedTime"]
+__all__ = ["CostModel", "SimulatedTime", "OperandProbe", "price_launch"]
 
 
 @dataclass(frozen=True)
@@ -139,3 +141,80 @@ class CostModel:
     def seconds(self, stats: KernelStats, **kwargs) -> float:
         """Shorthand returning only the simulated seconds."""
         return self.simulate(stats, **kwargs).seconds
+
+
+def price_launch(spec: DeviceSpec, stats: KernelStats, *,
+                 grid_blocks: int, block_threads: int,
+                 smem_per_block: int = 0, regs_per_thread: int = 32,
+                 ) -> Tuple[Occupancy, SimulatedTime]:
+    """Stamp a launch shape onto ``stats`` and price it — no side effects.
+
+    This is the pricing core shared by the real launch path
+    (:func:`repro.gpusim.executor.simulate_launch`, which adds metrics,
+    trace events, and fault interception on top) and the engines'
+    :meth:`~repro.kernels.base.PairwiseKernel.estimate_seconds` dry runs.
+    Sharing one implementation is what makes autotuner estimates *exact*
+    per engine: the same counted stats go through the same arithmetic, so
+    estimated and executed seconds can only differ when tiling splits the
+    operands.
+    """
+    occupancy = compute_occupancy(spec, block_threads=block_threads,
+                                  smem_per_block=smem_per_block,
+                                  regs_per_thread=regs_per_thread)
+    stats.kernel_launches += 1
+    stats.blocks_launched += grid_blocks
+    stats.warps_launched += grid_blocks * occupancy.warps_per_block
+    stats.smem_bytes_per_block = max(stats.smem_bytes_per_block,
+                                     float(smem_per_block))
+    time = CostModel(spec).simulate(stats, occupancy=occupancy)
+    return occupancy, time
+
+
+@dataclass(frozen=True)
+class OperandProbe:
+    """Structural summary of one operand, as the autotuner sees it.
+
+    Captures exactly the degree-distribution facts that decide the
+    row-split vs nonzero-split trade (Yang, Buluç & Owens): totals, the
+    degree spread, and how much of the nnz mass sits in rows a
+    full-occupancy hash table cannot stage in one block (the §3.3.3
+    partitioning overhead that inflates the hybrid engine's makespan on
+    skewed inputs, and leaves merge-path untouched).
+    """
+
+    n_rows: int
+    n_cols: int
+    nnz: int
+    mean_degree: float
+    max_degree: int
+    #: coefficient of variation of row degrees (0 for uniform rows)
+    degree_cv: float
+    #: fraction of nnz in rows wider than the hash staging budget
+    partitioned_nnz_fraction: float = 0.0
+    #: degrees are kept for exact per-engine counting, not sampled
+    degrees: np.ndarray = field(default_factory=lambda: np.empty(
+        0, dtype=np.int64), repr=False, compare=False)
+
+    @classmethod
+    def from_csr(cls, csr, *, partition_budget: int = 0) -> "OperandProbe":
+        """Probe any CSR-like operand (needs ``row_degrees()``/``nnz``)."""
+        degrees = np.asarray(csr.row_degrees(), dtype=np.int64)
+        nnz = int(degrees.sum())
+        mean = float(degrees.mean()) if degrees.size else 0.0
+        std = float(degrees.std()) if degrees.size else 0.0
+        part_frac = 0.0
+        if partition_budget > 0 and nnz > 0:
+            part_frac = float(
+                degrees[degrees > partition_budget].sum()) / nnz
+        return cls(n_rows=int(csr.n_rows), n_cols=int(csr.n_cols),
+                   nnz=nnz, mean_degree=mean,
+                   max_degree=int(degrees.max()) if degrees.size else 0,
+                   degree_cv=(std / mean) if mean > 0 else 0.0,
+                   partitioned_nnz_fraction=part_frac, degrees=degrees)
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary (degrees elided — they are probe internals)."""
+        return {"n_rows": self.n_rows, "n_cols": self.n_cols,
+                "nnz": self.nnz, "mean_degree": self.mean_degree,
+                "max_degree": self.max_degree, "degree_cv": self.degree_cv,
+                "partitioned_nnz_fraction": self.partitioned_nnz_fraction}

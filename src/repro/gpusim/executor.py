@@ -13,8 +13,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
-from repro.gpusim.cost_model import CostModel, SimulatedTime
-from repro.gpusim.occupancy import Occupancy, compute_occupancy
+from repro.gpusim.cost_model import SimulatedTime, price_launch
+from repro.gpusim.occupancy import Occupancy
 from repro.gpusim.specs import DeviceSpec
 from repro.gpusim.stats import KernelStats
 from repro.obs.tracer import current_metrics, current_tracer
@@ -75,15 +75,11 @@ def simulate_launch(spec: DeviceSpec, stats: KernelStats, *,
                     block_threads=block_threads,
                     smem_per_block=smem_per_block,
                     regs_per_thread=regs_per_thread)
-    occupancy = compute_occupancy(spec, block_threads=block_threads,
-                                  smem_per_block=smem_per_block,
-                                  regs_per_thread=regs_per_thread)
-    stats.kernel_launches += 1
-    stats.blocks_launched += grid_blocks
-    stats.warps_launched += grid_blocks * occupancy.warps_per_block
-    stats.smem_bytes_per_block = max(stats.smem_bytes_per_block,
-                                     float(smem_per_block))
-    time = CostModel(spec).simulate(stats, occupancy=occupancy)
+    # Stamping + pricing live in the side-effect-free core shared with the
+    # autotuner's dry runs, so estimates and launches can never drift.
+    occupancy, time = price_launch(
+        spec, stats, grid_blocks=grid_blocks, block_threads=block_threads,
+        smem_per_block=smem_per_block, regs_per_thread=regs_per_thread)
 
     metrics = current_metrics()
     metrics.counter("kernel_launches_total").inc()

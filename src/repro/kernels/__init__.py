@@ -3,23 +3,34 @@
 One class per strategy the paper discusses:
 
 - :class:`LoadBalancedCooKernel` — Algorithm 3, the contribution (§3.3);
+- :class:`MergePathKernel` — the nonzero-splitting alternative that
+  load-balances the join stream itself (degree-skew immune);
 - :class:`NaiveCsrKernel` — Algorithm 2, the exhaustive per-pair merge used
   as the NAMM baseline (§3.2.2);
 - :class:`ExpandSortContractKernel` — Algorithm 1, kept for the ablation
   narrative (§3.2.1);
 - :class:`HostKernel` — exact math with no device accounting.
 
-The csrgemm baseline lives in :mod:`repro.baselines.csrgemm` but registers
-itself here so every engine is addressable by name.
+The registry itself lives in :mod:`repro.kernels.engine` — every engine
+carries an :class:`EngineInfo` record (factory, row-cache strategies,
+autotuner eligibility) and :func:`resolve_engine_and_spec` is the one
+shared implementation of name-or-instance dispatch. The csrgemm baseline
+lives in :mod:`repro.baselines.csrgemm` but registers itself here so every
+engine is addressable by name.
 """
 
-from typing import Dict, Type
-
-from repro.errors import ReproError
-from repro.gpusim.specs import DeviceSpec, VOLTA_V100
 from repro.kernels.base import KernelResult, PairwiseKernel, product_cost_profile
 from repro.kernels.bloom_filter import BlockBloomFilter
 from repro.kernels.coo_spmv import LoadBalancedCooKernel, PassProfile
+from repro.kernels.engine import (
+    EngineInfo,
+    available_engines,
+    engine_info,
+    make_engine,
+    register_engine,
+    resolve_engine_and_spec,
+    unregister_engine,
+)
 from repro.kernels.expand_sort_contract import ExpandSortContractKernel
 from repro.kernels.functional import (
     co_occurrence_counts,
@@ -29,6 +40,7 @@ from repro.kernels.functional import (
 )
 from repro.kernels.hash_table import BlockHashTable, murmur_hash_32
 from repro.kernels.host import HostKernel
+from repro.kernels.merge_path import MergePathKernel, SweepProfile
 from repro.kernels.naive_csr import NaiveCsrKernel
 from repro.kernels.segmented import segment_boundaries, warp_segmented_reduce
 from repro.kernels.strategy import (
@@ -43,10 +55,12 @@ __all__ = [
     "PairwiseKernel",
     "KernelResult",
     "LoadBalancedCooKernel",
+    "MergePathKernel",
     "NaiveCsrKernel",
     "ExpandSortContractKernel",
     "HostKernel",
     "PassProfile",
+    "SweepProfile",
     "BlockHashTable",
     "BlockBloomFilter",
     "murmur_hash_32",
@@ -62,44 +76,18 @@ __all__ = [
     "warp_segmented_reduce",
     "segment_boundaries",
     "product_cost_profile",
+    "EngineInfo",
     "make_engine",
+    "engine_info",
     "register_engine",
+    "unregister_engine",
     "available_engines",
+    "resolve_engine_and_spec",
 ]
 
-_ENGINES: Dict[str, Type[PairwiseKernel]] = {
-    LoadBalancedCooKernel.name: LoadBalancedCooKernel,
-    NaiveCsrKernel.name: NaiveCsrKernel,
-    ExpandSortContractKernel.name: ExpandSortContractKernel,
-    HostKernel.name: HostKernel,
-}
-
-
-def register_engine(cls: Type[PairwiseKernel]) -> Type[PairwiseKernel]:
-    """Register an execution strategy under its ``name`` attribute."""
-    _ENGINES[cls.name] = cls
-    return cls
-
-
-def available_engines():
-    """Names of all registered execution strategies."""
-    _ensure_baselines_loaded()
-    return tuple(sorted(_ENGINES))
-
-
-def make_engine(name: str, spec: DeviceSpec = VOLTA_V100,
-                **kwargs) -> PairwiseKernel:
-    """Instantiate an execution strategy by name."""
-    _ensure_baselines_loaded()
-    try:
-        cls = _ENGINES[name.lower()]
-    except KeyError:
-        raise ReproError(
-            f"unknown engine {name!r}; available: {sorted(_ENGINES)}"
-        ) from None
-    return cls(spec, **kwargs)
-
-
-def _ensure_baselines_loaded() -> None:
-    # csrgemm registers on import; import lazily to avoid a cycle.
-    import repro.baselines.csrgemm  # noqa: F401
+# Built-in engines register through the same decorator path as external
+# ones, so the registry records are uniformly derived from class attributes.
+for _cls in (LoadBalancedCooKernel, MergePathKernel, NaiveCsrKernel,
+             ExpandSortContractKernel, HostKernel):
+    register_engine(_cls)
+del _cls

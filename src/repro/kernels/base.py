@@ -51,10 +51,23 @@ class KernelResult:
 
 
 class PairwiseKernel(abc.ABC):
-    """Base class for every execution strategy (Algorithms 1-3 + baselines)."""
+    """Base class for every execution strategy (Algorithms 1-3 + baselines).
+
+    Subclasses advertise their registry record through class attributes
+    (consumed by :mod:`repro.kernels.engine`): ``name`` addresses the
+    engine, ``row_cache_strategies`` lists the §3.3 staging strategies it
+    accepts as ``row_cache=`` (empty when the schedule stages no rows),
+    and ``tunable`` marks engines the autotuner may consider — which
+    requires implementing :meth:`estimate_seconds`, the cost-model hook.
+    """
 
     #: registry / CLI name of the strategy
     name: str = "abstract"
+    #: ``row_cache=`` values the engine accepts ("auto" + explicit ones);
+    #: empty for engines whose schedule has no staged row cache
+    row_cache_strategies: tuple = ()
+    #: whether the autotuner may pick this engine (needs estimate_seconds)
+    tunable: bool = False
 
     def __init__(self, spec: DeviceSpec = VOLTA_V100):
         self.spec = spec
@@ -62,6 +75,34 @@ class PairwiseKernel(abc.ABC):
     @abc.abstractmethod
     def run(self, a: CSRMatrix, b: CSRMatrix, semiring: Semiring) -> KernelResult:
         """Compute the full ``(a.n_rows, b.n_rows)`` semiring block."""
+
+    def estimate_seconds(self, a: CSRMatrix, b: CSRMatrix,
+                         semiring: Semiring):
+        """Cost-model estimate of :meth:`run`'s simulated seconds, or None.
+
+        Tunable engines implement this as a *dry run* of the same counting
+        code ``run`` executes — same stats, same
+        :class:`~repro.gpusim.cost_model.CostModel` pricing — minus the
+        numeric block, metrics, and trace events. For a single-tile plan
+        the estimate therefore equals the executed kernel seconds exactly,
+        which is what lets ``engine="auto"`` match the best fixed
+        configuration bit-for-bit instead of approximately.
+        """
+        return None
+
+    def _record_engine_selection(self) -> None:
+        """Emit the ``engine_selected_total{engine=...}`` counter.
+
+        Every ``run`` calls this once per executed tile, so operators can
+        reconcile which engine actually ran — essential once
+        ``engine="auto"`` delegates the choice to the autotuner. A no-op
+        outside a metrics scope (imported lazily to keep
+        :mod:`repro.obs` optional at kernel-definition time).
+        """
+        from repro.obs.tracer import current_metrics
+
+        current_metrics().counter("engine_selected_total").inc(
+            engine=self.name)
 
     def _fault_checkpoint(self) -> None:
         """Fault-injection hook, called on entry by every ``run``.

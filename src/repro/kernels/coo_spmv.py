@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.semiring import Semiring
 from repro.errors import KernelLaunchError
+from repro.gpusim.cost_model import price_launch
 from repro.gpusim.executor import simulate_launch
 from repro.gpusim.memory import (
     bank_conflicts_for_offsets,
@@ -64,6 +65,8 @@ class PassProfile:
     mean_probe_per_lookup: float
     mean_probe_per_insert: float
     bloom_false_positive_rate: float = 0.0
+    staged_entries: int = 0
+    n_partitioned_rows: int = 0
 
 
 def _total_intersections(a: CSRMatrix, b: CSRMatrix) -> float:
@@ -79,6 +82,8 @@ class LoadBalancedCooKernel(PairwiseKernel):
     """The paper's primitive: hybrid CSR+COO SPMV with a staged row cache."""
 
     name = "hybrid_coo"
+    row_cache_strategies = ("auto", "dense", "hash", "bloom")
+    tunable = True
 
     def __init__(self, spec: DeviceSpec = VOLTA_V100, *,
                  row_cache: str = "auto", block_threads: int = 1024,
@@ -100,6 +105,7 @@ class LoadBalancedCooKernel(PairwiseKernel):
     def run(self, a: CSRMatrix, b: CSRMatrix, semiring: Semiring) -> KernelResult:
         self._check_inputs(a, b)
         self._fault_checkpoint()
+        self._record_engine_selection()
         block = semiring_block(a, b, semiring)
         self.last_profiles = []
 
@@ -118,15 +124,48 @@ class LoadBalancedCooKernel(PairwiseKernel):
         return result
 
     # ------------------------------------------------------------------
+    def estimate_seconds(self, a: CSRMatrix, b: CSRMatrix,
+                         semiring: Semiring) -> float:
+        """Dry run: identical pass counting, priced without launching.
+
+        Runs on a :meth:`clone` so this instance's sampling RNG is left
+        untouched — the executor likewise clones a pristine prototype per
+        tile, so on a single-tile plan the estimate equals the executed
+        kernel seconds exactly (the output-block write is recorded in the
+        stats after pricing and never contributes seconds).
+        """
+        self._check_inputs(a, b)
+        probe = self.clone()
+        total = probe._estimate_pass(a, b, semiring, second_pass=False)
+        if semiring.requires_union:
+            total += probe._estimate_pass(b, a, semiring, second_pass=True)
+        return total
+
+    def _estimate_pass(self, staged: CSRMatrix, streamed: CSRMatrix,
+                       semiring: Semiring, *, second_pass: bool) -> float:
+        stats, prof = self._count_pass(staged, streamed, semiring,
+                                       second_pass=second_pass)
+        _, time = price_launch(
+            self.spec, stats, grid_blocks=prof.n_blocks,
+            block_threads=self.block_threads,
+            smem_per_block=prof.smem_per_block, regs_per_thread=31)
+        return time.seconds
+
+    # ------------------------------------------------------------------
     def _resolve_strategy(self, n_cols: int) -> RowCacheStrategy:
         if self.row_cache == "auto":
             return choose_strategy(self.spec, n_cols)
         return self.row_cache
 
-    def _simulate_pass(self, staged: CSRMatrix, streamed: CSRMatrix,
-                       semiring: Semiring, *, second_pass: bool) -> KernelResult:
+    def _count_pass(self, staged: CSRMatrix, streamed: CSRMatrix,
+                    semiring: Semiring, *, second_pass: bool):
         """Count one SPMV pass: ``staged`` rows live in shared memory while
-        ``streamed``'s nonzeros flow through the blocks."""
+        ``streamed``'s nonzeros flow through the blocks.
+
+        Pure counting — no launch, metrics, or trace emission — shared
+        verbatim by :meth:`run` and the :meth:`estimate_seconds` dry run,
+        which is what keeps autotuner estimates exact per engine.
+        """
         spec = self.spec
         strategy = self._resolve_strategy(staged.n_cols)
         stats = KernelStats()
@@ -218,18 +257,30 @@ class LoadBalancedCooKernel(PairwiseKernel):
         # Our primitive's device workspace is nnz(B) (paper §4.3).
         stats.workspace_bytes = max(stats.workspace_bytes, nnz_s * 4.0)
 
-        self.last_profiles.append(PassProfile(
+        prof = PassProfile(
             strategy=strategy, n_blocks=int(n_blocks),
             smem_per_block=int(smem), hit_rate=hit_rate,
             mean_probe_per_lookup=mean_probe_lookup,
             mean_probe_per_insert=mean_probe_insert,
-            bloom_false_positive_rate=bloom_fpr))
+            bloom_false_positive_rate=bloom_fpr,
+            staged_entries=int(staged_elems),
+            n_partitioned_rows=(plan.n_partitioned_rows if plan is not None
+                                else 0))
+        return stats, prof
+
+    def _simulate_pass(self, staged: CSRMatrix, streamed: CSRMatrix,
+                       semiring: Semiring, *, second_pass: bool) -> KernelResult:
+        """One counted pass, launched for real (metrics + trace spans)."""
+        stats, prof = self._count_pass(staged, streamed, semiring,
+                                       second_pass=second_pass)
+        self.last_profiles.append(prof)
 
         tracer = current_tracer()
         if not tracer.enabled:
             launch = simulate_launch(
-                spec, stats, grid_blocks=int(n_blocks),
-                block_threads=self.block_threads, smem_per_block=int(smem),
+                self.spec, stats, grid_blocks=prof.n_blocks,
+                block_threads=self.block_threads,
+                smem_per_block=prof.smem_per_block,
                 regs_per_thread=31)  # paper: "our design uses less than 32"
             return KernelResult(block=np.empty(0), stats=launch.stats,
                                 seconds=launch.seconds)
@@ -240,27 +291,28 @@ class LoadBalancedCooKernel(PairwiseKernel):
         with tracer.span("kernel.pass2" if second_pass else "kernel.pass1",
                          "kernel") as pspan:
             with tracer.span("strategy.select", "kernel") as sspan:
-                sspan.annotate(strategy=strategy.value,
+                sspan.annotate(strategy=prof.strategy.value,
                                auto=self.row_cache == "auto",
-                               n_cols=staged.n_cols)
+                               n_cols=staged.n_cols, engine=self.name)
             with tracer.span("rowcache.stage", "kernel") as rspan:
-                rspan.annotate(staged_entries=int(staged_elems),
-                               n_blocks=int(n_blocks),
-                               smem_per_block=int(smem),
+                rspan.annotate(staged_entries=prof.staged_entries,
+                               n_blocks=prof.n_blocks,
+                               smem_per_block=prof.smem_per_block,
                                mean_probe_per_insert=round(
-                                   mean_probe_insert, 4),
-                               bloom_false_positive_rate=round(bloom_fpr, 6))
+                                   prof.mean_probe_per_insert, 4),
+                               bloom_false_positive_rate=round(
+                                   prof.bloom_false_positive_rate, 6))
             launch = simulate_launch(
-                spec, stats, grid_blocks=int(n_blocks),
-                block_threads=self.block_threads, smem_per_block=int(smem),
-                regs_per_thread=31)
+                self.spec, stats, grid_blocks=prof.n_blocks,
+                block_threads=self.block_threads,
+                smem_per_block=prof.smem_per_block, regs_per_thread=31)
             pspan.set_sim_seconds(launch.seconds)
-            pspan.annotate(strategy=strategy.value, n_blocks=int(n_blocks),
-                           hit_rate=round(hit_rate, 6),
-                           mean_probe_per_lookup=round(mean_probe_lookup, 4),
-                           n_partitioned_rows=(
-                               plan.n_partitioned_rows if plan is not None
-                               else 0))
+            pspan.annotate(strategy=prof.strategy.value,
+                           n_blocks=prof.n_blocks,
+                           hit_rate=round(prof.hit_rate, 6),
+                           mean_probe_per_lookup=round(
+                               prof.mean_probe_per_lookup, 4),
+                           n_partitioned_rows=prof.n_partitioned_rows)
         return KernelResult(block=np.empty(0), stats=launch.stats,
                             seconds=launch.seconds)
 

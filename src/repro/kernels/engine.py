@@ -1,0 +1,166 @@
+"""The pairwise-engine protocol and registry.
+
+Engine dispatch used to be a bare ``Dict[str, Type]`` plus two copies of
+the string-vs-instance resolution logic (``core/pairwise.py`` and
+``plan/pairwise_plan.py``). This module makes the engine a first-class
+abstraction:
+
+- :class:`EngineInfo` — one registry record per engine: the kernel
+  factory, the row-cache strategies it can express, whether the autotuner
+  may consider it, and its cost-model hook
+  (:meth:`~repro.kernels.base.PairwiseKernel.estimate_seconds`);
+- :func:`register_engine` — the class decorator every engine (including
+  out-of-tree ones and the lazily-imported csrgemm baseline) uses; the
+  :class:`EngineInfo` is derived from class attributes, so registration
+  stays a one-liner;
+- :func:`make_engine` — name → configured kernel instance, raising a
+  structured :class:`~repro.errors.EngineConfigError` that lists the
+  registered names instead of a raw lookup failure;
+- :func:`resolve_engine_and_spec` — the single shared implementation of
+  "accept an engine name *or* instance, reconcile it with ``device=``".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Type, Union
+
+from repro.errors import DeviceConfigError, EngineConfigError
+from repro.gpusim.specs import DeviceSpec, VOLTA_V100, get_device
+from repro.kernels.base import PairwiseKernel
+
+__all__ = ["EngineInfo", "register_engine", "unregister_engine",
+           "available_engines", "engine_info", "make_engine",
+           "resolve_engine_and_spec"]
+
+
+@dataclass(frozen=True)
+class EngineInfo:
+    """Registry record describing one execution strategy."""
+
+    name: str
+    factory: Type[PairwiseKernel]
+    #: row-cache strategies the engine accepts as ``row_cache=`` (empty
+    #: for engines, like merge-path, whose schedule has no staged row)
+    row_cache_strategies: Tuple[str, ...]
+    #: whether the autotuner may consider this engine (engines must
+    #: implement :meth:`PairwiseKernel.estimate_seconds` to qualify)
+    tunable: bool
+    description: str = ""
+
+    def make(self, spec: DeviceSpec = VOLTA_V100,
+             **kwargs) -> PairwiseKernel:
+        """Instantiate the engine, mapping bad kwargs to config errors."""
+        if "row_cache" in kwargs and not self.row_cache_strategies:
+            raise EngineConfigError(
+                f"engine {self.name!r} has no row cache (its schedule "
+                f"never stages rows in shared memory); drop row_cache= "
+                f"or pick one of {available_engines()}",
+                engine=self.name, available=available_engines())
+        try:
+            return self.factory(spec, **kwargs)
+        except TypeError as exc:
+            raise EngineConfigError(
+                f"engine {self.name!r} rejected its configuration "
+                f"{sorted(kwargs)}: {exc}", engine=self.name,
+                available=available_engines()) from exc
+
+
+_ENGINES: Dict[str, EngineInfo] = {}
+
+
+def _info_from_class(cls: Type[PairwiseKernel]) -> EngineInfo:
+    doc = (cls.__doc__ or "").strip().splitlines()
+    return EngineInfo(
+        name=cls.name,
+        factory=cls,
+        row_cache_strategies=tuple(
+            getattr(cls, "row_cache_strategies", ())),
+        tunable=bool(getattr(cls, "tunable", False)),
+        description=doc[0] if doc else "")
+
+
+def register_engine(cls: Type[PairwiseKernel]) -> Type[PairwiseKernel]:
+    """Register an execution strategy under its ``name`` class attribute.
+
+    The registry record is derived from class attributes (``name``,
+    ``row_cache_strategies``, ``tunable``), so this stays usable as a bare
+    class decorator by engines inside and outside the package.
+    """
+    _ENGINES[cls.name] = _info_from_class(cls)
+    return cls
+
+
+def unregister_engine(name: str) -> None:
+    """Remove an engine (tests unregister their throwaway engines)."""
+    _ENGINES.pop(name, None)
+
+
+def _ensure_baselines_loaded() -> None:
+    # csrgemm registers on import; import lazily to avoid a cycle.
+    import repro.baselines.csrgemm  # noqa: F401
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Names of all registered execution strategies, sorted."""
+    _ensure_baselines_loaded()
+    return tuple(sorted(_ENGINES))
+
+
+def engine_info(name: str) -> EngineInfo:
+    """The :class:`EngineInfo` registered under ``name``."""
+    _ensure_baselines_loaded()
+    try:
+        return _ENGINES[name.lower()]
+    except KeyError:
+        raise EngineConfigError(
+            f"unknown engine {name!r}; registered engines: "
+            f"{list(available_engines())}", engine="",
+            available=available_engines()) from None
+
+
+def make_engine(name: str, spec: DeviceSpec = VOLTA_V100,
+                **kwargs) -> PairwiseKernel:
+    """Instantiate an execution strategy by name.
+
+    Unknown names and unsupported configuration raise
+    :class:`~repro.errors.EngineConfigError` listing the registered
+    engines, never a bare ``KeyError``/``TypeError``.
+    """
+    return engine_info(name).make(spec, **kwargs)
+
+
+def resolve_engine_and_spec(
+    engine: Union[str, PairwiseKernel],
+    device: Union[str, DeviceSpec, None],
+    **engine_kwargs,
+) -> Tuple[PairwiseKernel, DeviceSpec]:
+    """Instantiate the kernel and reconcile it with the ``device`` argument.
+
+    The one shared implementation of engine dispatch (previously duplicated
+    between ``core/pairwise.py`` and ``plan/pairwise_plan.py``): a named
+    engine is built for the requested (or default Volta) device; a kernel
+    *instance* already owns its spec, and a conflicting explicit
+    ``device=`` raises instead of being silently dropped, because the
+    caller's two requests cannot both be honored.
+    """
+    if isinstance(engine, str):
+        spec = (get_device(device) if isinstance(device, str)
+                else (device or VOLTA_V100))
+        return make_engine(engine, spec, **engine_kwargs), spec
+    if not isinstance(engine, PairwiseKernel):
+        raise EngineConfigError(
+            f"engine must be a registered name or a PairwiseKernel "
+            f"instance, got {type(engine).__name__}; registered engines: "
+            f"{list(available_engines())}", engine="",
+            available=available_engines())
+    kernel = engine
+    if device is not None:
+        wanted = get_device(device) if isinstance(device, str) else device
+        if wanted != kernel.spec:
+            raise DeviceConfigError(
+                f"engine instance {type(kernel).__name__} is configured for "
+                f"device {kernel.spec.name!r} but device={wanted.name!r} was "
+                f"requested; pass a matching spec (or omit device=) — the "
+                f"kernel cannot be re-targeted after construction")
+    return kernel, kernel.spec

@@ -50,6 +50,7 @@ class ExpandSortContractKernel(PairwiseKernel):
     def run(self, a: CSRMatrix, b: CSRMatrix, semiring: Semiring) -> KernelResult:
         self._check_inputs(a, b)
         self._fault_checkpoint()
+        self._record_engine_selection()
         max_pair = int(a.max_degree() + b.max_degree())
         smem = 2 * max_pair * _EXPAND_ITEM_BYTES
         if smem > self.spec.smem_per_block_max_bytes:

@@ -25,5 +25,6 @@ class HostKernel(PairwiseKernel):
     def run(self, a: CSRMatrix, b: CSRMatrix, semiring: Semiring) -> KernelResult:
         self._check_inputs(a, b)
         self._fault_checkpoint()
+        self._record_engine_selection()
         return KernelResult(block=semiring_block(a, b, semiring),
                             stats=KernelStats(), seconds=0.0)

@@ -1,0 +1,273 @@
+"""Merge-path / nonzero-splitting pairwise engine.
+
+The hybrid CSR+COO kernel (:mod:`repro.kernels.coo_spmv`) load-balances by
+streaming B's nonzeros through one block per *staged row of A* — so its
+block count, and therefore its launch cost, tracks A's row structure: wide
+rows overflow the hash staging budget and multiply blocks (§3.3.3). This
+module implements the classical alternative from the row-split/nonzero-split
+literature (Merrill & Garland's merge-based SpMV; Yang, Buluç & Owens):
+assign every thread an equal share of the *join stream* itself, located with
+a diagonal binary search over the (items, segments) merge grid. Work per
+thread is constant by construction, so cost scales with the number of
+semiring product applications — never with row count or degree skew.
+
+Scheduling per semiring class:
+
+- **annihilating ⊗** — one sweep over the intersection stream (the
+  ``hits``: co-occurring (row_a, row_b, column) triples);
+- **NAMM with additive ⊕** — the paper's Eq. 3 union, rearranged for an
+  additive monoid:
+
+      Σ_{c∈a∪b} ⊗ = Σ_{c∈a∩b} [⊗(a,b) − ⊗(a,0) − ⊗(0,b)]
+                    + Σ_{c∈a} ⊗(a,0) + Σ_{c∈b} ⊗(0,b)
+
+  i.e. a join sweep over the hits plus one cheap launch computing both
+  per-row side sums (``nnz_a + nnz_b`` items) and the dense m×n combine;
+- **NAMM with idempotent ⊕ (min/max)** — no such rearrangement exists, so
+  the full union stream is swept in two launches mirroring the hybrid's
+  commute-and-skip passes.
+
+Numerics come from :mod:`repro.kernels.functional` — the same
+``semiring_block`` every engine shares — so merge-path results are
+bit-identical to the hybrid engine by construction; only the counted
+schedule (and hence the simulated cost) differs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.core.semiring import Semiring
+from repro.gpusim.cost_model import price_launch
+from repro.gpusim.executor import simulate_launch
+from repro.gpusim.memory import coalesced_transactions, uncoalesced_transactions
+from repro.gpusim.specs import DeviceSpec, VOLTA_V100
+from repro.gpusim.stats import KernelStats
+from repro.kernels.base import KernelResult, PairwiseKernel, product_cost_profile
+from repro.kernels.coo_spmv import _total_intersections
+from repro.kernels.functional import semiring_block
+from repro.obs.tracer import current_tracer
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["MergePathKernel", "SweepProfile"]
+
+
+@dataclass
+class SweepProfile:
+    """Diagnostics of one merge-path sweep (analogue of ``PassProfile``)."""
+
+    #: ``join`` | ``side_sum`` | ``union_a`` | ``union_b``
+    kind: str
+    n_blocks: int
+    #: work items in the swept stream (products the sweep applies ⊗ to)
+    items: float
+    #: output segments interleaved into the merge grid
+    segments: int
+    smem_per_block: int
+
+
+class MergePathKernel(PairwiseKernel):
+    """Nonzero-splitting engine: equal work per thread via merge-path."""
+
+    name = "merge_path"
+    #: the schedule never stages a row in shared memory, so there is no
+    #: row-cache strategy to pick
+    row_cache_strategies = ()
+    tunable = True
+
+    #: merge-grid geometry (CUB-style): threads per block and the items
+    #: each thread owns after its diagonal search
+    BLOCK_THREADS = 256
+    ITEMS_PER_THREAD = 8
+    #: double-buffered per-item staging for the block-wide segmented fold
+    SMEM_PER_BLOCK = BLOCK_THREADS * ITEMS_PER_THREAD * 8
+    #: the two-pointer merge state costs more registers than the hybrid's
+    #: streaming loop
+    REGS_PER_THREAD = 40
+    #: gathers per work item: the A-side value arrives via its sorted run
+    #: (partially coalesced), the B-side value is a true random gather —
+    #: 1.5 transactions per item on average
+    GATHER_TRANSACTIONS_PER_ITEM = 1.5
+
+    def __init__(self, spec: DeviceSpec = VOLTA_V100):
+        super().__init__(spec)
+        #: filled by :meth:`run`; one entry per executed sweep
+        self.last_profiles: list = []
+
+    # ------------------------------------------------------------------
+    def run(self, a: CSRMatrix, b: CSRMatrix, semiring: Semiring) -> KernelResult:
+        self._check_inputs(a, b)
+        self._fault_checkpoint()
+        self._record_engine_selection()
+        block = semiring_block(a, b, semiring)
+        self.last_profiles = []
+
+        total_stats = None
+        total_seconds = 0.0
+        for index, (stats, prof) in enumerate(
+                self._count_sweeps(a, b, semiring), start=1):
+            self.last_profiles.append(prof)
+            launch = self._launch(stats, prof, pass_index=index,
+                                  n_cols=a.n_cols)
+            total_seconds += launch.seconds
+            total_stats = (launch.stats if total_stats is None
+                           else total_stats.merge(launch.stats))
+        # Output: the dense m x n block is written coalesced once (recorded
+        # after pricing, exactly as the hybrid engine does).
+        total_stats.gmem_transactions += coalesced_transactions(
+            a.n_rows * b.n_rows, itemsize=4)
+        return KernelResult(block=block, stats=total_stats,
+                            seconds=total_seconds)
+
+    def estimate_seconds(self, a: CSRMatrix, b: CSRMatrix,
+                         semiring: Semiring) -> float:
+        """Dry run: the identical sweep counting, priced without launching.
+
+        The counting is a pure function of operand structure (no sampling
+        RNG), so for a single-tile plan the estimate equals the executed
+        kernel seconds exactly.
+        """
+        self._check_inputs(a, b)
+        total = 0.0
+        for stats, prof in self._count_sweeps(a, b, semiring):
+            _, time = price_launch(
+                self.spec, stats, grid_blocks=prof.n_blocks,
+                block_threads=self.BLOCK_THREADS,
+                smem_per_block=prof.smem_per_block,
+                regs_per_thread=self.REGS_PER_THREAD)
+            total += time.seconds
+        return total
+
+    # ------------------------------------------------------------------
+    def _launch(self, stats: KernelStats, prof: SweepProfile, *,
+                pass_index: int, n_cols: int):
+        tracer = current_tracer()
+        if not tracer.enabled:
+            return simulate_launch(
+                self.spec, stats, grid_blocks=prof.n_blocks,
+                block_threads=self.BLOCK_THREADS,
+                smem_per_block=prof.smem_per_block,
+                regs_per_thread=self.REGS_PER_THREAD)
+        with tracer.span(f"kernel.pass{pass_index}", "kernel") as pspan:
+            with tracer.span("strategy.select", "kernel") as sspan:
+                sspan.annotate(strategy="nonzero_split", auto=False,
+                               n_cols=n_cols, engine=self.name)
+            launch = simulate_launch(
+                self.spec, stats, grid_blocks=prof.n_blocks,
+                block_threads=self.BLOCK_THREADS,
+                smem_per_block=prof.smem_per_block,
+                regs_per_thread=self.REGS_PER_THREAD)
+            pspan.set_sim_seconds(launch.seconds)
+            pspan.annotate(strategy="nonzero_split", sweep=prof.kind,
+                           n_blocks=prof.n_blocks, items=float(prof.items),
+                           segments=prof.segments, n_partitioned_rows=0)
+        return launch
+
+    # ------------------------------------------------------------------
+    def _count_sweeps(self, a: CSRMatrix, b: CSRMatrix, semiring: Semiring,
+                      ) -> Iterator[Tuple[KernelStats, SweepProfile]]:
+        """Yield the (stats, profile) of every launch this schedule needs.
+
+        Pure counting — no launch, metrics, or trace emission — shared
+        verbatim by :meth:`run` and :meth:`estimate_seconds`.
+        """
+        hits = _total_intersections(a, b)
+        if semiring.is_annihilating:
+            yield self._count_sweep(
+                "join", a, b, semiring, items=hits, segments=a.n_rows,
+                products_per_item=1.0)
+        elif semiring.reduce.name == "plus":
+            # join term needs ⊗(a,b) − ⊗(a,0) − ⊗(0,b) per hit
+            yield self._count_sweep(
+                "join", a, b, semiring, items=hits, segments=a.n_rows,
+                products_per_item=3.0)
+            yield self._count_side_sum(a, b, semiring)
+        else:
+            # idempotent ⊕: sweep the full union, commute-and-skip style
+            yield self._count_sweep(
+                "union_a", a, b, semiring,
+                items=float(b.n_rows) * a.nnz, segments=a.n_rows,
+                products_per_item=1.0)
+            yield self._count_sweep(
+                "union_b", a, b, semiring,
+                items=max(0.0, float(a.n_rows) * b.nnz - hits),
+                segments=b.n_rows, products_per_item=1.0)
+
+    def _count_sweep(self, kind: str, a: CSRMatrix, b: CSRMatrix,
+                     semiring: Semiring, *, items: float, segments: int,
+                     products_per_item: float,
+                     ) -> Tuple[KernelStats, SweepProfile]:
+        """Count one diagonal-split sweep over ``items`` work items."""
+        stats = KernelStats()
+        alu_prod, special_prod = product_cost_profile(semiring)
+        items_per_block = self.BLOCK_THREADS * self.ITEMS_PER_THREAD
+        n_blocks = max(1, math.ceil((items + segments) / items_per_block))
+
+        # Setup: both operands stream in coalesced (columns + values, then
+        # the row-pointer arrays that seed the diagonal searches).
+        stats.gmem_transactions += coalesced_transactions(
+            (a.nnz + b.nnz) * 2, itemsize=4)
+        stats.gmem_transactions += coalesced_transactions(
+            a.n_rows + b.n_rows + 2, itemsize=4)
+        # Diagonal binary search: every thread bisects the merge grid once.
+        stats.alu_ops += (n_blocks * self.BLOCK_THREADS
+                          * math.log2(items_per_block))
+        # Per item: gather the two operand values feeding ⊗.
+        gathers = items * self.GATHER_TRANSACTIONS_PER_ITEM
+        stats.gmem_transactions += uncoalesced_transactions(int(gathers))
+        stats.uncoalesced_loads += gathers
+        # ⊗ applications.
+        stats.alu_ops += items * products_per_item * alu_prod
+        stats.special_ops += items * products_per_item * special_prod
+        # Block-wide segmented fold: flag compare + fold, staged via smem.
+        stats.alu_ops += items * 2.0
+        stats.smem_accesses += items
+        # One atomic per thread's tail segment, plus two per-block carry
+        # fixups (the standard merge-path cross-block reconciliation).
+        stats.atomics += items / self.ITEMS_PER_THREAD + 2.0 * n_blocks
+        # Workspace: B's values re-keyed for gather + A's segment heads.
+        stats.workspace_bytes = max(stats.workspace_bytes,
+                                    b.nnz * 8.0 + a.nnz * 4.0)
+        prof = SweepProfile(kind=kind, n_blocks=int(n_blocks),
+                            items=float(items), segments=int(segments),
+                            smem_per_block=self.SMEM_PER_BLOCK)
+        return stats, prof
+
+    def _count_side_sum(self, a: CSRMatrix, b: CSRMatrix, semiring: Semiring,
+                        ) -> Tuple[KernelStats, SweepProfile]:
+        """Launch 2 of the additive decomposition: per-row ⊗(x, 0) sums for
+        both operands, then the dense m×n combine of join + side terms."""
+        stats = KernelStats()
+        alu_prod, special_prod = product_cost_profile(semiring)
+        items = float(a.nnz + b.nnz)
+        segments = a.n_rows + b.n_rows
+        combine_cells = float(a.n_rows) * b.n_rows
+        items_per_block = self.BLOCK_THREADS * self.ITEMS_PER_THREAD
+        n_blocks = max(1, math.ceil(
+            (items + segments + combine_cells) / items_per_block))
+
+        # Side sums: values stream coalesced, one ⊗(x, 0) per nonzero,
+        # segmented fold per operand row.
+        stats.gmem_transactions += coalesced_transactions(
+            int(items), itemsize=4)
+        stats.gmem_transactions += coalesced_transactions(
+            segments + 2, itemsize=4)
+        stats.alu_ops += (n_blocks * self.BLOCK_THREADS
+                          * math.log2(items_per_block))
+        stats.alu_ops += items * (alu_prod + 2.0)
+        stats.special_ops += items * special_prod
+        stats.smem_accesses += items
+        stats.atomics += items / self.ITEMS_PER_THREAD + 2.0 * n_blocks
+        # Dense combine: C[i,j] = join[i,j] + side_a[i] + side_b[j] — two
+        # adds per cell; join block read + C written, both coalesced.
+        stats.alu_ops += combine_cells * 2.0
+        stats.gmem_transactions += 2 * coalesced_transactions(
+            int(combine_cells), itemsize=4)
+        stats.workspace_bytes = max(stats.workspace_bytes,
+                                    combine_cells * 4.0 + segments * 4.0)
+        prof = SweepProfile(kind="side_sum", n_blocks=int(n_blocks),
+                            items=items, segments=int(segments),
+                            smem_per_block=self.SMEM_PER_BLOCK)
+        return stats, prof

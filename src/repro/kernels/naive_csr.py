@@ -43,6 +43,7 @@ class NaiveCsrKernel(PairwiseKernel):
     def run(self, a: CSRMatrix, b: CSRMatrix, semiring: Semiring) -> KernelResult:
         self._check_inputs(a, b)
         self._fault_checkpoint()
+        self._record_engine_selection()
         # The merge always walks the full union; for annihilating semirings
         # the non-intersecting terms evaluate to id⊕, so the *values* match
         # the intersection semantics while the *work* stays exhaustive.

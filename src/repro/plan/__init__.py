@@ -19,6 +19,7 @@ pipeline:
 this layer.
 """
 
+from repro.plan.autotune import Autotuner, CandidateEstimate, TuningChoice
 from repro.plan.consumers import (
     CallbackConsumer,
     DenseBlockConsumer,
@@ -26,6 +27,11 @@ from repro.plan.consumers import (
     TopKConsumer,
 )
 from repro.plan.executor import PlanExecutionReport, PlanExecutor
+from repro.plan.index_width import (
+    INT32_MAX,
+    required_index_width,
+    resolve_index_dtype,
+)
 from repro.plan.pairwise_plan import (
     PairwisePlan,
     PreparedOperand,
@@ -45,6 +51,12 @@ from repro.plan.tiling import (
 __all__ = [
     "PairwisePlan",
     "PreparedOperand",
+    "Autotuner",
+    "CandidateEstimate",
+    "TuningChoice",
+    "INT32_MAX",
+    "required_index_width",
+    "resolve_index_dtype",
     "build_pairwise_plan",
     "prepare_matrix",
     "prepare_operand",

@@ -1,0 +1,238 @@
+"""Cost-model autotuner: engine × tile shape × row-cache selection.
+
+``build_pairwise_plan(engine="auto")`` delegates here. The tuner probes the
+prepared operands' degree distributions (:class:`OperandProbe`), dry-runs
+every *runnable* candidate configuration through its engine's
+:meth:`~repro.kernels.base.PairwiseKernel.estimate_seconds` — the same
+counting code the executor will run, priced by the same cost model — and
+picks the argmin. Because estimates are exact for single-tile plans, on a
+monolithic job the chosen configuration is by construction the one the
+fixed-configuration sweep would also crown.
+
+The candidate set is everything the device can express, not a heuristic
+shortlist:
+
+- ``hybrid_coo`` + dense row cache, when one staged row fits shared memory
+  (``n_cols × 4 B ≤ smem``);
+- ``hybrid_coo`` + hash row cache — always runnable;
+- ``merge_path`` — always runnable, no row cache to pick.
+
+The bloom strategy stays out of ``auto``: the paper (§3.3.2) found no
+a-priori rule for when its false positives pay off, and the cost model
+inherits that uncertainty. Explicit ``row_cache="bloom"`` remains available.
+
+A prior run's :meth:`Profile.roofline() <repro.obs.profile.Profile>` output
+may be fed back (``tuning_feedback=``): measured per-strategy seconds
+recalibrate the candidate whose launches landed in that strategy bucket,
+closing the trace → attribution → next-plan loop. On the same operands the
+measured and estimated seconds coincide, so the calibration factor is
+exactly 1 and feedback never perturbs an already-exact decision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.semiring import Semiring
+from repro.gpusim.cost_model import OperandProbe
+from repro.gpusim.specs import DeviceSpec, VOLTA_V100
+from repro.kernels.engine import engine_info
+from repro.kernels.strategy import DENSE_ITEM_BYTES, max_entries_per_block
+
+__all__ = ["Autotuner", "CandidateEstimate", "TuningChoice"]
+
+#: calibration factors are clamped to this band — feedback refines the
+#: model, it must never be able to invert an ordering by orders of
+#: magnitude off one noisy bucket
+CALIBRATION_CLAMP = (0.25, 4.0)
+
+#: roofline strategy buckets each candidate's launches land in
+_FEEDBACK_BUCKETS = {
+    ("hybrid_coo", "dense"): ("dense",),
+    ("hybrid_coo", "hash"): ("hash", "degree_partitioned"),
+    ("merge_path", None): ("nonzero_split",),
+}
+
+
+@dataclass(frozen=True)
+class CandidateEstimate:
+    """One evaluated configuration: estimate, calibration, final score."""
+
+    engine: str
+    row_cache: Optional[str]
+    max_tile_rows_b: Optional[int]
+    estimated_seconds: float
+    calibration_factor: float = 1.0
+
+    @property
+    def score(self) -> float:
+        return self.estimated_seconds * self.calibration_factor
+
+    def as_dict(self) -> dict:
+        return {"engine": self.engine, "row_cache": self.row_cache,
+                "max_tile_rows_b": self.max_tile_rows_b,
+                "estimated_seconds": self.estimated_seconds,
+                "calibration_factor": self.calibration_factor,
+                "score": self.score}
+
+
+@dataclass(frozen=True)
+class TuningChoice:
+    """The autotuner's decision plus everything that produced it."""
+
+    engine: str
+    row_cache: Optional[str]
+    max_tile_rows_b: Optional[int]
+    estimated_seconds: float
+    candidates: Tuple[CandidateEstimate, ...]
+    probe_a: OperandProbe
+    probe_b: OperandProbe
+
+    def engine_kwargs(self) -> dict:
+        """kwargs for :func:`repro.kernels.make_engine`."""
+        return {} if self.row_cache is None else {"row_cache": self.row_cache}
+
+    def as_dict(self) -> dict:
+        return {"engine": self.engine, "row_cache": self.row_cache,
+                "max_tile_rows_b": self.max_tile_rows_b,
+                "estimated_seconds": self.estimated_seconds,
+                "candidates": [c.as_dict() for c in self.candidates],
+                "probe_a": self.probe_a.as_dict(),
+                "probe_b": self.probe_b.as_dict()}
+
+
+def _normalize_feedback(feedback) -> Dict[str, float]:
+    """Per-strategy measured seconds from any roofline-shaped input.
+
+    Accepts a :class:`~repro.obs.profile.RooflineReport`, a
+    :class:`~repro.obs.profile.Profile`, or either one's ``as_dict()``
+    payload (so a JSON round-trip through a bench artifact works too).
+    """
+    if feedback is None:
+        return {}
+    if hasattr(feedback, "roofline"):  # Profile
+        feedback = feedback.roofline()
+    if hasattr(feedback, "strategies"):  # RooflineReport
+        return {s.strategy: float(s.seconds) for s in feedback.strategies}
+    if isinstance(feedback, dict):
+        payload = feedback.get("roofline", feedback)
+        strategies = payload.get("strategies", ())
+        return {s["strategy"]: float(s["seconds"]) for s in strategies}
+    raise TypeError(
+        f"tuning_feedback must be a Profile, RooflineReport, or their "
+        f"as_dict() payload; got {type(feedback).__name__}")
+
+
+class Autotuner:
+    """Pick (engine, row_cache, tile shape) from cost-model dry runs."""
+
+    def __init__(self, spec: DeviceSpec = VOLTA_V100, *, feedback=None):
+        self.spec = spec
+        self.feedback = _normalize_feedback(feedback)
+
+    # ------------------------------------------------------------------
+    def engine_candidates(self, a, b) -> List[Tuple[str, Optional[str]]]:
+        """(engine, row_cache) pairs the device can run on these operands."""
+        candidates: List[Tuple[str, Optional[str]]] = []
+        if a.n_cols * DENSE_ITEM_BYTES <= self.spec.smem_per_block_max_bytes:
+            candidates.append(("hybrid_coo", "dense"))
+        candidates.append(("hybrid_coo", "hash"))
+        candidates.append(("merge_path", None))
+        return candidates
+
+    def tile_candidates(self, a, b) -> List[Optional[int]]:
+        """``max_tile_rows_b`` values worth pricing.
+
+        ``None`` (let the memory budget decide — monolithic when it fits)
+        plus one genuine split, so the tuner demonstrably *prices* tiling
+        rather than assuming it away. The split re-streams the staged side
+        and pays a second launch set, so the model prefers ``None``
+        whenever the budget allows — which is the honest answer under a
+        cost model whose launch overhead is real.
+        """
+        if b.n_rows >= 2:
+            return [None, int(math.ceil(b.n_rows / 2))]
+        return [None]
+
+    # ------------------------------------------------------------------
+    def tune(self, a, b, semiring) -> TuningChoice:
+        """Choose a configuration for the prepared CSR operands.
+
+        ``semiring`` may be a :class:`~repro.core.semiring.Semiring` or
+        anything carrying one as ``.semiring`` (a distance measure).
+        """
+        if not isinstance(semiring, Semiring):
+            semiring = semiring.semiring
+        probe_a = OperandProbe.from_csr(
+            a, partition_budget=max_entries_per_block(self.spec))
+        probe_b = OperandProbe.from_csr(
+            b, partition_budget=max_entries_per_block(self.spec))
+
+        candidates: List[CandidateEstimate] = []
+        for engine, row_cache in self.engine_candidates(a, b):
+            info = engine_info(engine)
+            kwargs = {} if row_cache is None else {"row_cache": row_cache}
+            for max_rows_b in self.tile_candidates(a, b):
+                seconds = self._estimate(info, kwargs, a, b, semiring,
+                                         max_rows_b)
+                if seconds is None:
+                    continue
+                factor = self._calibration(engine, row_cache, seconds)
+                candidates.append(CandidateEstimate(
+                    engine=engine, row_cache=row_cache,
+                    max_tile_rows_b=max_rows_b,
+                    estimated_seconds=seconds,
+                    calibration_factor=factor))
+        if not candidates:
+            raise RuntimeError(
+                "autotuner found no runnable candidate configuration")
+        # Deterministic argmin: score, then name/strategy/tile tie-breaks,
+        # so identical operands always produce the identical choice.
+        best = min(candidates, key=lambda c: (
+            c.score, c.engine, c.row_cache or "", c.max_tile_rows_b or 0))
+        return TuningChoice(
+            engine=best.engine, row_cache=best.row_cache,
+            max_tile_rows_b=best.max_tile_rows_b,
+            estimated_seconds=best.estimated_seconds,
+            candidates=tuple(candidates), probe_a=probe_a, probe_b=probe_b)
+
+    # ------------------------------------------------------------------
+    def _estimate(self, info, kwargs, a, b, semiring,
+                  max_rows_b: Optional[int]) -> Optional[float]:
+        """Dry-run estimate of the configuration, summed over b-bands."""
+        kernel = info.make(self.spec, **kwargs)
+        if max_rows_b is None:
+            return kernel.estimate_seconds(a, b, semiring)
+        total = 0.0
+        for lo in range(0, b.n_rows, max_rows_b):
+            band = b.slice_rows(lo, min(lo + max_rows_b, b.n_rows))
+            # fresh kernel per band, exactly as the executor clones one
+            # pristine prototype per tile
+            seconds = info.make(self.spec, **kwargs).estimate_seconds(
+                a, band, semiring)
+            if seconds is None:
+                return None
+            total += seconds
+        return total
+
+    def _calibration(self, engine: str, row_cache: Optional[str],
+                     estimated_seconds: float) -> float:
+        """Measured/estimated ratio for the candidate's roofline bucket.
+
+        1.0 without feedback or when the bucket is absent; clamped to
+        :data:`CALIBRATION_CLAMP`. When the feedback came from the same
+        operands the ratio is exactly 1, so feedback is a no-op where the
+        estimate is already exact.
+        """
+        if not self.feedback or estimated_seconds <= 0.0:
+            return 1.0
+        buckets = _FEEDBACK_BUCKETS.get((engine, row_cache))
+        if buckets is None:
+            return 1.0
+        measured = sum(self.feedback.get(bucket, 0.0) for bucket in buckets)
+        if measured <= 0.0:
+            return 1.0
+        lo, hi = CALIBRATION_CLAMP
+        return min(hi, max(lo, measured / estimated_seconds))

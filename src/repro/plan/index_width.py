@@ -1,0 +1,77 @@
+"""int32/int64 index-width policy for pairwise plans.
+
+GPU sparse libraries ship 32-bit index kernels because they halve index
+bandwidth and register pressure — and silently corrupt results the day an
+operand's nnz or the flattened output block crosses ``2**31 - 1``. The
+policy here mirrors the adjacency-matrix idiom of avoiding that trap by
+*deriving* the required width from the operands at plan time: every extent
+a kernel would index (row counts, column count, per-operand nnz, and the
+``m × n`` output cells a flattened tile offset addresses) is checked
+against the int32 range, and an explicit ``index_width="int32"`` request
+that cannot hold fails loudly with a structured
+:class:`~repro.errors.IndexWidthError` instead of overflowing.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import IndexWidthError
+
+__all__ = ["INT32_MAX", "index_extents", "required_index_width",
+           "resolve_index_dtype"]
+
+#: largest value a signed 32-bit device index can address
+INT32_MAX = 2**31 - 1
+
+
+def index_extents(a, b) -> Tuple[Tuple[str, int], ...]:
+    """Every extent a pairwise kernel indexes, by name.
+
+    ``output_cells`` is the flattened ``m × n`` block size: consumers and
+    the top-k fold address tiles through flat offsets, so it must fit the
+    index type even though no single dimension exceeds it.
+    """
+    return (("n_rows_a", int(a.n_rows)),
+            ("n_rows_b", int(b.n_rows)),
+            ("n_cols", int(a.n_cols)),
+            ("nnz_a", int(a.nnz)),
+            ("nnz_b", int(b.nnz)),
+            ("output_cells", int(a.n_rows) * int(b.n_rows)))
+
+
+def required_index_width(a, b) -> str:
+    """``"int32"`` when every extent fits a signed 32-bit index, else
+    ``"int64"``."""
+    for _, value in index_extents(a, b):
+        if value > INT32_MAX:
+            return "int64"
+    return "int32"
+
+
+def resolve_index_dtype(index_width: str, a, b) -> np.dtype:
+    """Resolve an ``index_width`` request against two prepared operands.
+
+    ``"auto"`` derives the narrowest safe width; ``"int64"`` always
+    succeeds; ``"int32"`` is validated extent-by-extent and raises
+    :class:`~repro.errors.IndexWidthError` naming the first extent that
+    overflows. Any other string raises ``ValueError``.
+    """
+    if index_width == "auto":
+        return np.dtype(required_index_width(a, b))
+    if index_width == "int64":
+        return np.dtype(np.int64)
+    if index_width == "int32":
+        for quantity, value in index_extents(a, b):
+            if value > INT32_MAX:
+                raise IndexWidthError(
+                    f"index_width='int32' cannot address this job: "
+                    f"{quantity} = {value} exceeds {INT32_MAX} (2**31 - 1); "
+                    f"pass index_width='int64' (or 'auto')",
+                    quantity=quantity, value=value)
+        return np.dtype(np.int32)
+    raise ValueError(
+        f"index_width must be 'auto', 'int32' or 'int64', "
+        f"got {index_width!r}")

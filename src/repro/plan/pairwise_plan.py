@@ -18,12 +18,13 @@ import numpy as np
 
 from repro.core.distances import EXPANDED, DistanceMeasure, make_distance
 from repro.core.norms import compute_norms
-from repro.errors import DeviceConfigError
 from repro.gpusim.specs import DeviceSpec, VOLTA_V100, get_device
-from repro.kernels import make_engine
+from repro.kernels import make_engine, resolve_engine_and_spec
 from repro.kernels.base import PairwiseKernel
 from repro.kernels.host import HostKernel
 from repro.obs.tracer import NULL_SPAN, get_default_tracer
+from repro.plan.autotune import Autotuner, TuningChoice
+from repro.plan.index_width import resolve_index_dtype
 from repro.plan.tiling import (
     OUTPUT_ITEM_BYTES,
     TileGrid,
@@ -123,6 +124,11 @@ class PairwisePlan:
     memory_budget_bytes: int
     norms_a: Optional[Dict[str, np.ndarray]] = None
     norms_b: Optional[Dict[str, np.ndarray]] = None
+    #: the autotuner's decision record when the plan was built with
+    #: ``engine="auto"`` (None for fixed-engine plans)
+    tuning: Optional[TuningChoice] = None
+    #: device index dtype the operands require (see repro.plan.index_width)
+    index_dtype: Optional[np.dtype] = None
     #: row-band slices, materialized lazily and cached (shared by tiles in
     #: the same band, so each band is sliced exactly once)
     _a_bands: List[Optional[CSRMatrix]] = field(default_factory=list,
@@ -190,31 +196,6 @@ class PairwisePlan:
                 f"tiles={self.grid.n_bands_a}x{self.grid.n_bands_b})")
 
 
-def _resolve_engine_and_spec(engine: Union[str, PairwiseKernel],
-                             device: Union[str, DeviceSpec, None]):
-    """Instantiate the kernel and reconcile it with the ``device`` argument.
-
-    A named engine is built for the requested (or default Volta) device. A
-    kernel *instance* already owns its spec; a conflicting explicit
-    ``device=`` used to be silently dropped — now it raises, because the
-    caller's two requests cannot both be honored.
-    """
-    if isinstance(engine, str):
-        spec = (get_device(device) if isinstance(device, str)
-                else (device or VOLTA_V100))
-        return make_engine(engine, spec), spec
-    kernel = engine
-    if device is not None:
-        wanted = get_device(device) if isinstance(device, str) else device
-        if wanted != kernel.spec:
-            raise DeviceConfigError(
-                f"engine instance {type(kernel).__name__} is configured for "
-                f"device {kernel.spec.name!r} but device={wanted.name!r} was "
-                f"requested; pass a matching spec (or omit device=) — the "
-                f"kernel cannot be re-targeted after construction")
-    return kernel, kernel.spec
-
-
 def _workspace_per_row_b(b: CSRMatrix) -> float:
     """Mean workspace bytes one streamed B row contributes (nnz-based)."""
     if b.n_rows == 0:
@@ -232,6 +213,8 @@ def build_pairwise_plan(
     memory_budget_bytes: Optional[int] = None,
     max_tile_rows_a: Optional[int] = None,
     max_tile_rows_b: Optional[int] = None,
+    index_width: str = "auto",
+    tuning_feedback=None,
     tracer=None,
     **metric_params,
 ) -> PairwisePlan:
@@ -243,6 +226,18 @@ def build_pairwise_plan(
     ``tracer`` records the planning work as a ``plan.build`` span (defaults
     to the process-wide tracer, normally the zero-overhead null one).
 
+    ``engine="auto"`` hands the choice to the
+    :class:`~repro.plan.autotune.Autotuner`: engine × row-cache × tile
+    shape is picked by exact cost-model dry runs over the operands' degree
+    distributions, and the decision record lands on ``plan.tuning``.
+    ``tuning_feedback`` optionally feeds a prior run's
+    ``Profile.roofline()`` attribution back into the tuner's calibration.
+
+    ``index_width`` enforces the int32/int64 device-index policy
+    (``"auto"`` derives the narrowest safe width; an explicit ``"int32"``
+    that cannot address the operands raises
+    :class:`~repro.errors.IndexWidthError` at plan time).
+
     Either side may be a :class:`PreparedOperand` (see
     :func:`prepare_operand`), in which case its pre-transformed values and
     cached norms are reused verbatim — the resident-index fast path.
@@ -253,12 +248,26 @@ def build_pairwise_plan(
     with span:
         measure = (metric if isinstance(metric, DistanceMeasure)
                    else make_distance(metric, **metric_params))
-        kernel, spec = _resolve_engine_and_spec(engine, device)
 
         op_a = prepare_operand(x, measure)
         b_is_a = y is None
         op_b = op_a if b_is_a else prepare_operand(y, measure)
         a, b = op_a.csr, op_b.csr
+
+        tuning = None
+        if isinstance(engine, str) and engine.lower() == "auto":
+            spec = (get_device(device) if isinstance(device, str)
+                    else (device or VOLTA_V100))
+            tuning = Autotuner(spec, feedback=tuning_feedback).tune(
+                a, b, measure.semiring)
+            kernel = make_engine(tuning.engine, spec,
+                                 **tuning.engine_kwargs())
+            if max_tile_rows_b is None:
+                max_tile_rows_b = tuning.max_tile_rows_b
+        else:
+            kernel, spec = resolve_engine_and_spec(engine, device)
+
+        index_dtype = resolve_index_dtype(index_width, a, b)
 
         norms_a = norms_b = None
         if measure.kind == EXPANDED:
@@ -278,9 +287,12 @@ def build_pairwise_plan(
                       engine=getattr(kernel, "name", "custom"),
                       n_tiles=grid.n_tiles,
                       shape=f"{a.n_rows}x{b.n_rows}x{a.n_cols}",
-                      memory_budget_bytes=budget)
+                      memory_budget_bytes=budget,
+                      index_dtype=str(index_dtype),
+                      tuned=tuning is not None)
 
     return PairwisePlan(a=a, b=b, b_is_a=b_is_a, measure=measure,
                         kernel=kernel, spec=spec, grid=grid,
                         memory_budget_bytes=budget,
-                        norms_a=norms_a, norms_b=norms_b)
+                        norms_a=norms_a, norms_b=norms_b,
+                        tuning=tuning, index_dtype=index_dtype)

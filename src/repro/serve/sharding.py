@@ -34,6 +34,7 @@ from repro.datasets.degree import degree_balanced_shards
 from repro.errors import ShapeMismatchError, SnapshotFormatError
 from repro.gpusim.specs import DeviceSpec, get_device
 from repro.neighbors.topk import TopKAccumulator
+from repro.plan.autotune import TuningChoice
 from repro.plan.consumers import TopKConsumer
 from repro.plan.executor import PlanExecutionReport, PlanExecutor
 from repro.plan.pairwise_plan import (
@@ -207,13 +208,29 @@ class ShardedIndex:
 
     def shard_plan(self, shard_id: int,
                    queries: PreparedOperand) -> PairwisePlan:
-        """The pairwise plan for one shard: queries × the shard's rows."""
+        """The pairwise plan for one shard: queries × the shard's rows.
+
+        With ``engine="auto"`` every shard is tuned *independently*: the
+        autotuner probes the shard's own degree distribution, so a
+        degree-skewed shard may run merge-path while its uniform siblings
+        stay on the hybrid kernel. The decision record is on the returned
+        plan's ``tuning``.
+        """
         shard = self.shards[shard_id]
         return build_pairwise_plan(
             queries, shard.operand, self.measure, engine=self.engine,
             device=shard.device,
             memory_budget_bytes=self.memory_budget_bytes,
             max_tile_rows_b=self.batch_rows)
+
+    def shard_tunings(self, x) -> List[Optional["TuningChoice"]]:
+        """Per-shard autotuner decisions for a query block (one
+        :class:`~repro.plan.TuningChoice` per shard, ``None`` entries when
+        the index was built with a fixed engine). Diagnostic companion to
+        :meth:`kneighbors` — the same plans the fan-out would build."""
+        queries = self.prepare_queries(x)
+        return [self.shard_plan(i, queries).tuning
+                for i in range(self.n_shards)]
 
     def query_shard(self, shard_id: int, queries: PreparedOperand,
                     k: int, **executor_kwargs,

@@ -43,6 +43,15 @@ CASES = (
      {"name": "hybrid_coo", "row_cache": "hash"}, "euclidean", {}, False),
     ("hybrid_coo[bloom]/euclidean",
      {"name": "hybrid_coo", "row_cache": "bloom"}, "euclidean", {}, False),
+    # merge-path nonzero-splitting engine: one case per semiring class
+    # (annihilating join, NAMM-plus join+side-sum, idempotent union sweeps)
+    ("merge_path/cosine", {"name": "merge_path"}, "cosine", {}, False),
+    ("merge_path/euclidean", {"name": "merge_path"}, "euclidean", {}, False),
+    ("merge_path/manhattan", {"name": "merge_path"}, "manhattan", {}, False),
+    ("merge_path/chebyshev", {"name": "merge_path"}, "chebyshev", {}, False),
+    ("merge_path/jaccard", {"name": "merge_path"}, "jaccard", {}, False),
+    ("merge_path/kl_divergence", {"name": "merge_path"}, "kl_divergence",
+     {}, True),
     # baseline engines
     ("naive_csr/euclidean", {"name": "naive_csr"}, "euclidean", {}, False),
     ("expand_sort_contract/euclidean", {"name": "expand_sort_contract"},

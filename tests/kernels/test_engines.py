@@ -10,16 +10,18 @@ import pytest
 import repro
 from repro.core.pairwise import pairwise_distances
 from repro.core.reference import pairwise_reference
-from repro.errors import ReproError, SemiringError
+from repro.errors import EngineConfigError, ReproError, SemiringError
 from repro.kernels import (
     available_engines,
+    engine_info,
     make_engine,
     register_engine,
 )
 from repro.kernels.base import PairwiseKernel
 from tests.conftest import random_dense
 
-SIM_ENGINES = ("hybrid_coo", "naive_csr", "expand_sort_contract")
+SIM_ENGINES = ("hybrid_coo", "merge_path", "naive_csr",
+               "expand_sort_contract")
 METRICS = tuple(repro.available_distances())
 
 
@@ -56,13 +58,49 @@ class TestEngineEquivalence:
 class TestRegistry:
     def test_available_engines(self):
         names = available_engines()
-        for expected in ("hybrid_coo", "naive_csr", "expand_sort_contract",
-                         "host", "csrgemm"):
+        for expected in ("hybrid_coo", "merge_path", "naive_csr",
+                         "expand_sort_contract", "host", "csrgemm"):
             assert expected in names
 
     def test_unknown_engine(self):
         with pytest.raises(ReproError, match="unknown engine"):
             make_engine("magic")
+
+    def test_unknown_engine_error_lists_registry(self):
+        with pytest.raises(EngineConfigError) as err:
+            make_engine("magic")
+        assert err.value.available == available_engines()
+        for name in available_engines():
+            assert name in str(err.value)
+
+    def test_engine_info_records_capabilities(self):
+        hybrid = engine_info("hybrid_coo")
+        assert hybrid.tunable
+        assert set(hybrid.row_cache_strategies) \
+            >= {"auto", "dense", "hash", "bloom"}
+        assert not engine_info("naive_csr").tunable
+        # lookup is case-insensitive, like make_engine
+        assert engine_info("HYBRID_COO") is hybrid
+
+    def test_instances_accepted_uniformly(self, rng):
+        """The deduped dispatch path: both public entry points take a
+        kernel instance, and an explicit conflicting device= raises."""
+        from repro.errors import DeviceConfigError
+        from repro.gpusim.specs import get_device
+        from repro.plan import build_pairwise_plan
+
+        kernel = make_engine("merge_path")
+        x = random_dense(rng, 6, 9)
+        d_inst = pairwise_distances(x, metric="cosine", engine=kernel)
+        d_name = pairwise_distances(x, metric="cosine", engine="merge_path")
+        np.testing.assert_array_equal(d_inst, d_name)
+        plan = build_pairwise_plan(x, None, "cosine", engine=kernel)
+        assert plan.kernel is kernel
+        with pytest.raises(DeviceConfigError):
+            pairwise_distances(x, metric="cosine", engine=kernel,
+                               device=get_device("ampere"))
+        with pytest.raises(EngineConfigError, match="registered"):
+            pairwise_distances(x, metric="cosine", engine=object())
 
     def test_register_custom_engine(self, rng):
         class EchoKernel(PairwiseKernel):
@@ -83,8 +121,8 @@ class TestRegistry:
             np.testing.assert_allclose(
                 d, pairwise_reference(x, x, "cosine"), atol=1e-9)
         finally:
-            from repro.kernels import _ENGINES
-            _ENGINES.pop("echo_test_kernel", None)
+            from repro.kernels import unregister_engine
+            unregister_engine("echo_test_kernel")
 
 
 class TestSimulatedTimeOrdering:

@@ -103,6 +103,10 @@ def test_clean_run_reconciles_with_report(pair):
               if s.name in ("strategy.select", "rowcache.stage")]
     assert nested
     assert all(s.parent.name.startswith("kernel.pass") for s in nested)
+    # every strategy.select span names the engine that made the decision
+    selects = [s for s in nested if s.name == "strategy.select"]
+    assert selects
+    assert all(s.args["engine"] == "hybrid_coo" for s in selects)
 
 
 def test_faulted_run_reconciles_with_report(pair):
@@ -116,6 +120,13 @@ def test_faulted_run_reconciles_with_report(pair):
 
     # metrics agree with the same report
     assert metrics.counter("tiles_executed").value() == report.n_tiles
+    # each successful kernel entry recorded its engine: one per executed
+    # tile plus the re-runs behind every retry and degradation (split
+    # attempts abort at the fault checkpoint before selection is recorded)
+    assert (metrics.counter("engine_selected_total")
+            .value(engine="hybrid_coo")
+            == report.n_tiles + report.n_retries
+            + len(report.degraded_tiles))
     assert metrics.counter("retries_total").value() == report.n_retries
     assert (metrics.counter("tile_splits_total").value()
             == report.n_tile_splits)

@@ -152,6 +152,40 @@ class TestBitIdentity:
             idx.kneighbors(bad, 3)
 
 
+class TestPerShardTuning:
+    """engine="auto" tunes each shard against its own degree distribution."""
+
+    def test_auto_engine_stays_bit_identical(self, corpus, queries):
+        want_d, want_i = reference(corpus, queries, "manhattan")
+        idx = ShardedIndex.build(corpus, metric="manhattan", n_shards=3,
+                                 placement="degree_balanced", engine="auto")
+        got_d, got_i = idx.kneighbors(queries, K)
+        np.testing.assert_array_equal(got_d, want_d)
+        np.testing.assert_array_equal(got_i, want_i)
+
+    def test_shard_tunings_expose_per_shard_choices(self, corpus, queries):
+        idx = ShardedIndex.build(corpus, metric="manhattan", n_shards=3,
+                                 placement="contiguous", engine="auto")
+        tunings = idx.shard_tunings(queries)
+        assert len(tunings) == idx.n_shards
+        for tuning in tunings:
+            assert tuning is not None
+            assert tuning.engine in ("hybrid_coo", "merge_path")
+            assert tuning.candidates
+            # the probe describes this shard's slice, not the whole corpus
+        assert ([t.probe_b.n_rows for t in tunings]
+                == [s.n_rows for s in idx.shards])
+        # decisions are deterministic across calls
+        again = idx.shard_tunings(queries)
+        assert ([(t.engine, t.row_cache) for t in tunings]
+                == [(t.engine, t.row_cache) for t in again])
+
+    def test_fixed_engine_reports_no_tuning(self, corpus, queries):
+        idx = ShardedIndex.build(corpus, metric="manhattan", n_shards=2,
+                                 engine="hybrid_coo")
+        assert idx.shard_tunings(queries) == [None, None]
+
+
 class TestSnapshot:
     def test_round_trip(self, corpus, queries, tmp_path):
         idx = ShardedIndex.build(corpus, metric="cosine", n_shards=3,
