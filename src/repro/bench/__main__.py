@@ -24,6 +24,7 @@ from repro.bench.runner import (
     bench_dataset,
     run_ablation_cell,
     run_baseline_cell,
+    run_burst_cell,
     run_cpu_cell,
     run_fault_cell,
     run_knn_cell,
@@ -190,14 +191,40 @@ def report_faults() -> str:
         title="Fault matrix — recovered runs vs clean runs")
 
 
+def _burst_cell_payload(c) -> dict:
+    """The machine-readable slice of one :class:`BurstCell` shared by
+    ``BENCH_serve.json`` and ``BENCH_slo.json``."""
+    return {
+        "backpressure": c.backpressure,
+        "seed": c.seed,
+        "n_submissions": c.n_submissions,
+        "resolved": c.resolved,
+        "shed": c.shed,
+        "rejected": c.rejected,
+        "degraded": c.degraded,
+        "deadline_missed": c.deadline_missed,
+        "reconciled": c.reconciled,
+        "p50_latency_ms": c.p50_latency_ms,
+        "p99_latency_ms": c.p99_latency_ms,
+        "p0_p99_latency_ms": c.p0_p99_latency_ms,
+        "p0_threshold_ms": c.p0_threshold_ms,
+        "p0_ok": c.p0_ok,
+        "p0_alerts": c.p0_alerts,
+        "driver_alerts": c.driver_alerts,
+        "peak_shed_level": c.peak_shed_level,
+        "refusals_by_reason": dict(sorted(c.refusals_by_reason.items())),
+    }
+
+
 @report("serve")
 def report_serve() -> Report:
     """Serving-layer profile: throughput/latency vs batch size and shards.
 
     Drives an open-loop simulated request stream through
     :class:`~repro.serve.Server` for each (micro-batch size, shard count)
-    cell; alongside the table, the cells are written to
-    ``BENCH_serve.json`` (the CI serving-smoke artifact).
+    cell, then the heavy-tailed burst trace with and without the
+    SLO-driven shed ladder; alongside the tables, everything is written
+    to ``BENCH_serve.json`` (the CI serving-smoke artifact).
     """
     cells = []
     rows = []
@@ -219,6 +246,23 @@ def report_serve() -> Report:
          "rows/s (sim)", "p50 ms", "p99 ms"], rows,
         title="Serving — movielens/cosine, open-loop stream "
               "(simulated time)")
+
+    burst_cells = [run_burst_cell(backpressure=bp) for bp in (False, True)]
+    burst_rows = [[
+        "on" if c.backpressure else "off", str(c.n_submissions),
+        str(c.resolved), str(c.shed), str(c.rejected),
+        str(c.deadline_missed), f"{c.p0_p99_latency_ms:.4f}",
+        f"{c.p0_threshold_ms:.4f}", "yes" if c.p0_ok else "NO",
+        str(c.p0_alerts), str(c.peak_shed_level),
+        "yes" if c.reconciled else "NO",
+    ] for c in burst_cells]
+    content += "\n\n" + render_table(
+        ["shedding", "submitted", "resolved", "shed", "rejected",
+         "missed", "p0 p99 ms", "p0 SLO ms", "p0 ok", "p0 alerts",
+         "peak rung", "reconciled"], burst_rows,
+        title="Serving under load — heavy-tailed burst trace, shed "
+              "ladder off vs on (simulated time)")
+    print("  ... burst trace done", file=sys.stderr)
     payload = {
         "dataset": "movielens",
         "metric": "cosine",
@@ -239,6 +283,7 @@ def report_serve() -> Report:
             "latency_samples_ms": list(c.latency_samples_ms),
             "wall_seconds": c.wall_seconds,
         } for c in cells],
+        "burst": [_burst_cell_payload(c) for c in burst_cells],
     }
     return Report(content, json_name="BENCH_serve", json_payload=payload)
 
@@ -299,7 +344,10 @@ def report_slo() -> Report:
 
     Drives :func:`~repro.bench.runner.run_slo_cell` and renders every
     monitor tick's objective statuses plus the burn-rate alerts the
-    overload phase fired; the payload lands in ``BENCH_slo.json``.
+    overload phase fired, then the burst-trace backpressure comparison:
+    with the shed ladder on, the priority-0 latency objective must hold
+    (no burn alerts) while the open-loop run blows it. The payload lands
+    in ``BENCH_slo.json``.
     """
     cell = run_slo_cell("movielens", "cosine")
     rows = [[obj, f"{at:.1f}", f"{obs:.3f}", "yes" if ok else "NO",
@@ -313,6 +361,17 @@ def report_slo() -> Report:
                 f"{cell.deadline_missed}/{cell.n_requests} deadlines "
                 f"missed; p99 {cell.p99_latency_ms:.3f} ms\n\n"
                 + cell.report_text)
+
+    burst_cells = [run_burst_cell(backpressure=bp) for bp in (False, True)]
+    content += "\n\n" + render_table(
+        ["shedding", "p0 p99 ms", "p0 SLO ms", "p0 ok", "p0 alerts",
+         "driver alerts", "shed", "missed"],
+        [["on" if c.backpressure else "off",
+          f"{c.p0_p99_latency_ms:.4f}", f"{c.p0_threshold_ms:.4f}",
+          "yes" if c.p0_ok else "NO", str(c.p0_alerts),
+          str(c.driver_alerts), str(c.shed), str(c.deadline_missed)]
+         for c in burst_cells],
+        title="Priority-0 SLO under burst load — shed ladder off vs on")
     payload = {
         "dataset": cell.dataset,
         "metric": cell.metric,
@@ -326,6 +385,7 @@ def report_slo() -> Report:
         } for obj, at, obs, ok, burn, budget in cell.statuses],
         "alerts": [{"objective": obj, "at_ms": at, "burn_rate": burn}
                    for obj, at, burn in cell.alerts],
+        "burst": [_burst_cell_payload(c) for c in burst_cells],
     }
     return Report(content, json_name="BENCH_slo", json_payload=payload)
 

@@ -77,6 +77,17 @@ DEFAULT_POLICIES: Tuple[Tuple[str, MetricPolicy], ...] = (
     # raw per-request sample arrays are kept for debugging, gated via their
     # quantiles instead
     ("*samples*", MetricPolicy("skip")),
+    # the serving traffic ledger is deterministic on the simulated clock:
+    # shed/reject/degrade/deadline counts, alert counts, and submission
+    # totals must match the baseline to the integer, not within 5%
+    ("*shed*", MetricPolicy("equal", rel_tol=0.0)),
+    ("*rejected*", MetricPolicy("equal", rel_tol=0.0)),
+    ("*degraded*", MetricPolicy("equal", rel_tol=0.0)),
+    ("*deadline_missed*", MetricPolicy("equal", rel_tol=0.0)),
+    ("*_alerts", MetricPolicy("equal", rel_tol=0.0)),
+    ("n_submissions", MetricPolicy("equal", rel_tol=0.0)),
+    ("resolved", MetricPolicy("equal", rel_tol=0.0)),
+    ("*refusals_by_reason*", MetricPolicy("equal", rel_tol=0.0)),
     ("*latency*", MetricPolicy("lower")),
     ("*_ms", MetricPolicy("lower")),
     ("*seconds*", MetricPolicy("lower")),

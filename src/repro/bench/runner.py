@@ -34,11 +34,11 @@ from repro.plan.pairwise_plan import build_pairwise_plan
 from repro.plan.tiling import OUTPUT_ITEM_BYTES, WORKSPACE_ITEM_BYTES
 
 __all__ = ["BenchCell", "PlanCell", "FaultCell", "ServeCell", "SLOCell",
-           "AblationCell", "run_knn_cell", "run_baseline_cell",
+           "BurstCell", "AblationCell", "run_knn_cell", "run_baseline_cell",
            "run_plan_cell", "run_fault_cell", "run_serve_cell",
-           "run_slo_cell", "run_ablation_cell", "ablation_fixed_configs",
-           "BENCH_SCALES", "bench_dataset", "MINKOWSKI_P", "KNN_K",
-           "CHAOS_SPECS"]
+           "run_slo_cell", "run_burst_cell", "run_ablation_cell",
+           "ablation_fixed_configs", "BENCH_SCALES", "bench_dataset",
+           "MINKOWSKI_P", "KNN_K", "CHAOS_SPECS"]
 
 #: Scales used by every benchmark (documented in EXPERIMENTS.md); chosen so
 #: the full Table-3 sweep completes in minutes on a laptop while preserving
@@ -574,4 +574,185 @@ def run_slo_cell(dataset: str, metric: str, *, n_shards: int = 2,
         statuses=statuses,
         alerts=[(a.objective, a.at_ms, a.burn_rate) for a in monitor.alerts],
         report_text=monitor.render(),
+        wall_seconds=wall)
+
+
+@dataclass
+class BurstCell:
+    """One heavy-tailed (bursty/diurnal) serve run, with or without the
+    SLO-driven shed ladder; the with/without pair is the bench's evidence
+    that backpressure trades low-priority traffic for the top priority
+    class's latency objective."""
+
+    dataset: str
+    metric: str
+    backpressure: bool
+    seed: int
+    n_submissions: int
+    resolved: int
+    shed: int
+    rejected: int
+    degraded: int
+    deadline_missed: int
+    #: ``serve_requests_total == resolved + shed + rejected``, exactly
+    reconciled: bool
+    p50_latency_ms: float
+    p99_latency_ms: float
+    #: priority-0 p99 vs its SLObjective at the final monitor tick
+    p0_p99_latency_ms: float
+    p0_threshold_ms: float
+    p0_ok: bool
+    #: burn-rate alerts fired on the priority-0 latency objective
+    p0_alerts: int
+    #: burn-rate alerts on the overall-latency objective the shed ladder
+    #: watches (fires in both arms; the p0 objective should not)
+    driver_alerts: int
+    #: highest shed-ladder rung reached (0 = never shed)
+    peak_shed_level: int
+    #: refusals by ``AdmissionRejected.reason``
+    refusals_by_reason: Dict[str, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def label(self) -> str:
+        return (f"{self.dataset}/{self.metric}/"
+                f"{'backpressure' if self.backpressure else 'open-loop'}")
+
+
+#: Histogram buckets for the burst cell's microsecond-scale latencies: the
+#: modeled devices chew a 24-row batch in ~7.4 simulated us, so overload
+#: (and the shed ladder protecting against it) lives well below
+#: :data:`~repro.serve.server.LATENCY_BUCKETS_MS`'s 0.25 ms floor. The
+#: cell pre-registers the latency histograms with this power-of-two ladder
+#: (instruments are get-or-create, first registration wins the buckets) so
+#: interpolated quantiles resolve the with/without-backpressure contrast.
+BURST_BUCKETS_MS: Tuple[float, ...] = tuple(
+    0.001 * 2 ** i for i in range(15))
+
+
+def run_burst_cell(dataset: str = "movielens", metric: str = "cosine", *,
+                   backpressure: bool, seed: int = 7,
+                   n_requests: int = 160, n_shards: int = 2,
+                   max_batch_rows: int = 24, max_wait_ms: float = 0.002,
+                   p0_p99_ms: float = 0.08, driver_p99_ms: float = 0.015,
+                   burn_alert: float = 1.5, window_ms: float = 0.05,
+                   poll_interval_ms: float = 0.002,
+                   mean_gap_ms: float = 0.0005,
+                   deadline_slack_ms: float = 0.05,
+                   n_neighbors: int = KNN_K) -> BurstCell:
+    """Serve one seeded heavy-tailed arrival trace, optionally shedding.
+
+    The trace (:func:`~repro.serve.heavy_tailed_trace`) is bursty and
+    diurnally modulated, mostly low-priority, with sub-microsecond mean
+    gaps: the burst phases outrun the modeled devices, so without
+    backpressure the priority-0 latency objective (``p0_p99_ms``) burns
+    its budget and alerts fire. With ``backpressure=True`` a
+    :class:`~repro.serve.BackpressureController` walks the default shed
+    ladder, driven by a *tighter* overall-latency objective
+    (``driver_p99_ms``) — backlog shows up there first, across the whole
+    traffic mix, so shedding engages before the priority-0 objective
+    takes damage. The cell records both the traffic ledger
+    (resolved/shed/rejected, reconciled to the integer) and the final
+    verdict of each objective.
+    """
+    from repro.obs import SLOMonitor, priority_latency_objectives
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.slo import SLObjective
+    from repro.serve import (
+        AdmissionRejected,
+        BackpressureController,
+        Server,
+        ShardedIndex,
+        heavy_tailed_trace,
+    )
+
+    ds = bench_dataset(dataset)
+    index = ShardedIndex.build(
+        ds.matrix, metric=metric, metric_params=_metric_kwargs(metric),
+        n_shards=n_shards, placement="degree_balanced")
+    metrics = MetricsRegistry()
+    for name in ("serve_latency_ms", "serve_priority_latency_ms",
+                 "serve_queue_wait_ms"):
+        metrics.histogram(name, buckets=BURST_BUCKETS_MS)
+    driver_objective = "p99_latency_ms"
+    p0_objective = "p99_latency_ms_priority_0"
+    monitor = SLOMonitor(
+        metrics,
+        (SLObjective(
+            name=driver_objective, kind="quantile",
+            metric="serve_latency_ms", q=0.99, threshold=driver_p99_ms,
+            burn_alert=burn_alert,
+            description="overall p99 latency; drives the shed ladder"),)
+        + priority_latency_objectives({0: p0_p99_ms},
+                                      burn_alert=burn_alert),
+        window_ms=window_ms)
+    controller = (BackpressureController(monitor,
+                                         objective=driver_objective,
+                                         poll_interval_ms=poll_interval_ms)
+                  if backpressure else None)
+    server = Server(index, max_batch_rows=max_batch_rows,
+                    max_wait_ms=max_wait_ms, backpressure=controller,
+                    metrics=metrics)
+
+    trace = heavy_tailed_trace(
+        n_requests=n_requests, seed=seed, mean_gap_ms=mean_gap_ms,
+        gap_sigma=1.4, diurnal_period_ms=0.15, diurnal_amplitude=0.9,
+        rows_choices=(1, 2, 4),
+        deadline_ms_by_priority={p: deadline_slack_ms for p in (0, 1, 2)})
+    n_rows = ds.matrix.n_rows
+    start = time.perf_counter()
+    refused = 0
+    peak_level = 0
+    row_cursor = 0
+    for t in trace:
+        lo = row_cursor % max(1, n_rows - t.n_rows)
+        row_cursor += t.n_rows
+        block = ds.matrix.slice_rows(lo, lo + t.n_rows)
+        # The monitor also ticks at arrivals (monotone-guarded) so the
+        # no-backpressure run records the same burn-rate history the
+        # controller would have seen.
+        if t.arrival_ms >= monitor.last_ms:
+            monitor.observe(t.arrival_ms)
+        try:
+            server.submit(block, n_neighbors, arrival_ms=t.arrival_ms,
+                          deadline_ms=t.deadline_ms, priority=t.priority)
+        except AdmissionRejected:
+            refused += 1
+        if controller is not None:
+            peak_level = max(peak_level, controller.level)
+    server.drain()
+    final_ms = max((b.completion_ms for b in server.batch_reports),
+                   default=monitor.last_ms)
+    monitor.observe(max(final_ms, monitor.last_ms))
+    wall = time.perf_counter() - start
+
+    requests_total = int(metrics.counter("serve_requests_total").value())
+    resolved = len(server.request_reports)
+    shed = sum(1 for r in server.shed_reports if r.kind == "shed")
+    rejected = sum(1 for r in server.shed_reports if r.kind == "rejected")
+    refusals: Dict[str, int] = {}
+    for r in server.shed_reports:
+        refusals[r.reason] = refusals.get(r.reason, 0) + 1
+    p0_status = next(s for s in monitor.last_statuses
+                     if s.objective == p0_objective)
+    hist = metrics.histogram("serve_latency_ms")
+    prio_hist = metrics.histogram("serve_priority_latency_ms")
+    return BurstCell(
+        dataset=dataset, metric=metric, backpressure=backpressure,
+        seed=seed, n_submissions=len(trace), resolved=resolved, shed=shed,
+        rejected=rejected,
+        degraded=sum(1 for r in server.request_reports if r.degraded),
+        deadline_missed=int(
+            metrics.counter("serve_deadline_missed_total").value()),
+        reconciled=(requests_total == resolved + shed + rejected
+                    and len(trace) == requests_total),
+        p50_latency_ms=hist.quantile(0.50),
+        p99_latency_ms=hist.quantile(0.99),
+        p0_p99_latency_ms=prio_hist.quantile(0.99, priority="0"),
+        p0_threshold_ms=p0_p99_ms, p0_ok=p0_status.ok,
+        p0_alerts=sum(1 for a in monitor.alerts
+                      if a.objective == p0_objective),
+        driver_alerts=sum(1 for a in monitor.alerts
+                          if a.objective == driver_objective),
+        peak_shed_level=peak_level, refusals_by_reason=refusals,
         wall_seconds=wall)

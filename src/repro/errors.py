@@ -125,6 +125,47 @@ class SnapshotFormatError(ServeError):
     truncated, or written by an incompatible version."""
 
 
+class AdmissionRejected(ServeError):
+    """The server refused to admit a request at submission time.
+
+    Raised — never asserted — by the admission gate (token bucket, queue
+    depth, forming-batch age) and by the SLO-driven
+    :class:`~repro.serve.BackpressureController` shed ladder. ``reason``
+    is a stable machine-readable label (``"queue_depth"``, ``"batch_age"``,
+    ``"rate"``, or ``"shed:<rung>"``), ``priority`` the rejected request's
+    class, and ``arrival_ms`` its position on the simulated clock. Every
+    rejection is also counted in ``serve_rejected_total`` /
+    ``serve_shed_total`` and logged in ``Server.shed_reports``, so
+    ``serve_requests_total == resolved + shed + rejected`` reconciles to
+    the integer.
+    """
+
+    def __init__(self, message: str, *, reason: str = "",
+                 priority: int = 0, arrival_ms: float = 0.0,
+                 queue_depth: int = 0):
+        super().__init__(message)
+        self.reason = str(reason)
+        self.priority = int(priority)
+        self.arrival_ms = float(arrival_ms)
+        self.queue_depth = int(queue_depth)
+
+
+class InvalidDeadlineError(ServeError):
+    """A request's ``deadline_ms`` is already past at admission time.
+
+    A deadline at or before the arrival instant can never be met — the
+    server rejects it at :meth:`~repro.serve.Server.submit` instead of
+    admitting a request that is late before it is queued. The message and
+    the ``arrival_ms`` / ``deadline_ms`` attributes name both timestamps.
+    """
+
+    def __init__(self, message: str, *, arrival_ms: float = 0.0,
+                 deadline_ms: float = 0.0):
+        super().__init__(message)
+        self.arrival_ms = float(arrival_ms)
+        self.deadline_ms = float(deadline_ms)
+
+
 class ShardFailedError(ServeError):
     """Every shard of a served query failed beyond recovery.
 

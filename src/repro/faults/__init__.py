@@ -35,12 +35,13 @@ from repro.faults.recovery import (
     SPLIT,
     RecoveryPolicy,
 )
-from repro.faults.spec import FaultEvent, FaultKind, FaultSpec
+from repro.faults.spec import FaultEvent, FaultKind, FaultSpec, fatal_specs
 
 __all__ = [
     "FaultSpec",
     "FaultKind",
     "FaultEvent",
+    "fatal_specs",
     "FaultInjector",
     "kernel_checkpoint",
     "RecoveryPolicy",

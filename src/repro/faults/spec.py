@@ -31,7 +31,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-__all__ = ["FaultKind", "FaultSpec", "FaultEvent"]
+__all__ = ["FaultKind", "FaultSpec", "FaultEvent", "fatal_specs"]
 
 
 class FaultKind(str, enum.Enum):
@@ -115,6 +115,24 @@ class FaultSpec:
         coin = np.random.default_rng(
             [seed, spec_index, tile_index, attempt, depth]).random()
         return bool(coin < self.probability)
+
+
+def fatal_specs(*, tiles=None, max_attempts: int = 16,
+                kind: "FaultKind | str" = FaultKind.STUCK,
+                ) -> Tuple[FaultSpec, ...]:
+    """A schedule that defeats any retry budget below ``max_attempts``.
+
+    One :class:`FaultSpec` firing at every attempt ``0..max_attempts-1``
+    (all split depths) of the selected ``tiles`` — the canonical way for
+    replication tests to kill a replica outright: the server's escalated
+    :class:`~repro.faults.RecoveryPolicy` exhausts its ladder and the
+    replica is marked unhealthy, triggering failover to a sibling.
+    """
+    if max_attempts <= 0:
+        raise ValueError(f"max_attempts must be positive, got {max_attempts}")
+    return (FaultSpec(kind=FaultKind(kind), tiles=tiles,
+                      attempts=tuple(range(max_attempts)),
+                      depths=tuple(range(8))),)
 
 
 @dataclass(frozen=True)

@@ -52,6 +52,7 @@ from repro.obs.slo import (
     SLOMonitor,
     SLOStatus,
     default_serve_objectives,
+    priority_latency_objectives,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -90,6 +91,7 @@ __all__ = [
     "SLOAlert",
     "SLOMonitor",
     "default_serve_objectives",
+    "priority_latency_objectives",
     "current_tracer",
     "current_span",
     "current_metrics",

@@ -37,7 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.obs.metrics import Histogram, MetricsRegistry, count_at_or_below
 
 __all__ = ["SLObjective", "SLOStatus", "SLOAlert", "SLOMonitor",
-           "default_serve_objectives"]
+           "default_serve_objectives", "priority_latency_objectives"]
 
 
 @dataclass(frozen=True)
@@ -203,6 +203,15 @@ class SLOMonitor:
         self._snapshots: List[Tuple[float, Dict[str, Tuple[float, float]]]] \
             = [(float(start_ms), self._snapshot())]
 
+    @property
+    def last_ms(self) -> float:
+        """Simulated timestamp of the most recent observe tick (the
+        baseline ``start_ms`` before any tick). The clock is monotone:
+        callers polling the monitor opportunistically — e.g. the
+        :class:`~repro.serve.BackpressureController` at request arrival —
+        must skip ticks earlier than this."""
+        return self._last_ms
+
     def _snapshot(self) -> Dict[str, Tuple[float, float]]:
         return {o.name: o.counts(self.metrics) for o in self.objectives}
 
@@ -303,3 +312,25 @@ def default_serve_objectives(*, p99_latency_ms: float = 50.0,
             threshold=partial_result_rate, burn_alert=burn_alert,
             description="requests answered from a degraded shard set"),
     )
+
+
+def priority_latency_objectives(
+        thresholds_ms: Dict[int, float], *, q: float = 0.99,
+        burn_alert: float = 1.0) -> Tuple[SLObjective, ...]:
+    """Per-priority-class latency objectives over the labeled
+    ``serve_priority_latency_ms`` histogram.
+
+    ``thresholds_ms`` maps a priority class (lower = more important) to
+    its ``q``-quantile latency ceiling in simulated ms, e.g.
+    ``{0: 20.0, 1: 50.0}``. The :class:`~repro.serve.BackpressureController`
+    watches the class-0 objective's burn rate to drive its shed ladder.
+    """
+    return tuple(
+        SLObjective(
+            name=f"p{q * 100:g}_latency_ms_priority_{prio}",
+            kind="quantile", metric="serve_priority_latency_ms",
+            q=q, threshold=float(threshold_ms),
+            labels={"priority": str(int(prio))}, burn_alert=burn_alert,
+            description=(f"{q:.0%}-ile simulated latency for priority-"
+                         f"{prio} requests"))
+        for prio, threshold_ms in sorted(thresholds_ms.items()))

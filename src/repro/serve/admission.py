@@ -1,0 +1,122 @@
+"""Admission control: bounded queues, forming-batch age, token buckets.
+
+The scheduler happily coalesces any arrival stream; under sustained
+overload that just moves the queueing delay into the forming batch and
+blows p99 for everyone. :class:`AdmissionController` puts three
+deterministic gates in front of :meth:`QueryScheduler.offer`:
+
+- **queue depth** — at most ``max_queue_depth`` requests may wait in the
+  forming batch;
+- **batch age** — the forming batch's oldest request may have waited at
+  most ``max_batch_age_ms`` of simulated time (a saturated device that
+  cannot drain fast enough shows up here first);
+- **rate** — a :class:`TokenBucket` over query *rows* bounds sustained
+  throughput at ``rate_rows_per_s`` with bursts up to ``burst_rows``.
+
+Every gate rejects with a structured
+:class:`~repro.errors.AdmissionRejected` (reason ``"queue_depth"``,
+``"batch_age"``, or ``"rate"``) — never an assert — so callers can retry,
+downgrade, or surface the rejection. All arithmetic runs on the simulated
+clock: the same arrival trace is admitted and rejected identically every
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.serve.request import ServeRequest
+from repro.serve.scheduler import QueryScheduler
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+
+@dataclass
+class TokenBucket:
+    """A token bucket over query rows on the simulated clock.
+
+    Refills continuously at ``rate_rows_per_s`` (simulated seconds) up to
+    ``burst_rows``; admitting a request spends ``n_rows`` tokens.
+    Starts full, so a cold server absorbs one full burst immediately.
+    """
+
+    rate_rows_per_s: float
+    burst_rows: float
+
+    def __post_init__(self):
+        if self.rate_rows_per_s <= 0:
+            raise ValueError(
+                f"rate_rows_per_s must be positive, got "
+                f"{self.rate_rows_per_s!r}")
+        if self.burst_rows <= 0:
+            raise ValueError(
+                f"burst_rows must be positive, got {self.burst_rows!r}")
+        self._tokens = float(self.burst_rows)
+        self._last_ms = 0.0
+
+    def _refill(self, now_ms: float) -> None:
+        if now_ms > self._last_ms:
+            self._tokens = min(
+                float(self.burst_rows),
+                self._tokens + (now_ms - self._last_ms) / 1000.0
+                * self.rate_rows_per_s)
+            self._last_ms = now_ms
+
+    def available(self, now_ms: float) -> float:
+        self._refill(float(now_ms))
+        return self._tokens
+
+    def try_take(self, cost: float, now_ms: float) -> bool:
+        """Spend ``cost`` tokens if available; False leaves the bucket
+        untouched (a rejected request consumes no budget)."""
+        self._refill(float(now_ms))
+        if cost > self._tokens:
+            return False
+        self._tokens -= cost
+        return True
+
+
+class AdmissionController:
+    """The gate in front of the scheduler. ``None`` disables a limit."""
+
+    def __init__(self, *, max_queue_depth: Optional[int] = None,
+                 max_batch_age_ms: Optional[float] = None,
+                 rate_rows_per_s: Optional[float] = None,
+                 burst_rows: Optional[float] = None):
+        if max_queue_depth is not None and max_queue_depth <= 0:
+            raise ValueError(
+                f"max_queue_depth must be positive, got {max_queue_depth}")
+        if max_batch_age_ms is not None and max_batch_age_ms < 0:
+            raise ValueError(
+                f"max_batch_age_ms must be non-negative, got "
+                f"{max_batch_age_ms}")
+        if (rate_rows_per_s is None) != (burst_rows is None):
+            raise ValueError(
+                "rate_rows_per_s and burst_rows must be set together")
+        self.max_queue_depth = max_queue_depth
+        self.max_batch_age_ms = max_batch_age_ms
+        self.bucket = (TokenBucket(rate_rows_per_s=rate_rows_per_s,
+                                   burst_rows=burst_rows)
+                       if rate_rows_per_s is not None else None)
+
+    def check(self, request: ServeRequest,
+              scheduler: QueryScheduler) -> Optional[str]:
+        """The rejection reason for admitting ``request`` now, or None.
+
+        Depth and age are read-only checks; the token bucket is only
+        debited once both pass, so a depth-rejected request never burns
+        rate budget.
+        """
+        if (self.max_queue_depth is not None
+                and scheduler.queue_depth >= self.max_queue_depth):
+            return "queue_depth"
+        open_ms = scheduler.forming_open_ms
+        if (self.max_batch_age_ms is not None and open_ms is not None
+                and request.arrival_ms - open_ms > self.max_batch_age_ms):
+            return "batch_age"
+        if (self.bucket is not None
+                and not self.bucket.try_take(float(request.n_rows),
+                                             request.arrival_ms)):
+            return "rate"
+        return None

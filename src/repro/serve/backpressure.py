@@ -1,0 +1,195 @@
+"""SLO-driven load shedding: a burn-rate ladder in front of admission.
+
+Admission control (:mod:`repro.serve.admission`) bounds *mechanical*
+overload — queue depth, forming-batch age, raw row rate. This module
+closes the loop with the *objective*: a :class:`BackpressureController`
+polls :meth:`SLOMonitor.observe` burn rates on the simulated clock and
+walks a shed ladder whose rungs trade progressively more traffic for the
+survival of the top priority class::
+
+    burn rate of the watched objective
+    ──────────────────────────────────────────────────────────────
+    < 1x   rung 0  admit-all      nothing shed
+    ≥ 1x   rung 1  reject-lowest  reject priority ≥ 2
+    ≥ 2x   rung 2  degrade-low    reject priority ≥ 2, and degrade
+                                  priority ≥ 1 (k clamped by
+                                  ``degrade_k_factor``)
+    ≥ 4x   rung 3  top-only       reject everything but priority 0
+
+Every shed decision raises a structured
+:class:`~repro.errors.AdmissionRejected` with reason ``"shed:<rung>"``
+(and every degrade flags the admitted request), increments
+``serve_shed_total{priority=,reason=}``, and lands in
+``Server.shed_reports`` — so ``serve_requests_total == resolved + shed +
+rejected`` reconciles to the integer.
+
+The controller never violates the monitor's monotone clock: a tick whose
+timestamp is behind the monitor's last observe (e.g. a request arriving
+while a long batch's completion was already observed) reuses the latest
+statuses instead of observing backwards in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.obs.slo import SLOMonitor
+from repro.serve.request import ServeRequest
+
+__all__ = ["ShedRung", "DEFAULT_SHED_LADDER", "BackpressureController"]
+
+
+@dataclass(frozen=True)
+class ShedRung:
+    """One level of the shed ladder.
+
+    The controller sits at the highest rung whose ``min_burn`` the watched
+    objective's windowed burn rate reaches. ``shed_floor`` rejects every
+    request whose ``priority >= shed_floor``; ``degrade_floor`` admits but
+    degrades (smaller k) requests with ``priority >= degrade_floor``.
+    ``None`` disables that action for the rung.
+    """
+
+    name: str
+    #: windowed burn-rate multiplier at which this rung engages
+    min_burn: float
+    shed_floor: Optional[int] = None
+    degrade_floor: Optional[int] = None
+
+    def __post_init__(self):
+        if self.min_burn < 0:
+            raise ValueError(f"rung {self.name!r}: min_burn must be >= 0")
+        if self.shed_floor is not None and self.shed_floor < 1:
+            raise ValueError(
+                f"rung {self.name!r}: shed_floor must be >= 1 (priority 0 "
+                f"is never shed by the ladder)")
+        if self.degrade_floor is not None and self.degrade_floor < 1:
+            raise ValueError(
+                f"rung {self.name!r}: degrade_floor must be >= 1")
+
+
+#: admit-all → reject-lowest → degrade-low → top-only
+DEFAULT_SHED_LADDER: Tuple[ShedRung, ...] = (
+    ShedRung(name="admit-all", min_burn=0.0),
+    ShedRung(name="reject-lowest", min_burn=1.0, shed_floor=2),
+    ShedRung(name="degrade-low", min_burn=2.0, shed_floor=2,
+             degrade_floor=1),
+    ShedRung(name="top-only", min_burn=4.0, shed_floor=1),
+)
+
+
+class BackpressureController:
+    """Walks a shed ladder off one objective's windowed burn rate.
+
+    ``objective`` names which of the monitor's objectives drives the
+    ladder (default: the monitor's first). ``poll_interval_ms`` bounds
+    how often the controller takes a fresh :meth:`SLOMonitor.observe`
+    tick — between polls it acts on the cached burn rate, so a burst of
+    arrivals at one simulated instant costs one snapshot, not hundreds.
+    """
+
+    def __init__(self, monitor: SLOMonitor, *,
+                 objective: Optional[str] = None,
+                 ladder: Sequence[ShedRung] = DEFAULT_SHED_LADDER,
+                 poll_interval_ms: float = 10.0,
+                 degrade_k_factor: float = 0.5, min_k: int = 1):
+        if not ladder:
+            raise ValueError("the shed ladder needs at least one rung")
+        rungs = tuple(sorted(ladder, key=lambda r: r.min_burn))
+        if rungs[0].min_burn != 0.0:
+            raise ValueError(
+                f"the lowest rung must have min_burn=0 (an admit-all "
+                f"floor), got {rungs[0].min_burn!r}")
+        if poll_interval_ms < 0:
+            raise ValueError("poll_interval_ms must be non-negative")
+        if not 0.0 < degrade_k_factor <= 1.0:
+            raise ValueError(
+                f"degrade_k_factor must be in (0, 1], got "
+                f"{degrade_k_factor!r}")
+        if min_k < 1:
+            raise ValueError(f"min_k must be >= 1, got {min_k}")
+        names = [o.name for o in monitor.objectives]
+        self.objective = objective if objective is not None else names[0]
+        if self.objective not in names:
+            raise ValueError(
+                f"objective {self.objective!r} is not watched by the "
+                f"monitor; have {names}")
+        self.monitor = monitor
+        self.ladder = rungs
+        self.poll_interval_ms = float(poll_interval_ms)
+        self.degrade_k_factor = float(degrade_k_factor)
+        self.min_k = int(min_k)
+        self._level = 0
+        self._burn = 0.0
+        self._last_poll_ms = float("-inf")
+        #: (at_ms, rung index) whenever the rung changed, in time order
+        self.transitions: list = []
+
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        """Index of the active rung in the (sorted) ladder."""
+        return self._level
+
+    @property
+    def rung(self) -> ShedRung:
+        return self.ladder[self._level]
+
+    @property
+    def burn_rate(self) -> float:
+        """The watched objective's burn rate at the last poll."""
+        return self._burn
+
+    # ------------------------------------------------------------------
+    def tick(self, now_ms: float) -> ShedRung:
+        """Refresh the active rung from the monitor; returns it.
+
+        Observes the monitor only when ``poll_interval_ms`` has elapsed
+        since the last poll *and* ``now_ms`` does not precede the
+        monitor's own clock (the monitor is shared with the drain path,
+        which observes at batch completion times that can run ahead of
+        the next arrival).
+        """
+        now_ms = float(now_ms)
+        if now_ms - self._last_poll_ms < self.poll_interval_ms:
+            return self.rung
+        statuses = None
+        if now_ms >= self.monitor.last_ms:
+            statuses = self.monitor.observe(now_ms)
+            self._last_poll_ms = now_ms
+        elif self.monitor.last_statuses:
+            statuses = self.monitor.last_statuses
+            self._last_poll_ms = now_ms
+        if statuses is not None:
+            for status in statuses:
+                if status.objective == self.objective:
+                    self._burn = status.burn_rate
+                    break
+            level = 0
+            for i, rung in enumerate(self.ladder):
+                if self._burn >= rung.min_burn and i > 0:
+                    level = i
+            if level != self._level:
+                self._level = level
+                self.transitions.append((now_ms, level))
+        return self.rung
+
+    def decide(self, request: ServeRequest) -> Optional[str]:
+        """The shed reason for refusing ``request`` at the active rung,
+        or None when the rung admits it (possibly degraded)."""
+        rung = self.rung
+        if rung.shed_floor is not None and request.priority >= rung.shed_floor:
+            return f"shed:{rung.name}"
+        return None
+
+    def degraded_k(self, request: ServeRequest) -> Optional[int]:
+        """The clamped ``n_neighbors`` the active rung imposes on
+        ``request``, or None when it runs at full k."""
+        rung = self.rung
+        if (rung.degrade_floor is None
+                or request.priority < rung.degrade_floor):
+            return None
+        clamped = max(self.min_k,
+                      int(request.n_neighbors * self.degrade_k_factor))
+        return clamped if clamped < request.n_neighbors else None

@@ -19,7 +19,7 @@ import numpy as np
 from repro.faults.spec import FaultEvent
 
 __all__ = ["ServeRequest", "ShardReport", "BatchReport", "RequestReport",
-           "ServeResult", "ServeFuture"]
+           "ServeResult", "ServeFuture", "ShedReport"]
 
 _AUTO_ID = threading.Lock()
 _next_id = 0
@@ -41,6 +41,14 @@ class ServeRequest:
     which the response counts as late — results are still delivered, but
     the report flags ``deadline_missed`` and the
     ``serve_deadline_missed_total`` counter increments.
+
+    ``priority`` is the request's class: **lower is more important**
+    (0 = top priority). The scheduler orders coalesced batches
+    earliest-deadline-first within priority, and the
+    :class:`~repro.serve.BackpressureController` sheds or degrades the
+    higher-numbered classes first. ``degraded=True`` means the shed
+    ladder clamped ``n_neighbors`` below the caller's ``requested_k`` at
+    admission.
     """
 
     request_id: int
@@ -49,6 +57,31 @@ class ServeRequest:
     n_rows: int
     arrival_ms: float
     deadline_ms: Optional[float] = None
+    priority: int = 0
+    degraded: bool = False
+    requested_k: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ShedReport:
+    """One submission the server refused: shed or rejected at admission.
+
+    ``kind`` is ``"rejected"`` (admission gate: token bucket, queue
+    depth, forming-batch age) or ``"shed"`` (SLO-driven backpressure
+    ladder); ``reason`` the machine-readable label carried by the raised
+    :class:`~repro.errors.AdmissionRejected`. Summing these against the
+    resolved :class:`RequestReport` list reconciles the
+    ``serve_requests_total`` counter exactly.
+    """
+
+    submission_id: int
+    arrival_ms: float
+    priority: int
+    n_rows: int
+    kind: str    # "shed" | "rejected"
+    reason: str
+    #: shed-ladder level at the decision instant (0 for gate rejections)
+    shed_level: int = 0
 
 
 @dataclass(frozen=True)
@@ -63,11 +96,21 @@ class ShardReport:
     n_retries: int = 0
     n_tile_splits: int = 0
     #: times the server resumed this shard from a watermark after an
-    #: unabsorbed :class:`~repro.errors.ExecutionFaultError`
+    #: unabsorbed :class:`~repro.errors.ExecutionFaultError` (summed
+    #: across every replica that worked on the batch)
     n_resumes: int = 0
-    #: the shard ran out of recovery ladder and contributed nothing
+    #: every replica of the shard is dead and the batch lost its rows
     failed: bool = False
     fault_log: Tuple[FaultEvent, ...] = ()
+    #: replica that delivered the shard's result (-1 when ``failed``)
+    replica_id: int = 0
+    #: replicas marked unhealthy while serving this batch, in failure order
+    failed_replicas: Tuple[int, ...] = ()
+
+    @property
+    def n_failovers(self) -> int:
+        """Mid-batch handoffs to a sibling replica."""
+        return len(self.failed_replicas)
 
     @property
     def n_fault_events(self) -> int:
@@ -119,6 +162,10 @@ class BatchReport:
     def n_resumes(self) -> int:
         return sum(r.n_resumes for r in self.shard_reports)
 
+    @property
+    def n_failovers(self) -> int:
+        return sum(r.n_failovers for r in self.shard_reports)
+
 
 @dataclass(frozen=True)
 class RequestReport:
@@ -134,6 +181,10 @@ class RequestReport:
     completion_ms: float
     batch: BatchReport
     deadline_ms: Optional[float] = None
+    priority: int = 0
+    #: the shed ladder clamped this request's k below ``requested_k``
+    degraded: bool = False
+    requested_k: Optional[int] = None
 
     @property
     def latency_ms(self) -> float:

@@ -10,6 +10,12 @@ request has waited ``max_wait_ms`` of simulated time (closed
 ``"timeout"``). ``flush`` closes whatever is forming (``"flush"``), e.g.
 at drain.
 
+Closed batches order their requests **earliest-deadline-first within
+priority class** (lower ``priority`` value first, then earlier absolute
+deadline, deadline-less requests last, ties broken by ``request_id``) —
+so when a saturated server works through a coalesced batch, the rows that
+matter most resolve in a deterministic, priority-respecting order.
+
 The scheduler is pure batching logic on the simulated clock — it never
 executes anything and holds no locks of its own; the
 :class:`~repro.serve.Server` serializes access and runs the closed
@@ -23,7 +29,22 @@ from typing import List, Optional, Tuple
 
 from repro.serve.request import ServeRequest
 
-__all__ = ["MicroBatch", "QueryScheduler"]
+__all__ = ["MicroBatch", "QueryScheduler", "edf_order"]
+
+
+def edf_order(requests) -> Tuple[ServeRequest, ...]:
+    """Earliest-deadline-first within priority, ``request_id`` tie-break.
+
+    Requests without a deadline sort after every deadlined request of the
+    same priority class; equal ``(priority, deadline)`` pairs keep
+    admission order because request ids are monotone.
+    """
+    return tuple(sorted(
+        requests,
+        key=lambda r: (r.priority,
+                       r.deadline_ms if r.deadline_ms is not None
+                       else float("inf"),
+                       r.request_id)))
 
 
 @dataclass
@@ -31,21 +52,19 @@ class MicroBatch:
     """A group of requests that will share one fan-out execution."""
 
     batch_id: int
+    #: EDF-within-priority order (see :func:`edf_order`), not arrival order
     requests: Tuple[ServeRequest, ...]
     #: simulated ms the batch left the queue: open + max_wait on timeout,
     #: the filling request's arrival when closed full, clamped "now" on
     #: flush
     dispatch_ms: float
     close_reason: str  # "full" | "timeout" | "flush"
+    #: arrival of the earliest admitted request — when the window opened
+    open_ms: float = 0.0
 
     @property
     def n_rows(self) -> int:
         return sum(r.n_rows for r in self.requests)
-
-    @property
-    def open_ms(self) -> float:
-        """Arrival of the first request — when the window opened."""
-        return self.requests[0].arrival_ms
 
     @property
     def k_max(self) -> int:
@@ -88,14 +107,21 @@ class QueryScheduler:
     def forming_rows(self) -> int:
         return self._forming_rows
 
+    @property
+    def forming_open_ms(self) -> Optional[float]:
+        """Arrival of the oldest forming request (None when idle) — the
+        admission gate reads this to bound forming-batch age."""
+        return self._forming[0].arrival_ms if self._forming else None
+
     def _deadline_ms(self) -> float:
         return self._forming[0].arrival_ms + self.max_wait_ms
 
     def _close(self, dispatch_ms: float, reason: str) -> MicroBatch:
         batch = MicroBatch(batch_id=self._next_batch_id,
-                           requests=tuple(self._forming),
+                           requests=edf_order(self._forming),
                            dispatch_ms=float(dispatch_ms),
-                           close_reason=reason)
+                           close_reason=reason,
+                           open_ms=self._forming[0].arrival_ms)
         self._next_batch_id += 1
         self._forming = []
         self._forming_rows = 0
@@ -130,6 +156,9 @@ class QueryScheduler:
         # window by itself — dispatch immediately.
         if self._forming_rows >= self.max_batch_rows:
             closed.append(self._close(request.arrival_ms, "full"))
+        # A zero-wait window never holds a request: dispatch at arrival.
+        elif self.max_wait_ms == 0.0:
+            closed.append(self._close(request.arrival_ms, "timeout"))
         return closed
 
     def flush(self, now_ms: Optional[float] = None) -> List[MicroBatch]:

@@ -10,20 +10,38 @@ merge through :class:`~repro.neighbors.topk.TopKAccumulator` — and
 resolves every coalesced future with its rows and a
 :class:`~repro.serve.RequestReport`.
 
-Fault story: each shard runs under the executor's
+Fault story, inside out: each replica runs under the executor's
 :class:`~repro.faults.RecoveryPolicy`; if a fault still escapes as an
-:class:`~repro.errors.ExecutionFaultError`, the server resumes the shard
-from the error's watermark with an escalated retry budget, up to
-``max_shard_resumes`` times. A shard that exhausts that ladder is dropped
-from the candidate pool and the batch's results are delivered with
-``partial=True``; only if *every* shard fails do the futures raise
-:class:`~repro.errors.ShardFailedError`.
+:class:`~repro.errors.ExecutionFaultError`, the server resumes the
+replica from the error's watermark with an escalated retry budget, up to
+``max_shard_resumes`` times. A replica that exhausts that ladder is
+marked unhealthy in the :class:`~repro.serve.ReplicaRouter` and the shard
+**fails over** to its least-loaded live sibling, resuming from the same
+watermark on the same consumer — replicas hold bit-identical prepared
+operands, so the delivered top-k is bit-identical to a fault-free run.
+Only when *every* replica of a shard is dead does the batch degrade to a
+``partial=True`` result (exactly the pre-replication behavior); only if
+every shard fails do the futures raise
+:class:`~repro.errors.ShardFailedError`. Unhealthy replicas re-enter
+rotation through seeded health probes after a backoff.
+
+Load story, outside in: an optional
+:class:`~repro.serve.AdmissionController` bounds queue depth,
+forming-batch age, and row rate (structured
+:class:`~repro.errors.AdmissionRejected`, reason ``"queue_depth"`` /
+``"batch_age"`` / ``"rate"``); an optional
+:class:`~repro.serve.BackpressureController` walks its SLO-burn shed
+ladder ahead of the gate, rejecting (``"shed:<rung>"``) or degrading
+(smaller k) the lower priority classes. Every refusal lands in
+:attr:`Server.shed_reports` and the ``serve_shed_total`` /
+``serve_rejected_total`` counters, so
+``serve_requests_total == resolved + shed + rejected`` to the integer.
 
 Latency is modeled, not measured: arrival and dispatch stamps come from
 the scheduler's simulated clock, service time is the slowest shard's
-modeled kernel seconds, and a batch cannot start before the devices
-finished the previous one — so queue depth, batching delay, and p50/p99
-spread all emerge deterministically from the configuration.
+modeled kernel seconds, and a batch cannot start before its chosen
+replicas finished their previous work — so queue depth, batching delay,
+and p50/p99 spread all emerge deterministically from the configuration.
 """
 
 from __future__ import annotations
@@ -35,7 +53,12 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ExecutionFaultError, ShardFailedError
+from repro.errors import (
+    AdmissionRejected,
+    ExecutionFaultError,
+    InvalidDeadlineError,
+    ShardFailedError,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.recovery import RecoveryPolicy
 from repro.obs import resolve_trace, write_chrome_trace
@@ -44,6 +67,9 @@ from repro.obs.tracer import NULL_SPAN, NULL_TRACER
 from repro.plan.consumers import TopKConsumer
 from repro.plan.executor import PlanExecutor
 from repro.plan.pairwise_plan import PreparedOperand
+from repro.serve.admission import AdmissionController
+from repro.serve.backpressure import BackpressureController
+from repro.serve.replication import ReplicaRouter, ReplicaState
 from repro.serve.request import (
     BatchReport,
     RequestReport,
@@ -51,6 +77,7 @@ from repro.serve.request import (
     ServeRequest,
     ServeResult,
     ShardReport,
+    ShedReport,
 )
 from repro.serve.scheduler import MicroBatch, QueryScheduler
 from repro.serve.sharding import ShardedIndex
@@ -74,7 +101,8 @@ class Server:
     Parameters
     ----------
     index:
-        The fitted, sharded index to serve.
+        The fitted, sharded index to serve. Its ``n_replicas`` sizes the
+        per-shard replica pools the server routes between.
     max_batch_rows, max_wait_ms:
         Micro-batch admission knobs (see
         :class:`~repro.serve.QueryScheduler`).
@@ -82,14 +110,29 @@ class Server:
         Fan-out threads per batch: how many shards execute concurrently.
         Results are bit-identical for any value.
     recovery:
-        :class:`~repro.faults.RecoveryPolicy` applied inside every shard's
-        executor (default: the standard policy).
+        :class:`~repro.faults.RecoveryPolicy` applied inside every
+        replica's executor (default: the standard policy).
     fault_injectors:
-        Optional ``{shard_id: FaultInjector}`` — deterministic fault
-        schedules replayed into individual shards.
+        Optional ``{(shard_id, replica_id): FaultInjector}`` —
+        deterministic fault schedules replayed into individual replicas.
+        A bare ``shard_id`` key targets replica 0 (the pre-replication
+        form).
     max_shard_resumes:
-        Watermark resumes the server attempts per shard per batch before
-        declaring the shard failed and degrading to a partial result.
+        Watermark resumes the server attempts per replica per batch
+        before marking the replica unhealthy and failing the shard over
+        to a live sibling. With every sibling dead, the shard fails and
+        the batch degrades to a partial result.
+    admission:
+        Optional :class:`~repro.serve.AdmissionController` gating
+        :meth:`submit` (queue depth, forming-batch age, token-bucket row
+        rate). Refusals raise :class:`~repro.errors.AdmissionRejected`.
+    backpressure:
+        Optional :class:`~repro.serve.BackpressureController`; its shed
+        ladder runs *before* the admission gate and may also degrade an
+        admitted request to a smaller k.
+    probe_backoff_ms, probe_success_rate, probe_seed:
+        Health-probe knobs for unhealthy replicas (see
+        :class:`~repro.serve.ReplicaRouter`).
     trace:
         ``None`` | path | :class:`~repro.obs.Tracer` — records
         ``serve.batch`` → ``serve.request`` / ``shard[i]`` →
@@ -103,8 +146,13 @@ class Server:
     def __init__(self, index: ShardedIndex, *, max_batch_rows: int = 128,
                  max_wait_ms: float = 2.0, n_workers: int = 1,
                  recovery: Optional[RecoveryPolicy] = None,
-                 fault_injectors: Optional[Dict[int, FaultInjector]] = None,
-                 max_shard_resumes: int = 2, trace=None, metrics=None):
+                 fault_injectors: Optional[Dict] = None,
+                 max_shard_resumes: int = 2,
+                 admission: Optional[AdmissionController] = None,
+                 backpressure: Optional[BackpressureController] = None,
+                 probe_backoff_ms: float = 50.0,
+                 probe_success_rate: float = 1.0, probe_seed: int = 0,
+                 trace=None, metrics=None):
         if n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {n_workers}")
         if max_shard_resumes < 0:
@@ -114,8 +162,19 @@ class Server:
                                         max_wait_ms=max_wait_ms)
         self.n_workers = int(n_workers)
         self.recovery = recovery if recovery is not None else RecoveryPolicy()
-        self.fault_injectors = dict(fault_injectors or {})
+        self.fault_injectors: Dict[Tuple[int, int], FaultInjector] = {}
+        for key, injector in (fault_injectors or {}).items():
+            if isinstance(key, tuple):
+                self.fault_injectors[(int(key[0]), int(key[1]))] = injector
+            else:
+                self.fault_injectors[(int(key), 0)] = injector
         self.max_shard_resumes = int(max_shard_resumes)
+        self.admission = admission
+        self.backpressure = backpressure
+        self.router = ReplicaRouter(
+            n_shards=index.n_shards, n_replicas=index.n_replicas,
+            probe_backoff_ms=probe_backoff_ms,
+            probe_success_rate=probe_success_rate, probe_seed=probe_seed)
         self.tracer, self._trace_path = resolve_trace(trace)
         if self.tracer is None:
             self.tracer = NULL_TRACER
@@ -123,31 +182,40 @@ class Server:
         #: every executed batch / resolved request, in execution order
         self.batch_reports: List[BatchReport] = []
         self.request_reports: List[RequestReport] = []
+        #: every refused submission (admission gate or shed ladder)
+        self.shed_reports: List[ShedReport] = []
         self._lock = threading.RLock()
         self._pending: Dict[int, ServeFuture] = {}
         self._resolved: List[ServeFuture] = []
         self._next_request_id = 0
         self._now_ms = 0.0
-        #: simulated time at which the shard devices become free
-        self._device_free_ms = 0.0
 
     # ------------------------------------------------------------------
     # admission
     # ------------------------------------------------------------------
     def submit(self, queries, n_neighbors: int = 5, *,
                arrival_ms: Optional[float] = None,
-               deadline_ms: Optional[float] = None) -> ServeFuture:
+               deadline_ms: Optional[float] = None,
+               priority: int = 0) -> ServeFuture:
         """Admit one query block; returns a future resolved at batch time.
 
         ``arrival_ms`` places the request on the simulated clock (must be
         non-decreasing across submissions; default: the current simulated
         time). ``deadline_ms`` is an absolute completion deadline —
-        advisory: late results are still delivered, flagged
-        ``deadline_missed``.
+        advisory once admitted (late results are still delivered, flagged
+        ``deadline_missed``), but a deadline already past at arrival is
+        rejected with :class:`~repro.errors.InvalidDeadlineError`.
+        ``priority`` is the request's class, lower = more important; the
+        shed ladder refuses or degrades higher-numbered classes first,
+        raising :class:`~repro.errors.AdmissionRejected` for refusals.
         """
         if n_neighbors <= 0:
             raise ValueError(
                 f"n_neighbors must be positive, got {n_neighbors!r}")
+        if priority < 0:
+            raise ValueError(
+                f"priority must be non-negative (0 = top priority), got "
+                f"{priority!r}")
         with self._lock:
             prepared = self.index.prepare_queries(queries)
             if prepared.n_rows == 0:
@@ -159,17 +227,50 @@ class Server:
                 raise ValueError(
                     f"arrival_ms={arrival_ms} is before the simulated "
                     f"clock ({self._now_ms}ms); time is monotone")
+            if deadline_ms is not None and float(deadline_ms) <= arrival_ms:
+                raise InvalidDeadlineError(
+                    f"deadline_ms={float(deadline_ms)} is not after "
+                    f"arrival_ms={arrival_ms}; the deadline was already "
+                    f"past when the request arrived",
+                    arrival_ms=arrival_ms, deadline_ms=float(deadline_ms))
             self._now_ms = arrival_ms
             self._next_request_id += 1
             request = ServeRequest(
                 request_id=self._next_request_id, queries=prepared,
                 n_neighbors=int(n_neighbors), n_rows=prepared.n_rows,
-                arrival_ms=arrival_ms, deadline_ms=deadline_ms)
-            future = ServeFuture(request)
-            self._pending[request.request_id] = future
+                arrival_ms=arrival_ms, deadline_ms=deadline_ms,
+                priority=int(priority), requested_k=int(n_neighbors))
             self.metrics.counter(
                 "serve_requests_total",
-                "query blocks admitted by the server").inc()
+                "query blocks submitted to the server").inc()
+            self.metrics.counter(
+                "serve_priority_requests_total",
+                "submissions by priority class").inc(
+                    priority=str(request.priority))
+
+            if self.backpressure is not None:
+                self.backpressure.tick(arrival_ms)
+                shed_reason = self.backpressure.decide(request)
+                if shed_reason is not None:
+                    self._refuse(request, kind="shed", reason=shed_reason,
+                                 shed_level=self.backpressure.level)
+            if self.admission is not None:
+                gate_reason = self.admission.check(request, self.scheduler)
+                if gate_reason is not None:
+                    self._refuse(request, kind="rejected",
+                                 reason=gate_reason)
+            if self.backpressure is not None:
+                clamped_k = self.backpressure.degraded_k(request)
+                if clamped_k is not None:
+                    request = replace(request, n_neighbors=clamped_k,
+                                      degraded=True)
+                    self.metrics.counter(
+                        "serve_degraded_total",
+                        "admitted requests degraded to a smaller k").inc(
+                            priority=str(request.priority))
+
+            future = ServeFuture(request)
+            self._pending[request.request_id] = future
             for batch in self.scheduler.offer(request):
                 self._execute_batch(batch)
             self.metrics.gauge(
@@ -177,6 +278,40 @@ class Server:
                 "requests waiting in the forming batch").set(
                     self.scheduler.queue_depth)
         return future
+
+    def _refuse(self, request: ServeRequest, *, kind: str, reason: str,
+                shed_level: int = 0) -> None:
+        """Record one refusal (ledger + counters + span) and raise."""
+        self.shed_reports.append(ShedReport(
+            submission_id=request.request_id,
+            arrival_ms=request.arrival_ms, priority=request.priority,
+            n_rows=request.n_rows, kind=kind, reason=reason,
+            shed_level=shed_level))
+        if kind == "shed":
+            self.metrics.counter(
+                "serve_shed_total",
+                "submissions refused by the backpressure shed ladder").inc(
+                    priority=str(request.priority), reason=reason)
+        else:
+            self.metrics.counter(
+                "serve_rejected_total",
+                "submissions refused by the admission gate").inc(
+                    priority=str(request.priority), reason=reason)
+        if self.tracer.enabled:
+            with self.tracer.span(f"serve.{kind}", "serve",
+                                  submission_id=request.request_id,
+                                  priority=request.priority,
+                                  n_rows=request.n_rows,
+                                  reason=reason) as span:
+                if shed_level:
+                    span.annotate(shed_level=shed_level)
+        raise AdmissionRejected(
+            f"submission {request.request_id} (priority "
+            f"{request.priority}, {request.n_rows} rows) refused at "
+            f"{request.arrival_ms}ms: {reason}",
+            reason=reason, priority=request.priority,
+            arrival_ms=request.arrival_ms,
+            queue_depth=self.scheduler.queue_depth)
 
     def kneighbors_async(self, x, n_neighbors: int = 5,
                          **kwargs) -> ServeFuture:
@@ -197,7 +332,8 @@ class Server:
                 self._execute_batch(batch)
             self.metrics.gauge(
                 "serve_queue_depth",
-                "requests waiting in the forming batch").set(0)
+                "requests waiting in the forming batch").set(
+                    self.scheduler.queue_depth)
             if self._trace_path is not None:
                 write_chrome_trace(self.tracer, self._trace_path)
             return [f._result for f in self._resolved
@@ -227,17 +363,23 @@ class Server:
                                  close_reason=batch.close_reason)
                 if self.tracer.enabled else NULL_SPAN)
         with span:
-            shard_reports, parts = self._fan_out(queries, k, span)
+            shard_reports, parts, replicas = self._fan_out(
+                queries, k, batch.dispatch_ms, span)
 
             failed = tuple(r.shard_id for r in shard_reports if r.failed)
-            start_ms = max(batch.dispatch_ms, self._device_free_ms)
+            start_ms = max([batch.dispatch_ms]
+                           + [r.free_ms for r in replicas])
             service_s = max(
                 (r.simulated_seconds for r in shard_reports if not r.failed),
                 default=0.0)
             completion_ms = start_ms + service_s * 1e3
-            self._device_free_ms = completion_ms
+            for state in replicas:
+                self.router.occupy(state, completion_ms)
             span.set_sim_seconds(service_s)
             span.annotate(failed_shards=list(failed))
+            if any(r.n_failovers for r in shard_reports):
+                span.annotate(n_failovers=sum(r.n_failovers
+                                              for r in shard_reports))
 
             report = BatchReport(
                 batch_id=batch.batch_id,
@@ -258,38 +400,56 @@ class Server:
                                     for e in r.fault_log))
                 self._resolve_requests(batch, report, span,
                                        error=error)
-                return
+            else:
+                distances, indices = ShardedIndex.merge_shard_topk(
+                    parts, queries.n_rows, k)
+                self._resolve_requests(batch, report, span,
+                                       distances=distances, indices=indices)
+            # Completion-time burn rates feed the shed ladder for the
+            # next arrivals (the controller tolerates ticks that lag the
+            # monitor's clock).
+            if self.backpressure is not None:
+                self.backpressure.tick(completion_ms)
 
-            distances, indices = ShardedIndex.merge_shard_topk(
-                parts, queries.n_rows, k)
-            self._resolve_requests(batch, report, span,
-                                   distances=distances, indices=indices)
-
-    def _fan_out(self, queries: PreparedOperand, k: int, batch_span,
+    def _fan_out(self, queries: PreparedOperand, k: int,
+                 dispatch_ms: float, batch_span,
                  ) -> Tuple[List[ShardReport],
-                            List[Tuple[np.ndarray, np.ndarray]]]:
-        """Run every shard (possibly concurrently); collect reports +
-        ``(distances, global_indices)`` for the surviving shards."""
+                            List[Tuple[np.ndarray, np.ndarray]],
+                            List[ReplicaState]]:
+        """Run every shard (possibly concurrently); collect reports,
+        ``(distances, global_indices)`` for the surviving shards, and the
+        replica each surviving shard ran on."""
         n_shards = self.index.n_shards
         if self.n_workers > 1 and n_shards > 1:
             with ThreadPoolExecutor(
                     max_workers=min(self.n_workers, n_shards)) as pool:
                 futures = [pool.submit(self._run_shard, i, queries, k,
-                                       batch_span)
+                                       dispatch_ms, batch_span)
                            for i in range(n_shards)]
                 outcomes = [f.result() for f in futures]
         else:
-            outcomes = [self._run_shard(i, queries, k, batch_span)
+            outcomes = [self._run_shard(i, queries, k, dispatch_ms,
+                                        batch_span)
                         for i in range(n_shards)]
-        reports = [rep for rep, _ in outcomes]
-        parts = [part for _, part in outcomes if part is not None]
-        return reports, parts
+        reports = [rep for rep, _, _ in outcomes]
+        parts = [part for _, part, _ in outcomes if part is not None]
+        replicas = [state for _, _, state in outcomes if state is not None]
+        return reports, parts, replicas
 
     def _run_shard(self, shard_id: int, queries: PreparedOperand, k: int,
-                   batch_span,
+                   dispatch_ms: float, batch_span,
                    ) -> Tuple[ShardReport,
-                              Optional[Tuple[np.ndarray, np.ndarray]]]:
-        """One shard's plan, with watermark resume on unabsorbed faults."""
+                              Optional[Tuple[np.ndarray, np.ndarray]],
+                              Optional[ReplicaState]]:
+        """One shard's plan across its replica pool.
+
+        Watermark-resume on unabsorbed faults; when a replica exhausts
+        its resume ladder it is marked unhealthy and the *same consumer*
+        resumes from the *same watermark* on the next live sibling —
+        replicas are bit-identical, so the merged top-k cannot tell a
+        failover happened. Returns a failed report only when the pool is
+        empty.
+        """
         shard = self.index.shards[shard_id]
         span = (self.tracer.span(f"shard[{shard_id}]", "serve",
                                  parent=batch_span, shard_id=shard_id,
@@ -298,59 +458,112 @@ class Server:
         with span:
             plan = self.index.shard_plan(shard_id, queries)
             consumer = TopKConsumer(min(k, shard.n_rows))
-            injector = self.fault_injectors.get(shard_id)
             fault_log: list = []
-            resumes = 0
+            failed_replicas: list = []
+            total_resumes = 0
             resume_from = 0
-            report = None
-            while report is None:
-                # Escalate the retry budget on every resume: the executor
-                # gave up under the base policy, so replaying the same
-                # budget from the watermark could fail identically forever.
-                recovery = (self.recovery if resumes == 0 else
-                            replace(self.recovery,
-                                    max_retries=(self.recovery.max_retries
-                                                 + resumes)))
-                executor = PlanExecutor(
-                    plan, recovery=recovery, fault_injector=injector,
-                    tracer=self.tracer, metrics=self.metrics)
-                try:
-                    report = executor.execute(consumer,
-                                              resume_from=resume_from)
-                except ExecutionFaultError as err:
-                    fault_log.extend(err.fault_log)
-                    span.event("shard.fault", "fault",
-                               watermark=err.watermark,
-                               error=type(err.cause).__name__
-                               if err.cause else "ExecutionFaultError")
-                    if resumes >= self.max_shard_resumes:
-                        self.metrics.counter(
-                            "serve_shard_failures_total",
-                            "shards dropped after exhausting resumes",
-                        ).inc()
-                        span.annotate(failed=True, n_resumes=resumes)
-                        return ShardReport(
-                            shard_id=shard_id, simulated_seconds=0.0,
-                            n_tiles=plan.n_tiles, n_resumes=resumes,
-                            failed=True,
-                            fault_log=tuple(fault_log)), None
-                    resumes += 1
-                    resume_from = err.watermark
+            while True:
+                self.router.run_probes(shard_id, dispatch_ms)
+                state = self.router.pick(shard_id, dispatch_ms)
+                if state is None:
                     self.metrics.counter(
-                        "serve_shard_resumes_total",
-                        "watermark resumes after unabsorbed faults").inc()
+                        "serve_shard_failures_total",
+                        "shards dropped with every replica dead").inc()
+                    span.annotate(failed=True, n_resumes=total_resumes,
+                                  failed_replicas=list(failed_replicas))
+                    return ShardReport(
+                        shard_id=shard_id, simulated_seconds=0.0,
+                        n_tiles=plan.n_tiles, n_resumes=total_resumes,
+                        failed=True, fault_log=tuple(fault_log),
+                        replica_id=-1,
+                        failed_replicas=tuple(failed_replicas)), None, None
+                injector = self.fault_injectors.get(
+                    (shard_id, state.replica_id))
+                outcome = self._run_replica(
+                    plan, consumer, injector, resume_from, span)
+                if isinstance(outcome, _ReplicaFailure):
+                    fault_log.extend(outcome.fault_log)
+                    total_resumes += outcome.n_resumes
+                    resume_from = outcome.watermark
+                    self.router.mark_unhealthy(state, dispatch_ms)
+                    failed_replicas.append(state.replica_id)
+                    self.metrics.counter(
+                        "serve_replica_failures_total",
+                        "replicas marked unhealthy after exhausting "
+                        "their resume ladder").inc()
+                    span.event("shard.failover", "fault",
+                               replica_id=state.replica_id,
+                               watermark=resume_from)
+                    continue
+                report, n_resumes = outcome
+                fault_log.extend(report.fault_log)
+                total_resumes += n_resumes
+                span.set_sim_seconds(report.simulated_seconds)
+                span.annotate(n_tiles=report.n_tiles,
+                              n_resumes=total_resumes,
+                              replica_id=state.replica_id)
+                if failed_replicas:
+                    self.metrics.counter(
+                        "serve_failovers_total",
+                        "shards completed on a sibling after replica "
+                        "failure").inc()
+                distances, local_idx = report.value
+                shard_report = ShardReport(
+                    shard_id=shard_id,
+                    simulated_seconds=report.simulated_seconds,
+                    n_tiles=report.n_tiles, n_retries=report.n_retries,
+                    n_tile_splits=report.n_tile_splits,
+                    n_resumes=total_resumes, failed=False,
+                    fault_log=tuple(fault_log),
+                    replica_id=state.replica_id,
+                    failed_replicas=tuple(failed_replicas))
+                return (shard_report,
+                        (distances, shard.global_ids[local_idx]), state)
 
-            fault_log.extend(report.fault_log)
-            span.set_sim_seconds(report.simulated_seconds)
-            span.annotate(n_tiles=report.n_tiles, n_resumes=resumes)
-            distances, local_idx = report.value
-            shard_report = ShardReport(
-                shard_id=shard_id,
-                simulated_seconds=report.simulated_seconds,
-                n_tiles=report.n_tiles, n_retries=report.n_retries,
-                n_tile_splits=report.n_tile_splits, n_resumes=resumes,
-                failed=False, fault_log=tuple(fault_log))
-            return shard_report, (distances, shard.global_ids[local_idx])
+    def _run_replica(self, plan, consumer, injector, resume_from: int,
+                     span):
+        """Execute one replica with the escalating resume ladder.
+
+        Returns ``(PlanExecutionReport, n_resumes)`` on success or a
+        :class:`_ReplicaFailure` once ``max_shard_resumes`` watermark
+        resumes have been exhausted on this replica.
+        """
+        fault_log: list = []
+        resumes = 0
+        while True:
+            # Escalate the retry budget on every resume: the executor
+            # gave up under the base policy, so replaying the same
+            # budget from the watermark could fail identically forever.
+            recovery = (self.recovery if resumes == 0 else
+                        replace(self.recovery,
+                                max_retries=(self.recovery.max_retries
+                                             + resumes)))
+            executor = PlanExecutor(
+                plan, recovery=recovery, fault_injector=injector,
+                tracer=self.tracer, metrics=self.metrics)
+            try:
+                report = executor.execute(consumer,
+                                          resume_from=resume_from)
+            except ExecutionFaultError as err:
+                fault_log.extend(err.fault_log)
+                resume_from = max(resume_from, err.watermark)
+                span.event("shard.fault", "fault",
+                           watermark=err.watermark,
+                           error=type(err.cause).__name__
+                           if err.cause else "ExecutionFaultError")
+                if resumes >= self.max_shard_resumes:
+                    return _ReplicaFailure(
+                        watermark=resume_from, n_resumes=resumes,
+                        fault_log=tuple(fault_log))
+                resumes += 1
+                self.metrics.counter(
+                    "serve_shard_resumes_total",
+                    "watermark resumes after unabsorbed faults").inc()
+                continue
+            if fault_log:
+                report = replace(
+                    report, fault_log=tuple(fault_log) + report.fault_log)
+            return report, resumes
 
     # ------------------------------------------------------------------
     # resolution + accounting
@@ -364,7 +577,9 @@ class Server:
                 request_id=request.request_id,
                 arrival_ms=request.arrival_ms,
                 completion_ms=report.completion_ms,
-                batch=report, deadline_ms=request.deadline_ms)
+                batch=report, deadline_ms=request.deadline_ms,
+                priority=request.priority, degraded=request.degraded,
+                requested_k=request.requested_k)
             self.request_reports.append(req_report)
             self._record_request_metrics(req_report)
             if self.tracer.enabled:
@@ -372,12 +587,16 @@ class Server:
                         "serve.request", "serve", parent=batch_span,
                         request_id=request.request_id,
                         n_rows=request.n_rows,
-                        k=request.n_neighbors) as req_span:
+                        k=request.n_neighbors,
+                        priority=request.priority) as req_span:
                     req_span.set_sim_seconds(req_report.latency_ms / 1e3)
                     if req_report.deadline_missed:
                         req_span.annotate(deadline_missed=True)
                     if req_report.partial:
                         req_span.annotate(partial=True)
+                    if request.degraded:
+                        req_span.annotate(degraded=True,
+                                          requested_k=request.requested_k)
 
             future = self._pending.pop(request.request_id)
             if error is not None:
@@ -419,6 +638,10 @@ class Server:
         m.histogram("serve_latency_ms",
                     "simulated request latency (arrival to completion)",
                     buckets=LATENCY_BUCKETS_MS).observe(report.latency_ms)
+        m.histogram("serve_priority_latency_ms",
+                    "simulated request latency by priority class",
+                    buckets=LATENCY_BUCKETS_MS).observe(
+                        report.latency_ms, priority=str(report.priority))
         m.histogram("serve_queue_wait_ms",
                     "simulated wait before the batch started",
                     buckets=LATENCY_BUCKETS_MS).observe(report.queue_wait_ms)
@@ -428,6 +651,23 @@ class Server:
         if report.deadline_missed:
             m.counter("serve_deadline_missed_total",
                       "requests completed after their deadline").inc()
+            m.counter("serve_priority_deadline_missed_total",
+                      "deadline misses by priority class").inc(
+                          priority=str(report.priority))
+
+
+class _ReplicaFailure:
+    """A replica exhausted its resume ladder; carries the watermark the
+    sibling should resume from and the fault log accrued so far."""
+
+    __slots__ = ("watermark", "n_resumes", "fault_log")
+
+    def __init__(self, *, watermark: int, n_resumes: int,
+                 fault_log: tuple):
+        self.watermark = watermark
+        self.n_resumes = n_resumes
+        self.fault_log = fault_log
+
 
 def _stack_queries(blocks: List[PreparedOperand]) -> PreparedOperand:
     """Vertically stack prepared query blocks (values + norms)."""

@@ -105,9 +105,13 @@ class ShardedIndex:
 
     def __init__(self, shards: Sequence[Shard], measure: DistanceMeasure,
                  *, engine: str, placement: str, batch_rows: int = 4096,
-                 memory_budget_bytes: Optional[int] = None):
+                 memory_budget_bytes: Optional[int] = None,
+                 n_replicas: int = 1):
         if not shards:
             raise ValueError("a ShardedIndex needs at least one shard")
+        if n_replicas <= 0:
+            raise ValueError(
+                f"n_replicas must be positive, got {n_replicas}")
         if placement not in PLACEMENTS:
             raise ValueError(f"unknown placement {placement!r}; expected "
                              f"one of {PLACEMENTS}")
@@ -122,6 +126,10 @@ class ShardedIndex:
         self.placement = placement
         self.batch_rows = int(batch_rows)
         self.memory_budget_bytes = memory_budget_bytes
+        #: sibling copies of every shard available to the serving layer;
+        #: replicas hold bit-identical prepared operands, so this is pure
+        #: routing capacity, not extra state
+        self.n_replicas = int(n_replicas)
         self._n_rows = int(sum(s.n_rows for s in self.shards))
         self._n_cols = self.shards[0].operand.n_cols
 
@@ -131,14 +139,17 @@ class ShardedIndex:
               metric_params: Optional[dict] = None, n_shards: int = 2,
               placement: str = "contiguous", engine: str = "hybrid_coo",
               devices=None, batch_rows: int = 4096,
-              memory_budget_bytes: Optional[int] = None) -> "ShardedIndex":
+              memory_budget_bytes: Optional[int] = None,
+              n_replicas: int = 1) -> "ShardedIndex":
         """Prepare ``x`` once and partition its rows across ``n_shards``.
 
         ``placement="contiguous"`` cuts near-equal row bands;
         ``"degree_balanced"`` assigns rows greedily so each shard carries a
         near-equal nnz load (Figure 1's skewed degree distributions make
         this the production choice). ``devices`` is one spec/name for all
-        shards or a per-shard list.
+        shards or a per-shard list. ``n_replicas`` declares how many
+        sibling copies of each shard the serving layer may route to (the
+        :class:`~repro.serve.Server` fails over between them).
         """
         if n_shards <= 0:
             raise ValueError(f"n_shards must be positive, got {n_shards}")
@@ -171,7 +182,8 @@ class ShardedIndex:
         ]
         return cls(shards, measure, engine=engine, placement=placement,
                    batch_rows=batch_rows,
-                   memory_budget_bytes=memory_budget_bytes)
+                   memory_budget_bytes=memory_budget_bytes,
+                   n_replicas=n_replicas)
 
     # ------------------------------------------------------------------
     @property
@@ -307,6 +319,7 @@ class ShardedIndex:
             "batch_rows": self.batch_rows,
             "memory_budget_bytes": self.memory_budget_bytes,
             "n_shards": self.n_shards,
+            "n_replicas": self.n_replicas,
             "n_rows": self.n_rows,
             "n_cols": self.n_cols,
             "devices": [s.device.name for s in self.shards],
@@ -380,7 +393,8 @@ class ShardedIndex:
         return cls(shards, measure, engine=meta["engine"],
                    placement=meta["placement"],
                    batch_rows=int(meta["batch_rows"]),
-                   memory_budget_bytes=meta["memory_budget_bytes"])
+                   memory_budget_bytes=meta["memory_budget_bytes"],
+                   n_replicas=int(meta.get("n_replicas", 1)))
 
 
 def _restack_operand(shards: Sequence[Shard]) -> PreparedOperand:

@@ -1,0 +1,152 @@
+"""Admission gates: queue depth, forming-batch age, token bucket."""
+
+import pytest
+
+from repro.serve import (
+    AdmissionController,
+    AdmissionRejected,
+    QueryScheduler,
+    ServeRequest,
+    Server,
+    ShardedIndex,
+    TokenBucket,
+)
+from repro.testing import DEFAULT_SEED, random_csr, seeded_rng, skewed_csr
+
+K = 6
+
+
+@pytest.fixture
+def corpus():
+    return skewed_csr(80, 30, seed=DEFAULT_SEED, scale=6, floor=1, cap=25)
+
+
+@pytest.fixture
+def queries():
+    return random_csr(seeded_rng(DEFAULT_SEED + 1), 12, 30, 0.3)
+
+
+def req(rid, n_rows, arrival_ms, priority=0):
+    return ServeRequest(request_id=rid, queries=None, n_neighbors=K,
+                       n_rows=n_rows, arrival_ms=arrival_ms,
+                       priority=priority)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_refills_continuously(self):
+        bucket = TokenBucket(rate_rows_per_s=1000.0, burst_rows=10.0)
+        assert bucket.available(0.0) == 10.0
+        assert bucket.try_take(10.0, 0.0)
+        assert not bucket.try_take(1.0, 0.0)
+        # 1000 rows/s = 1 row per simulated ms
+        assert bucket.available(2.5) == pytest.approx(2.5)
+        assert bucket.try_take(2.0, 2.5)
+        assert bucket.available(2.5) == pytest.approx(0.5)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate_rows_per_s=1000.0, burst_rows=4.0)
+        bucket.try_take(4.0, 0.0)
+        assert bucket.available(1e6) == 4.0
+
+    def test_denied_take_leaves_tokens(self):
+        bucket = TokenBucket(rate_rows_per_s=1000.0, burst_rows=4.0)
+        assert not bucket.try_take(5.0, 0.0)
+        assert bucket.available(0.0) == 4.0
+
+    def test_clock_never_rewinds_tokens(self):
+        bucket = TokenBucket(rate_rows_per_s=1000.0, burst_rows=10.0)
+        bucket.try_take(8.0, 5.0)
+        # an out-of-order read at an earlier instant must not refill
+        assert bucket.available(1.0) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate_rows_per_s"):
+            TokenBucket(rate_rows_per_s=0.0, burst_rows=1.0)
+        with pytest.raises(ValueError, match="burst_rows"):
+            TokenBucket(rate_rows_per_s=1.0, burst_rows=0.0)
+
+
+class TestAdmissionController:
+    def test_queue_depth_gate(self):
+        scheduler = QueryScheduler(max_batch_rows=100, max_wait_ms=50.0)
+        ctl = AdmissionController(max_queue_depth=2)
+        for i in range(2):
+            assert ctl.check(req(i, 1, float(i)), scheduler) is None
+            scheduler.offer(req(i, 1, float(i)))
+        assert ctl.check(req(2, 1, 2.0), scheduler) == "queue_depth"
+
+    def test_batch_age_gate(self):
+        scheduler = QueryScheduler(max_batch_rows=100, max_wait_ms=50.0)
+        ctl = AdmissionController(max_batch_age_ms=5.0)
+        scheduler.offer(req(0, 1, 0.0))
+        assert ctl.check(req(1, 1, 5.0), scheduler) is None
+        assert ctl.check(req(2, 1, 5.1), scheduler) == "batch_age"
+        # empty forming batch: no age to exceed
+        scheduler.flush(6.0)
+        assert ctl.check(req(3, 1, 100.0), scheduler) is None
+
+    def test_rate_gate_not_debited_on_depth_reject(self):
+        scheduler = QueryScheduler(max_batch_rows=100, max_wait_ms=50.0)
+        ctl = AdmissionController(max_queue_depth=1,
+                                  rate_rows_per_s=1000.0, burst_rows=4.0)
+        scheduler.offer(req(0, 1, 0.0))
+        # depth-rejected twice: the bucket must still hold its 4 rows
+        assert ctl.check(req(1, 4, 0.0), scheduler) == "queue_depth"
+        assert ctl.check(req(2, 4, 0.0), scheduler) == "queue_depth"
+        assert ctl.bucket.available(0.0) == 4.0
+        scheduler.flush(1.0)
+        assert ctl.check(req(3, 4, 1.0), scheduler) is None
+        assert ctl.check(req(4, 4, 1.0), scheduler) == "rate"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_queue_depth"):
+            AdmissionController(max_queue_depth=0)
+        with pytest.raises(ValueError, match="set together"):
+            AdmissionController(rate_rows_per_s=10.0)
+        with pytest.raises(ValueError, match="max_batch_age_ms"):
+            AdmissionController(max_batch_age_ms=-1.0)
+
+
+class TestServerIntegration:
+    def test_rejection_is_structured_and_ledgered(self, corpus, queries):
+        from repro.obs import MetricsRegistry
+
+        index = ShardedIndex.build(corpus, n_shards=2)
+        metrics = MetricsRegistry()
+        server = Server(index, max_batch_rows=100, max_wait_ms=100.0,
+                        admission=AdmissionController(max_queue_depth=2),
+                        metrics=metrics)
+        server.submit(queries.slice_rows(0, 1), K, arrival_ms=0.0)
+        server.submit(queries.slice_rows(1, 2), K, arrival_ms=1.0,
+                      priority=1)
+        with pytest.raises(AdmissionRejected) as exc_info:
+            server.submit(queries.slice_rows(2, 3), K, arrival_ms=2.0,
+                          priority=2)
+        err = exc_info.value
+        assert err.reason == "queue_depth"
+        assert err.priority == 2
+        assert err.arrival_ms == 2.0
+        assert err.queue_depth == 2
+
+        assert len(server.shed_reports) == 1
+        shed = server.shed_reports[0]
+        assert shed.kind == "rejected" and shed.reason == "queue_depth"
+        assert shed.priority == 2 and shed.n_rows == 1
+        assert metrics.get("serve_rejected_total").value(
+            priority="2", reason="queue_depth") == 1
+        server.drain()
+        # ledger: every submission accounted for
+        assert (metrics.get("serve_requests_total").value()
+                == len(server.request_reports)
+                + len(server.shed_reports) == 3)
+
+    def test_rejected_request_rows_never_execute(self, corpus, queries):
+        index = ShardedIndex.build(corpus, n_shards=1)
+        server = Server(index, max_batch_rows=100, max_wait_ms=100.0,
+                        admission=AdmissionController(
+                            rate_rows_per_s=1.0, burst_rows=4.0))
+        server.submit(queries.slice_rows(0, 4), K, arrival_ms=0.0)
+        with pytest.raises(AdmissionRejected, match="rate"):
+            server.submit(queries.slice_rows(4, 8), K, arrival_ms=0.1)
+        server.drain()
+        assert sum(b.n_rows for b in server.batch_reports) == 4

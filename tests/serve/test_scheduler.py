@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.serve import QueryScheduler, ServeRequest
+from repro.serve import QueryScheduler, ServeRequest, edf_order
 
 
 def req(rid, n_rows, arrival_ms, k=5):
@@ -101,3 +101,60 @@ class TestFormation:
             QueryScheduler(max_batch_rows=0)
         with pytest.raises(ValueError):
             QueryScheduler(max_wait_ms=-1.0)
+
+
+def preq(rid, arrival_ms=0.0, priority=0, deadline_ms=None):
+    return ServeRequest(request_id=rid, queries=None, n_neighbors=5,
+                        n_rows=1, arrival_ms=arrival_ms,
+                        priority=priority, deadline_ms=deadline_ms)
+
+
+class TestEdfOrdering:
+    def test_priority_dominates_deadline(self):
+        batch = edf_order([preq(1, priority=2, deadline_ms=1.0),
+                           preq(2, priority=0, deadline_ms=99.0),
+                           preq(3, priority=1, deadline_ms=5.0)])
+        assert [r.request_id for r in batch] == [2, 3, 1]
+
+    def test_earliest_deadline_within_priority(self):
+        batch = edf_order([preq(1, deadline_ms=30.0),
+                           preq(2, deadline_ms=10.0),
+                           preq(3, deadline_ms=20.0)])
+        assert [r.request_id for r in batch] == [2, 3, 1]
+
+    def test_deadline_less_requests_sort_last(self):
+        batch = edf_order([preq(1), preq(2, deadline_ms=1e9), preq(3)])
+        assert [r.request_id for r in batch] == [2, 1, 3]
+
+    def test_equal_deadlines_stable_by_request_id(self):
+        """The tie-break is the monotone request id, so equal
+        (priority, deadline) pairs keep admission order and the sort is
+        deterministic run to run."""
+        requests = [preq(rid, priority=1, deadline_ms=50.0)
+                    for rid in (7, 3, 5, 1)]
+        batch = edf_order(requests)
+        assert [r.request_id for r in batch] == [1, 3, 5, 7]
+        assert edf_order(reversed(requests)) == batch
+
+    def test_closed_batches_are_edf_ordered(self):
+        s = QueryScheduler(max_batch_rows=3, max_wait_ms=50.0)
+        s.offer(preq(0, arrival_ms=0.0, priority=2, deadline_ms=5.0))
+        s.offer(preq(1, arrival_ms=1.0, priority=0, deadline_ms=90.0))
+        (batch,) = s.offer(preq(2, arrival_ms=2.0, priority=0,
+                                deadline_ms=40.0))
+        assert [r.request_id for r in batch.requests] == [2, 1, 0]
+        assert batch.open_ms == 0.0
+
+
+class TestZeroWaitWindow:
+    def test_zero_wait_dispatches_each_arrival(self):
+        """``max_wait_ms=0`` never holds a request: every offer returns
+        its own immediately-dispatched batch stamped at arrival."""
+        s = QueryScheduler(max_batch_rows=100, max_wait_ms=0.0)
+        for i, arrival in enumerate((0.0, 0.5, 3.0)):
+            (batch,) = s.offer(req(i, 2, arrival))
+            assert batch.close_reason == "timeout"
+            assert batch.dispatch_ms == arrival
+            assert [r.request_id for r in batch.requests] == [i]
+        assert s.queue_depth == 0
+        assert s.flush() == []

@@ -297,3 +297,58 @@ class TestObservability:
         futures = submit_rows(server, queries)
         server.drain()
         assert all(f.result().distances.shape == (1, K) for f in futures)
+
+
+class TestDeadlineValidation:
+    def test_past_deadline_rejected_naming_both_timestamps(self, corpus,
+                                                           queries):
+        from repro.errors import InvalidDeadlineError
+
+        index = ShardedIndex.build(corpus, n_shards=2)
+        server = Server(index, max_batch_rows=64)
+        with pytest.raises(InvalidDeadlineError) as exc_info:
+            server.submit(queries.slice_rows(0, 1), K, arrival_ms=7.5,
+                          deadline_ms=7.5)
+        err = exc_info.value
+        assert err.arrival_ms == 7.5 and err.deadline_ms == 7.5
+        assert "7.5" in str(err)
+        # rejected before admission: nothing queued, nothing ledgered
+        assert server.scheduler.queue_depth == 0
+        assert server.shed_reports == []
+
+    def test_future_deadline_admitted(self, corpus, queries):
+        index = ShardedIndex.build(corpus, n_shards=2)
+        server = Server(index, max_batch_rows=64)
+        future = server.submit(queries.slice_rows(0, 1), K, arrival_ms=7.5,
+                               deadline_ms=7.6)
+        server.drain()
+        assert future.result().distances.shape == (1, K)
+
+
+class TestDrainSemantics:
+    def test_gauge_tracks_scheduler_state(self, corpus, queries):
+        """The queue-depth gauge mirrors the scheduler's actual state at
+        every transition, not a hard-coded zero on drain."""
+        metrics = MetricsRegistry()
+        index = ShardedIndex.build(corpus, n_shards=2)
+        server = Server(index, max_batch_rows=1000, max_wait_ms=1000.0,
+                        metrics=metrics)
+        for i in range(3):
+            server.submit(queries.slice_rows(i, i + 1), K,
+                          arrival_ms=float(i))
+            gauge = metrics.get("serve_queue_depth")
+            assert gauge.value() == server.scheduler.queue_depth == i + 1
+        server.drain()
+        assert gauge.value() == server.scheduler.queue_depth == 0
+
+    def test_repeated_drain_is_idempotent(self, corpus, queries):
+        index = ShardedIndex.build(corpus, n_shards=2)
+        server = Server(index, max_batch_rows=64)
+        futures = submit_rows(server, queries)
+        first = server.drain()
+        n_batches = len(server.batch_reports)
+        second = server.drain()
+        assert second == first
+        assert len(first) == len(futures)
+        assert len(server.batch_reports) == n_batches
+        assert server.scheduler.queue_depth == 0
