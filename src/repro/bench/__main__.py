@@ -28,6 +28,7 @@ from repro.bench.runner import (
     run_cpu_cell,
     run_fault_cell,
     run_knn_cell,
+    run_mutate_cell,
     run_plan_cell,
     run_serve_cell,
     run_slo_cell,
@@ -466,6 +467,68 @@ def report_ablation() -> Report:
         } for c in cells],
     }
     return Report(content, json_name="BENCH_ablation", json_payload=payload)
+
+
+@report("mutate")
+def report_mutate() -> Report:
+    """Mutable-index lifecycle: mutations, faults, rebalance, snapshots.
+
+    Replays seeded upsert/delete/compact schedules through
+    :class:`~repro.serve.MutableIndex` with a fresh-fit differential check
+    after every operation, then forces a mid-compaction fault (watermark
+    resume), a degree-drift rebalance, and a snapshot round-trip. The
+    contract locked into ``BENCH_mutate.json``: every check is
+    bit-identical and every simulated count/second is deterministic.
+    """
+    cells = []
+    rows = []
+    for seed in (0, 1, 2):
+        cell = run_mutate_cell(seed)
+        cells.append(cell)
+        rows.append([
+            str(cell.seed), str(cell.n_ops),
+            f"{cell.n_upserts}/{cell.n_deletes}",
+            str(cell.n_compactions), str(cell.generation_final),
+            str(cell.live_rows_final),
+            f"{cell.compaction_sim_seconds:.4f}",
+            f"{cell.imbalance_before_rebalance:.2f}"
+            f"->{cell.imbalance_after_rebalance:.2f}",
+            "yes" if cell.identity_ok else "NO",
+            "yes" if cell.resume_ok else "NO",
+            "yes" if cell.snapshot_roundtrip_ok else "NO",
+        ])
+        print(f"  ... seed={seed} done", file=sys.stderr)
+    content = render_table(
+        ["seed", "ops", "ups/dels", "compactions", "gen", "live rows",
+         "compact sim s", "imbalance", "bit-identical", "fault resume",
+         "snapshot"], rows,
+        title="Mutable index — seeded lifecycle replays vs fresh-fit "
+              "oracle (simulated time)")
+    payload = {
+        "metric": cells[0].metric,
+        "n_shards": cells[0].n_shards,
+        "cells": [{
+            "seed": c.seed,
+            "n_ops": c.n_ops,
+            "n_upserts": c.n_upserts,
+            "n_deletes": c.n_deletes,
+            "n_compactions": c.n_compactions,
+            "live_rows_final": c.live_rows_final,
+            "generation_final": c.generation_final,
+            "identity_ok": c.identity_ok,
+            "resume_ok": c.resume_ok,
+            "snapshot_roundtrip_ok": c.snapshot_roundtrip_ok,
+            "compaction_retries": c.compaction_retries,
+            "compaction_resumes": c.compaction_resumes,
+            "fault_aborts": c.fault_aborts,
+            "compaction_sim_seconds": c.compaction_sim_seconds,
+            "imbalance_before_rebalance": c.imbalance_before_rebalance,
+            "imbalance_after_rebalance": c.imbalance_after_rebalance,
+            "query_checks": c.query_checks,
+            "wall_seconds": c.wall_seconds,
+        } for c in cells],
+    }
+    return Report(content, json_name="BENCH_mutate", json_payload=payload)
 
 
 def main(argv=None) -> int:

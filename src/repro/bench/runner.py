@@ -34,11 +34,12 @@ from repro.plan.pairwise_plan import build_pairwise_plan
 from repro.plan.tiling import OUTPUT_ITEM_BYTES, WORKSPACE_ITEM_BYTES
 
 __all__ = ["BenchCell", "PlanCell", "FaultCell", "ServeCell", "SLOCell",
-           "BurstCell", "AblationCell", "run_knn_cell", "run_baseline_cell",
-           "run_plan_cell", "run_fault_cell", "run_serve_cell",
-           "run_slo_cell", "run_burst_cell", "run_ablation_cell",
-           "ablation_fixed_configs", "BENCH_SCALES", "bench_dataset",
-           "MINKOWSKI_P", "KNN_K", "CHAOS_SPECS"]
+           "BurstCell", "AblationCell", "MutateCell", "run_knn_cell",
+           "run_baseline_cell", "run_plan_cell", "run_fault_cell",
+           "run_serve_cell", "run_slo_cell", "run_burst_cell",
+           "run_ablation_cell", "run_mutate_cell", "ablation_fixed_configs",
+           "BENCH_SCALES", "bench_dataset", "MINKOWSKI_P", "KNN_K",
+           "CHAOS_SPECS"]
 
 #: Scales used by every benchmark (documented in EXPERIMENTS.md); chosen so
 #: the full Table-3 sweep completes in minutes on a laptop while preserving
@@ -756,3 +757,163 @@ def run_burst_cell(dataset: str = "movielens", metric: str = "cosine", *,
                           if a.objective == driver_objective),
         peak_shed_level=peak_level, refusals_by_reason=refusals,
         wall_seconds=wall)
+
+
+@dataclass
+class MutateCell:
+    """One mutable-index lifecycle replay: mutations, faults, rebalance,
+    snapshot round-trip — with every query checked against a fresh fit."""
+
+    seed: int
+    metric: str
+    n_shards: int
+    n_ops: int
+    n_upserts: int
+    n_deletes: int
+    n_compactions: int
+    live_rows_final: int
+    generation_final: int
+    #: every differential checkpoint was bit-identical to a fresh fit
+    identity_ok: bool
+    #: the forced mid-compaction fault aborted at the expected watermark
+    #: and the resumed compaction completed
+    resume_ok: bool
+    #: restore(snapshot(index)) served bit-identical answers
+    snapshot_roundtrip_ok: bool
+    compaction_retries: int
+    compaction_resumes: int
+    fault_aborts: int
+    compaction_sim_seconds: float
+    imbalance_before_rebalance: float
+    imbalance_after_rebalance: float
+    query_checks: int
+    wall_seconds: float
+
+    @property
+    def label(self) -> str:
+        return f"seed{self.seed}/shards{self.n_shards}"
+
+
+def run_mutate_cell(seed: int = 0, *, metric: str = "euclidean",
+                    n_shards: int = 3, n_ops: int = 24,
+                    n_neighbors: int = 6) -> MutateCell:
+    """Replay a seeded mutation schedule and the full lifecycle ladder.
+
+    Four phases, all on the simulated clock: (1) the random
+    upsert/delete/compact schedule with a fresh-fit differential check
+    after every op; (2) a forced mid-compaction fault
+    (:func:`~repro.faults.spec.fatal_specs` on shard 1) with watermark
+    resume; (3) a degree-drift rebalance; (4) a snapshot → restore
+    round-trip. Every reported number is deterministic in ``seed``.
+    """
+    import tempfile
+
+    from repro.errors import CompactionFaultError
+    from repro.faults.spec import fatal_specs
+    from repro.obs.metrics import MetricsRegistry
+    from repro.serve import MutableIndex
+    from repro.testing import (
+        MutationOp,
+        MutationOracle,
+        random_dense,
+        random_mutation_schedule,
+        seeded_rng,
+    )
+
+    n_cols = 16
+    initial, ops = random_mutation_schedule(
+        seed, n_ops=n_ops, n_cols=n_cols, id_pool=96, start_rows=48,
+        density=0.3, protected_rows=n_shards + 1)
+    oracle = MutationOracle(n_cols)
+    oracle.apply(MutationOp("upsert", tuple(range(initial.shape[0])),
+                            rows=initial))
+    metrics = MetricsRegistry()
+    index = MutableIndex.build(initial, metric=metric, n_shards=n_shards,
+                               compact_threshold_rows=10 ** 9,
+                               metrics=metrics)
+    queries = random_dense(seeded_rng(seed + 31337), 6, n_cols, 0.4)
+
+    identity_ok = True
+    query_checks = 0
+
+    def check() -> None:
+        nonlocal identity_ok, query_checks
+        got = index.kneighbors(queries, n_neighbors)
+        want = oracle.fresh_fit_kneighbors(queries, n_neighbors,
+                                           metric=metric)
+        identity_ok = (identity_ok and np.array_equal(got[0], want[0])
+                       and np.array_equal(got[1], want[1]))
+        query_checks += 1
+
+    start = time.perf_counter()
+    n_upserts = n_deletes = 0
+    for op in ops:
+        if op.kind == "upsert":
+            index.upsert(np.asarray(op.ids, dtype=np.int64), op.rows)
+            n_upserts += len(op.ids)
+        elif op.kind == "delete":
+            index.delete(np.asarray(op.ids, dtype=np.int64))
+            n_deletes += len(op.ids)
+        elif op.kind == "compact":
+            index.compact()
+        oracle.apply(op)
+        check()
+
+    # Phase 2: forced mid-compaction fault + watermark resume.
+    extra = random_dense(seeded_rng(seed + 7), 2, n_cols, 0.4)
+    index.upsert([200, 201], extra)
+    oracle.apply(MutationOp("upsert", (200, 201), rows=extra))
+    resume_ok = False
+    try:
+        index.compact(fault_injector=FaultInjector(
+            fatal_specs(tiles=1), seed=seed))
+    except CompactionFaultError as exc:
+        check()                             # serving survives the abort
+        report = index.compact()            # resume from the watermark
+        resume_ok = (exc.watermark == 1 and report.resumed
+                     and report.resumed_from_watermark == 1)
+    check()
+
+    # Phase 3: hollow out early rows, then rebalance the degree drift.
+    victims = [i for i in index.live_ids()[: index.n_rows // 3]
+               if i > n_shards][: index.n_rows // 4]
+    index.delete(np.asarray(victims, dtype=np.int64))
+    oracle.apply(MutationOp("delete", tuple(int(v) for v in victims)))
+    imbalance_before = index.imbalance()
+    index.rebalance()
+    imbalance_after = index.imbalance()
+    check()
+
+    # Phase 4: snapshot round-trip.
+    with tempfile.TemporaryDirectory() as td:
+        index.snapshot(td)
+        restored = MutableIndex.restore(td)
+        got = restored.kneighbors(queries, n_neighbors)
+        want = oracle.fresh_fit_kneighbors(queries, n_neighbors,
+                                           metric=metric)
+        snapshot_roundtrip_ok = (np.array_equal(got[0], want[0])
+                                 and np.array_equal(got[1], want[1]))
+    wall = time.perf_counter() - start
+
+    sim_seconds = sum(r.simulated_seconds
+                      for r in index.compaction_reports)
+    return MutateCell(
+        seed=seed, metric=metric, n_shards=n_shards, n_ops=len(ops),
+        n_upserts=n_upserts, n_deletes=n_deletes,
+        n_compactions=int(
+            metrics.counter("compaction_total").value(reason="manual")
+            + metrics.counter("compaction_total").value(reason="rebalance")),
+        live_rows_final=index.n_rows,
+        generation_final=index.generation,
+        identity_ok=identity_ok, resume_ok=resume_ok,
+        snapshot_roundtrip_ok=snapshot_roundtrip_ok,
+        compaction_retries=int(
+            metrics.counter("compaction_retries_total").value()),
+        compaction_resumes=int(
+            metrics.counter("compaction_resumes_total").value()),
+        fault_aborts=int(
+            metrics.counter("compaction_faults_total").value()),
+        compaction_sim_seconds=sim_seconds,
+        imbalance_before_rebalance=imbalance_before,
+        imbalance_after_rebalance=imbalance_after,
+        query_checks=query_checks, wall_seconds=wall)

@@ -46,6 +46,11 @@ NAMM = "namm"
 
 #: Tiny threshold under which a denominator is treated as exactly zero.
 _EPS = 1e-300
+# Relative degeneracy threshold for variance terms of the form k*q - s*s:
+# for (near-)constant vectors both terms are ~k^2*c^2 while the true variance
+# is 0, so the residual is pure rounding noise and must be compared against
+# the cancelled magnitude, not an absolute epsilon.
+_VAR_RTOL = 1e-9
 
 
 @dataclass(frozen=True)
@@ -151,18 +156,21 @@ def _expand_correlation(dot, na, nb, k):
     num = k * dot - sa * sb
     var_a = k * qa - sa * sa
     var_b = k * qb - sb * sb
+    deg_a = var_a <= _VAR_RTOL * (k * qa + sa * sa)
+    deg_b = var_b <= _VAR_RTOL * (k * qb + sb * sb)
     np.clip(var_a, 0.0, None, out=var_a)
     np.clip(var_b, 0.0, None, out=var_b)
     den = np.sqrt(var_a * var_b)
+    degenerate = deg_a | deg_b | (den <= _EPS)
     corr = np.zeros_like(dot)
-    np.divide(num, den, out=corr, where=den > _EPS)
+    np.divide(num, den, out=corr, where=~degenerate)
     out = 1.0 - corr
     # Zero-variance (constant) vectors have undefined correlation; the
     # covariance numerator is then 0 as well, so any rule keyed on the
     # expansion terms cannot tell x-vs-x from constant-vs-anything. We pick
     # d = 0 for every degenerate pair (d(x, x) = 0 must hold; correlation is
     # not a metric, so no other axiom is at stake). Documented convention.
-    out[den <= _EPS] = 0.0
+    out[degenerate] = 0.0
     np.clip(out, 0.0, 2.0, out=out)
     return out
 

@@ -27,6 +27,9 @@ from repro.errors import ShapeMismatchError, UnknownDistanceError
 __all__ = ["pairwise_reference", "reference_distance_names"]
 
 _EPS = 1e-300
+# Keep in lockstep with repro.core.distances._VAR_RTOL so engine and oracle
+# agree on which correlation pairs are degenerate.
+_VAR_RTOL = 1e-9
 
 
 def _dot(x, y, **kw):
@@ -67,15 +70,20 @@ def _correlation(x, y, **kw):
     qx, qy = np.sum(x * x, axis=1), np.sum(y * y, axis=1)
     dot = x @ y.T
     num = k * dot - sx[:, None] * sy[None, :]
-    var_x = np.clip(k * qx - sx * sx, 0.0, None)
-    var_y = np.clip(k * qy - sy * sy, 0.0, None)
+    raw_var_x = k * qx - sx * sx
+    raw_var_y = k * qy - sy * sy
+    deg_x = raw_var_x <= _VAR_RTOL * (k * qx + sx * sx)
+    deg_y = raw_var_y <= _VAR_RTOL * (k * qy + sy * sy)
+    var_x = np.clip(raw_var_x, 0.0, None)
+    var_y = np.clip(raw_var_y, 0.0, None)
     den = np.sqrt(var_x[:, None] * var_y[None, :])
+    degenerate = deg_x[:, None] | deg_y[None, :] | (den <= _EPS)
     corr = np.zeros_like(dot)
-    np.divide(num, den, out=corr, where=den > _EPS)
+    np.divide(num, den, out=corr, where=~degenerate)
     out = 1.0 - corr
     # degenerate (zero-variance) pairs: d = 0 by convention — see the
     # matching comment in repro.core.distances._expand_correlation.
-    out[den <= _EPS] = 0.0
+    out[degenerate] = 0.0
     return np.clip(out, 0.0, 2.0)
 
 

@@ -181,6 +181,28 @@ class ShardFailedError(ServeError):
         self.fault_log = tuple(fault_log)
 
 
+class CompactionFaultError(ServeError):
+    """A mutable-index compaction aborted on a fault its retry budget could
+    not absorb.
+
+    Structured for resumption, mirroring :class:`ExecutionFaultError`:
+    ``watermark`` is the number of new-generation shards fully built before
+    the abort. The pending compaction state is retained — serving continues
+    unchanged from the previous generation (base + sealed delta + memtable)
+    — and calling ``MutableIndex.compact()`` again resumes building from
+    the watermark. ``fault_log`` carries the
+    :class:`~repro.faults.FaultEvent` records observed up to and including
+    the fatal one.
+    """
+
+    def __init__(self, message: str, *, watermark: int = 0,
+                 fault_log: tuple = (), cause: "Exception | None" = None):
+        super().__init__(message)
+        self.watermark = int(watermark)
+        self.fault_log = tuple(fault_log)
+        self.cause = cause
+
+
 class ExecutionFaultError(ReproError):
     """A plan execution failed on a fault its recovery could not absorb.
 

@@ -13,7 +13,15 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-__all__ = ["select_topk", "TopKAccumulator"]
+__all__ = ["select_topk", "suppress_pairs", "TopKAccumulator",
+           "SUPPRESSED_ID"]
+
+#: Sentinel global id for suppressed candidates (tombstoned or superseded
+#: rows in a mutable index's older generations). Larger than any real row
+#: id the library accepts, so under the accumulator's ``(value, id)``
+#: lexicographic tie-break a masked entry — value forced to ``+inf`` —
+#: can never displace a real candidate.
+SUPPRESSED_ID = np.int64(2 ** 62)
 
 
 def select_topk(distances: np.ndarray, k: int,
@@ -54,6 +62,36 @@ def select_topk(distances: np.ndarray, k: int,
     idx = np.take_along_axis(part_idx, order, axis=1)
     val = np.take_along_axis(part_val, order, axis=1)
     return (val if ascending else -val), idx
+
+
+def suppress_pairs(values: np.ndarray, indices: np.ndarray,
+                   suppressed: np.ndarray,
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+    """Mask candidates whose global id is in ``suppressed``.
+
+    This is the cross-generation merge entry point of the mutable index: a
+    base shard selects its per-row top-k over *all* physical rows (with k
+    widened by the number of suppressed ids the shard owns), then every
+    candidate belonging to a tombstoned or superseded row is rewritten to
+    ``(+inf, SUPPRESSED_ID)``. The arrays stay rectangular, so
+    :meth:`TopKAccumulator.update_pairs` merges them unchanged, and the
+    sentinel sorts after every real candidate — bit-identity of the merged
+    result against a fresh fit of the live corpus follows from the same
+    ``(value, id)`` lexicographic order the frozen path uses.
+
+    Returns the inputs untouched (no copy) when nothing matches.
+    """
+    suppressed = np.asarray(suppressed, dtype=np.int64)
+    if suppressed.size == 0:
+        return values, indices
+    mask = np.isin(indices, suppressed)
+    if not mask.any():
+        return values, indices
+    values = np.array(values, dtype=np.float64, copy=True)
+    indices = np.array(indices, dtype=np.int64, copy=True)
+    values[mask] = np.inf
+    indices[mask] = SUPPRESSED_ID
+    return values, indices
 
 
 class TopKAccumulator:

@@ -27,7 +27,14 @@ package turns them into a *service* (see DESIGN.md §10 and §13):
   (reject low priority → degrade to smaller k → top priority only) over
   :class:`~repro.obs.SLOMonitor` on the simulated clock;
 - :func:`heavy_tailed_trace` — seeded bursty/diurnal arrival traces for
-  benches and chaos tests.
+  benches and chaos tests;
+- :class:`MutableIndex` — online ``upsert``/``delete`` over the frozen
+  base via an LSM-style memtable + sealed delta served as one extra
+  pseudo-shard, background compaction on the simulated clock with
+  watermark resume after faults, rolling versioned snapshots with
+  point-in-time :meth:`~MutableIndex.restore`, and degree-drift
+  :meth:`~MutableIndex.rebalance` — every answer bit-identical to a
+  fresh fit of the live corpus (DESIGN.md §14).
 
 Quick start::
 
@@ -43,6 +50,7 @@ Quick start::
 
 from repro.errors import (
     AdmissionRejected,
+    CompactionFaultError,
     InvalidDeadlineError,
     ServeError,
     ShardFailedError,
@@ -64,6 +72,11 @@ from repro.serve.request import (
     ShardReport,
     ShedReport,
 )
+from repro.serve.mutable import (
+    MUTABLE_SNAPSHOT_VERSION,
+    CompactionReport,
+    MutableIndex,
+)
 from repro.serve.scheduler import MicroBatch, QueryScheduler, edf_order
 from repro.serve.server import Server
 from repro.serve.sharding import PLACEMENTS, Shard, ShardedIndex
@@ -74,6 +87,9 @@ __all__ = [
     "ShardedIndex",
     "Shard",
     "PLACEMENTS",
+    "MutableIndex",
+    "CompactionReport",
+    "MUTABLE_SNAPSHOT_VERSION",
     "QueryScheduler",
     "MicroBatch",
     "edf_order",
@@ -96,6 +112,7 @@ __all__ = [
     "heavy_tailed_trace",
     "ServeError",
     "SnapshotFormatError",
+    "CompactionFaultError",
     "ShardFailedError",
     "AdmissionRejected",
     "InvalidDeadlineError",

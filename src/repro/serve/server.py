@@ -451,13 +451,21 @@ class Server:
         empty.
         """
         shard = self.index.shards[shard_id]
+        if shard.n_rows == 0:
+            # A drained delta pseudo-shard (mutable index right after a
+            # compaction): nothing to scan, contribute a width-0 part so
+            # the merge and SLO accounting stay uniform.
+            empty = (np.zeros((queries.n_rows, 0)),
+                     np.zeros((queries.n_rows, 0), dtype=np.int64))
+            return ShardReport(shard_id=shard_id, simulated_seconds=0.0,
+                               n_tiles=0, replica_id=-1), empty, None
         span = (self.tracer.span(f"shard[{shard_id}]", "serve",
                                  parent=batch_span, shard_id=shard_id,
                                  device=shard.device.name)
                 if self.tracer.enabled else NULL_SPAN)
         with span:
             plan = self.index.shard_plan(shard_id, queries)
-            consumer = TopKConsumer(min(k, shard.n_rows))
+            consumer = TopKConsumer(self.index.shard_k(shard_id, k))
             fault_log: list = []
             failed_replicas: list = []
             total_resumes = 0
@@ -508,6 +516,8 @@ class Server:
                         "shards completed on a sibling after replica "
                         "failure").inc()
                 distances, local_idx = report.value
+                distances, global_ids = self.index.filter_shard_topk(
+                    shard_id, distances, shard.global_ids[local_idx])
                 shard_report = ShardReport(
                     shard_id=shard_id,
                     simulated_seconds=report.simulated_seconds,
@@ -517,8 +527,7 @@ class Server:
                     fault_log=tuple(fault_log),
                     replica_id=state.replica_id,
                     failed_replicas=tuple(failed_replicas))
-                return (shard_report,
-                        (distances, shard.global_ids[local_idx]), state)
+                return (shard_report, (distances, global_ids), state)
 
     def _run_replica(self, plan, consumer, injector, resume_from: int,
                      span):

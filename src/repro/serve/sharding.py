@@ -24,6 +24,7 @@ served forever.
 from __future__ import annotations
 
 import json
+import zipfile
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -46,13 +47,17 @@ from repro.plan.pairwise_plan import (
 from repro.sparse.convert import as_csr
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["Shard", "ShardedIndex", "PLACEMENTS"]
+__all__ = ["Shard", "ShardedIndex", "PLACEMENTS", "plan_shard_assignment"]
 
 #: Supported row-placement strategies.
 PLACEMENTS = ("contiguous", "degree_balanced")
 
 #: Snapshot format version (bump on incompatible layout changes).
 SNAPSHOT_VERSION = 1
+
+#: Sentinel distinguishing "no default" from "default None" in
+#: :func:`require_meta_field`.
+_MISSING = object()
 
 
 @dataclass(frozen=True)
@@ -77,6 +82,35 @@ class Shard:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Shard({self.shard_id}, rows={self.n_rows}, "
                 f"nnz={self.nnz}, device={self.device.name})")
+
+
+def plan_shard_assignment(csr: CSRMatrix, n_shards: int,
+                          placement: str) -> List[np.ndarray]:
+    """Row positions per shard under ``placement`` (ascending per shard).
+
+    ``"contiguous"`` cuts near-equal row bands; ``"degree_balanced"``
+    assigns rows greedily so each shard carries a near-equal nnz load.
+    Shared by :meth:`ShardedIndex.build` and the mutable index's
+    compaction, so a compacted generation lands on exactly the placement a
+    from-scratch build would choose.
+    """
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    if placement not in PLACEMENTS:
+        raise ValueError(f"unknown placement {placement!r}; expected "
+                         f"one of {PLACEMENTS}")
+    if n_shards > csr.n_rows:
+        raise ValueError(
+            f"cannot cut {csr.n_rows} rows into {n_shards} shards")
+    if placement == "contiguous":
+        base, extra = divmod(csr.n_rows, n_shards)
+        sizes = np.full(n_shards, base, dtype=np.int64)
+        sizes[:extra] += 1
+        bounds = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(sizes)])
+        return [np.arange(bounds[i], bounds[i + 1], dtype=np.int64)
+                for i in range(n_shards)]
+    return degree_balanced_shards(csr, n_shards)
 
 
 def _resolve_devices(devices, n_shards: int) -> List[DeviceSpec]:
@@ -159,21 +193,7 @@ class ShardedIndex:
         measure = (metric if isinstance(metric, DistanceMeasure)
                    else make_distance(metric, **(metric_params or {})))
         prepared = prepare_operand(as_csr(x), measure)
-        if n_shards > prepared.n_rows:
-            raise ValueError(
-                f"cannot cut {prepared.n_rows} rows into {n_shards} shards")
-
-        if placement == "contiguous":
-            base, extra = divmod(prepared.n_rows, n_shards)
-            sizes = np.full(n_shards, base, dtype=np.int64)
-            sizes[:extra] += 1
-            bounds = np.concatenate(
-                [np.zeros(1, dtype=np.int64), np.cumsum(sizes)])
-            assignment = [np.arange(bounds[i], bounds[i + 1], dtype=np.int64)
-                          for i in range(n_shards)]
-        else:
-            assignment = degree_balanced_shards(prepared.csr, n_shards)
-
+        assignment = plan_shard_assignment(prepared.csr, n_shards, placement)
         specs = _resolve_devices(devices, n_shards)
         shards = [
             Shard(shard_id=i, global_ids=ids,
@@ -244,6 +264,25 @@ class ShardedIndex:
         return [self.shard_plan(i, queries).tuning
                 for i in range(self.n_shards)]
 
+    def shard_k(self, shard_id: int, k: int) -> int:
+        """Per-shard top-k width for a global ``k``.
+
+        The frozen index simply clamps to the shard's row count; overlays
+        with suppressed rows (the mutable index's tombstones and superseded
+        generations) widen it so enough live candidates survive the
+        per-shard selection.
+        """
+        return min(int(k), self.shards[shard_id].n_rows)
+
+    def filter_shard_topk(self, shard_id: int, distances: np.ndarray,
+                          global_ids: np.ndarray,
+                          ) -> Tuple[np.ndarray, np.ndarray]:
+        """Post-selection hook applied to a shard's ``(distances, ids)``
+        before the cross-shard merge. Identity for the frozen index; the
+        mutable overlay masks suppressed candidates to the sentinel here.
+        """
+        return distances, global_ids
+
     def query_shard(self, shard_id: int, queries: PreparedOperand,
                     k: int, **executor_kwargs,
                     ) -> Tuple[np.ndarray, np.ndarray, PlanExecutionReport]:
@@ -256,10 +295,12 @@ class ShardedIndex:
         """
         shard = self.shards[shard_id]
         plan = self.shard_plan(shard_id, queries)
-        consumer = TopKConsumer(min(k, shard.n_rows))
+        consumer = TopKConsumer(self.shard_k(shard_id, k))
         report = PlanExecutor(plan, **executor_kwargs).execute(consumer)
         distances, local_idx = report.value
-        return distances, shard.global_ids[local_idx], report
+        distances, global_ids = self.filter_shard_topk(
+            shard_id, distances, shard.global_ids[local_idx])
+        return distances, global_ids, report
 
     @staticmethod
     def merge_shard_topk(parts: Sequence[Tuple[np.ndarray, np.ndarray]],
@@ -341,60 +382,181 @@ class ShardedIndex:
 
     @classmethod
     def load(cls, path) -> "ShardedIndex":
-        """Rebuild a served index from a :meth:`save` snapshot."""
-        try:
-            with np.load(path) as archive:
-                arrays = {name: archive[name] for name in archive.files}
-        except (OSError, ValueError, KeyError) as exc:
-            raise SnapshotFormatError(
-                f"cannot read index snapshot {path!r}: {exc}") from exc
-        try:
-            meta = json.loads(bytes(arrays["meta"]).decode("utf-8"))
-        except (KeyError, UnicodeDecodeError,
-                json.JSONDecodeError) as exc:
-            raise SnapshotFormatError(
-                f"snapshot {path!r} has no readable metadata") from exc
-        if meta.get("version") != SNAPSHOT_VERSION:
-            raise SnapshotFormatError(
-                f"snapshot version {meta.get('version')!r} is not "
-                f"supported (expected {SNAPSHOT_VERSION})")
-        required = {"indptr", "indices", "data"}
-        missing = required - set(arrays)
-        if missing:
-            raise SnapshotFormatError(
-                f"snapshot {path!r} is missing arrays: {sorted(missing)}")
+        """Rebuild a served index from a :meth:`save` snapshot.
 
-        measure = make_distance(meta["metric"], **meta["metric_params"])
-        csr = CSRMatrix(arrays["indptr"], arrays["indices"], arrays["data"],
-                        (int(meta["n_rows"]), int(meta["n_cols"])),
-                        check=False, sort=False)
+        Every malformation — a truncated or corrupted archive, metadata
+        fields missing or of the wrong type, version skew, absent or
+        inconsistently sized arrays — raises
+        :class:`~repro.errors.SnapshotFormatError` naming the bad field;
+        no raw ``KeyError``/``ValueError`` escapes.
+        """
+        arrays = load_snapshot_arrays(path)
+        meta = parse_snapshot_meta(arrays, path,
+                                   expected_version=SNAPSHOT_VERSION)
+        metric = require_meta_field(meta, "metric", str, path)
+        metric_params = require_meta_field(meta, "metric_params", dict, path)
+        engine = require_meta_field(meta, "engine", str, path)
+        placement = require_meta_field(meta, "placement", str, path)
+        batch_rows = require_meta_field(meta, "batch_rows", int, path)
+        memory_budget = require_meta_field(
+            meta, "memory_budget_bytes", (int, type(None)), path)
+        n_shards = require_meta_field(meta, "n_shards", int, path)
+        n_rows = require_meta_field(meta, "n_rows", int, path)
+        n_cols = require_meta_field(meta, "n_cols", int, path)
+        devices = require_meta_field(meta, "devices", list, path)
+        norm_kinds = require_meta_field(meta, "norm_kinds", list, path)
+        n_replicas = require_meta_field(meta, "n_replicas", int, path,
+                                        default=1)
+        if n_shards <= 0:
+            raise SnapshotFormatError(
+                f"snapshot {path!r} field 'n_shards' must be positive, "
+                f"got {n_shards}")
+        if len(devices) != n_shards:
+            raise SnapshotFormatError(
+                f"snapshot {path!r} field 'devices' lists {len(devices)} "
+                f"entries for {n_shards} shards")
+        try:
+            measure = make_distance(metric, **metric_params)
+        except Exception as exc:
+            raise SnapshotFormatError(
+                f"snapshot {path!r} field 'metric' names an unusable "
+                f"measure {metric!r}: {exc}") from exc
+
+        csr = build_snapshot_csr(arrays, n_rows, n_cols, path)
         norms: Optional[Dict[str, np.ndarray]] = None
-        if meta["norm_kinds"]:
-            try:
-                norms = {kind: arrays[f"norm_{kind}"]
-                         for kind in meta["norm_kinds"]}
-            except KeyError as exc:
-                raise SnapshotFormatError(
-                    f"snapshot {path!r} is missing norm array {exc}"
-                ) from exc
+        if norm_kinds:
+            norms = {}
+            for kind in norm_kinds:
+                key = f"norm_{kind}"
+                if key not in arrays:
+                    raise SnapshotFormatError(
+                        f"snapshot {path!r} is missing array {key!r} "
+                        f"promised by field 'norm_kinds'")
+                if arrays[key].shape != (n_rows,):
+                    raise SnapshotFormatError(
+                        f"snapshot {path!r} array {key!r} has shape "
+                        f"{arrays[key].shape}, expected ({n_rows},)")
+                norms[kind] = arrays[key]
         prepared = PreparedOperand(csr, measure.name, norms)
 
         shards = []
-        for i in range(int(meta["n_shards"])):
-            try:
-                ids = arrays[f"shard_{i}_ids"]
-            except KeyError as exc:
+        seen_ids = []
+        for i in range(n_shards):
+            key = f"shard_{i}_ids"
+            if key not in arrays:
                 raise SnapshotFormatError(
-                    f"snapshot {path!r} is missing shard {i} ids") from exc
-            shards.append(Shard(
-                shard_id=i, global_ids=np.asarray(ids, dtype=np.int64),
-                operand=prepared.take_rows(ids),
-                device=get_device(meta["devices"][i])))
-        return cls(shards, measure, engine=meta["engine"],
-                   placement=meta["placement"],
-                   batch_rows=int(meta["batch_rows"]),
-                   memory_budget_bytes=meta["memory_budget_bytes"],
-                   n_replicas=int(meta.get("n_replicas", 1)))
+                    f"snapshot {path!r} is missing array {key!r}")
+            ids = np.asarray(arrays[key], dtype=np.int64)
+            if ids.ndim != 1:
+                raise SnapshotFormatError(
+                    f"snapshot {path!r} array {key!r} must be 1-D")
+            if ids.size and (ids.min() < 0 or ids.max() >= n_rows):
+                raise SnapshotFormatError(
+                    f"snapshot {path!r} array {key!r} has row ids outside "
+                    f"[0, {n_rows})")
+            seen_ids.append(ids)
+            try:
+                device = get_device(str(devices[i]))
+            except Exception as exc:
+                raise SnapshotFormatError(
+                    f"snapshot {path!r} field 'devices[{i}]' names an "
+                    f"unknown device {devices[i]!r}") from exc
+            shards.append(Shard(shard_id=i, global_ids=ids,
+                                operand=prepared.take_rows(ids),
+                                device=device))
+        stacked = np.sort(np.concatenate(seen_ids))
+        if (stacked.size != n_rows
+                or not np.array_equal(stacked, np.arange(n_rows))):
+            raise SnapshotFormatError(
+                f"snapshot {path!r} shard id arrays do not partition the "
+                f"{n_rows} rows (field 'shard_*_ids')")
+        return cls(shards, measure, engine=engine, placement=placement,
+                   batch_rows=batch_rows,
+                   memory_budget_bytes=memory_budget,
+                   n_replicas=n_replicas)
+
+
+def load_snapshot_arrays(path) -> Dict[str, np.ndarray]:
+    """Read an ``.npz`` snapshot into a dict, normalizing every failure
+    mode of a truncated/corrupted/garbage file to
+    :class:`~repro.errors.SnapshotFormatError`."""
+    try:
+        with np.load(path) as archive:
+            return {name: archive[name] for name in archive.files}
+    except (OSError, ValueError, KeyError, EOFError,
+            zipfile.BadZipFile) as exc:
+        raise SnapshotFormatError(
+            f"cannot read index snapshot {path!r}: {exc}") from exc
+
+
+def parse_snapshot_meta(arrays: Dict[str, np.ndarray], path, *,
+                        expected_version: int,
+                        version_field: str = "version") -> dict:
+    """Decode and version-check the JSON ``meta`` array of a snapshot."""
+    if "meta" not in arrays:
+        raise SnapshotFormatError(
+            f"snapshot {path!r} is missing the 'meta' array")
+    try:
+        meta = json.loads(bytes(arrays["meta"]).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SnapshotFormatError(
+            f"snapshot {path!r} has no readable metadata") from exc
+    if not isinstance(meta, dict):
+        raise SnapshotFormatError(
+            f"snapshot {path!r} metadata must be a JSON object, got "
+            f"{type(meta).__name__}")
+    if meta.get(version_field) != expected_version:
+        raise SnapshotFormatError(
+            f"snapshot {path!r} field {version_field!r} is "
+            f"{meta.get(version_field)!r}; this build reads version "
+            f"{expected_version}")
+    return meta
+
+
+def require_meta_field(meta: dict, key: str, types, path, *,
+                       default=_MISSING):
+    """One metadata field, type-checked; absence or a type mismatch raises
+    :class:`~repro.errors.SnapshotFormatError` naming the field."""
+    if key not in meta:
+        if default is not _MISSING:
+            return default
+        raise SnapshotFormatError(
+            f"snapshot {path!r} metadata is missing field {key!r}")
+    value = meta[key]
+    if not isinstance(value, types):
+        wanted = (types.__name__ if isinstance(types, type)
+                  else "/".join(t.__name__ for t in types))
+        raise SnapshotFormatError(
+            f"snapshot {path!r} field {key!r} has type "
+            f"{type(value).__name__}, expected {wanted}")
+    return value
+
+
+def build_snapshot_csr(arrays: Dict[str, np.ndarray], n_rows: int,
+                       n_cols: int, path) -> CSRMatrix:
+    """Reassemble and structurally validate a snapshot's CSR arrays."""
+    for key in ("indptr", "indices", "data"):
+        if key not in arrays:
+            raise SnapshotFormatError(
+                f"snapshot {path!r} is missing array {key!r}")
+    indptr = arrays["indptr"]
+    if indptr.ndim != 1 or indptr.size != n_rows + 1:
+        raise SnapshotFormatError(
+            f"snapshot {path!r} array 'indptr' has {indptr.size} entries "
+            f"for {n_rows} rows (expected {n_rows + 1})")
+    nnz = int(indptr[-1]) if indptr.size else 0
+    for key in ("indices", "data"):
+        if arrays[key].ndim != 1 or arrays[key].size != nnz:
+            raise SnapshotFormatError(
+                f"snapshot {path!r} array {key!r} has {arrays[key].size} "
+                f"entries but 'indptr' promises {nnz}")
+    try:
+        return CSRMatrix(indptr, arrays["indices"], arrays["data"],
+                         (n_rows, n_cols), check=True, sort=False)
+    except Exception as exc:
+        raise SnapshotFormatError(
+            f"snapshot {path!r} CSR arrays are inconsistent: {exc}"
+        ) from exc
 
 
 def _restack_operand(shards: Sequence[Shard]) -> PreparedOperand:

@@ -7,6 +7,7 @@ GraphBLAS-style helper reductions (row norms) the expansion functions need.
 """
 
 from repro.sparse.bsr import BSRMatrix
+from repro.sparse.builder import CSRRowBuilder
 from repro.sparse.coo import COOMatrix
 from repro.sparse.convert import as_csr, from_scipy, to_scipy_csr
 from repro.sparse.csr import CSRMatrix
@@ -30,6 +31,7 @@ from repro.sparse.ops import (
 
 __all__ = [
     "CSRMatrix",
+    "CSRRowBuilder",
     "COOMatrix",
     "BSRMatrix",
     "as_csr",

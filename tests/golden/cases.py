@@ -16,11 +16,14 @@ from __future__ import annotations
 
 from pathlib import Path
 
+import numpy as np
+
 from repro.core.pairwise import pairwise_distances
 from repro.kernels import make_engine
-from repro.testing import DEFAULT_SEED, random_csr, seeded_rng
+from repro.testing import DEFAULT_SEED, random_csr, random_dense, seeded_rng
 
 FIXTURE_PATH = Path(__file__).parent / "fixtures" / "pairwise.json"
+MUTABLE_FIXTURE_PATH = Path(__file__).parent / "fixtures" / "mutable.json"
 
 #: Tile budget that forces a multi-tile plan (same grid as tests/obs).
 BUDGET = 600
@@ -85,4 +88,63 @@ def run_case(name, engine_kwargs, metric, params, positive):
         "simulated_seconds": result.simulated_seconds,
         "serial_seconds": result.report.serial_seconds,
         "n_tiles": result.report.n_tiles,
+    }
+
+
+#: Delta-merge golden cases: ``(case name, engine, metric, params)``.
+#: Each replays the canonical mutation script through a MutableIndex and
+#: pins the cross-generation (base + delta pseudo-shard) merged top-k.
+MUTABLE_CASES = (
+    ("mutable/hybrid_coo/euclidean", "hybrid_coo", "euclidean", {}),
+    ("mutable/hybrid_coo/cosine", "hybrid_coo", "cosine", {}),
+    ("mutable/merge_path/euclidean", "merge_path", "euclidean", {}),
+    ("mutable/naive_csr/euclidean", "naive_csr", "euclidean", {}),
+    ("mutable/host/euclidean", "host", "euclidean", {}),
+)
+
+#: k for the mutable golden queries.
+MUTABLE_K = 7
+
+
+def canonical_mutation_script():
+    """A fixed corpus, query block, and mutation list shared by every
+    mutable golden case. The script exercises overwrite, delete,
+    tombstone-after-overwrite, and reinsert — so the recorded top-k
+    crosses the base/delta generation boundary in every tricky way."""
+    rng = seeded_rng(DEFAULT_SEED + 1)
+    corpus = random_dense(rng, 40, 30, 0.3)
+    queries = random_dense(rng, 25, 30, 0.25)
+    block = random_dense(rng, 6, 30, 0.35)
+    script = (
+        ("upsert", (45, 46, 47), block[:3]),    # brand-new ids
+        ("upsert", (3, 17), block[3:5]),        # overwrite base rows
+        ("delete", (8, 21), None),              # tombstone base rows
+        ("delete", (3,), None),                 # tombstone-after-overwrite
+        ("upsert", (8,), block[5:6]),           # reinsert a deleted id
+    )
+    return corpus, queries, script
+
+
+def run_mutable_case(name, engine, metric, params):
+    """Replay the canonical script on a MutableIndex; JSON-ready record."""
+    from repro.serve import MutableIndex
+
+    corpus, queries, script = canonical_mutation_script()
+    index = MutableIndex.build(corpus, metric=metric, metric_params=params,
+                               n_shards=3, engine=engine,
+                               compact_threshold_rows=10 ** 9)
+    for kind, ids, rows in script:
+        if kind == "upsert":
+            index.upsert(np.asarray(ids, dtype=np.int64), rows)
+        else:
+            index.delete(np.asarray(ids, dtype=np.int64))
+    distances, indices = index.kneighbors(queries, MUTABLE_K)
+    return {
+        "engine": engine,
+        "metric": metric,
+        "params": params,
+        "live_rows": index.n_rows,
+        "shape": list(distances.shape),
+        "distances_hex": [v.hex() for v in distances.ravel()],
+        "indices": [int(i) for i in indices.ravel()],
     }

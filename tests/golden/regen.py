@@ -16,7 +16,14 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
 
-from tests.golden.cases import CASES, FIXTURE_PATH, run_case  # noqa: E402
+from tests.golden.cases import (  # noqa: E402
+    CASES,
+    FIXTURE_PATH,
+    MUTABLE_CASES,
+    MUTABLE_FIXTURE_PATH,
+    run_case,
+    run_mutable_case,
+)
 
 
 def regenerate() -> dict:
@@ -30,11 +37,27 @@ def regenerate() -> dict:
     return doc
 
 
+def regenerate_mutable() -> dict:
+    doc = {"_comment": ("delta-merge golden fixtures (MutableIndex); "
+                        "regenerate with `PYTHONPATH=src python "
+                        "tests/golden/regen.py`"),
+           "cases": {}}
+    for name, engine, metric, params in MUTABLE_CASES:
+        print(f"  {name} ...", flush=True)
+        doc["cases"][name] = run_mutable_case(name, engine, metric, params)
+    return doc
+
+
 def main() -> None:
     doc = regenerate()
     FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
     FIXTURE_PATH.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
     print(f"wrote {len(doc['cases'])} cases to {FIXTURE_PATH}")
+    mutable_doc = regenerate_mutable()
+    MUTABLE_FIXTURE_PATH.write_text(
+        json.dumps(mutable_doc, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {len(mutable_doc['cases'])} cases to "
+          f"{MUTABLE_FIXTURE_PATH}")
 
 
 if __name__ == "__main__":

@@ -12,7 +12,14 @@ import json
 import numpy as np
 import pytest
 
-from tests.golden.cases import CASES, FIXTURE_PATH, run_case
+from tests.golden.cases import (
+    CASES,
+    FIXTURE_PATH,
+    MUTABLE_CASES,
+    MUTABLE_FIXTURE_PATH,
+    run_case,
+    run_mutable_case,
+)
 
 REGEN_HINT = ("golden mismatch — if this change is intentional, run "
               "`PYTHONPATH=src python tests/golden/regen.py` and commit "
@@ -59,3 +66,39 @@ def test_golden(fixtures, name, engine_kwargs, metric, params, positive):
             f"{name}: {field} {got[field]!r} != {want[field]!r}. "
             f"{REGEN_HINT}")
     assert got["n_tiles"] == want["n_tiles"], REGEN_HINT
+
+
+@pytest.fixture(scope="module")
+def mutable_fixtures():
+    assert MUTABLE_FIXTURE_PATH.exists(), (
+        f"{MUTABLE_FIXTURE_PATH} missing; generate it with "
+        "`PYTHONPATH=src python tests/golden/regen.py`")
+    return json.loads(MUTABLE_FIXTURE_PATH.read_text())["cases"]
+
+
+def test_mutable_fixture_covers_every_case(mutable_fixtures):
+    assert sorted(mutable_fixtures) == sorted(
+        name for name, *_ in MUTABLE_CASES)
+
+
+@pytest.mark.parametrize(("name", "engine", "metric", "params"),
+                         MUTABLE_CASES, ids=[c[0] for c in MUTABLE_CASES])
+def test_mutable_golden(mutable_fixtures, name, engine, metric, params):
+    """The delta-merge (base + pseudo-shard) top-k, pinned per engine:
+    distances bit-exact, neighbor ids exact."""
+    want = mutable_fixtures[name]
+    got = run_mutable_case(name, engine, metric, params)
+
+    assert got["shape"] == want["shape"], REGEN_HINT
+    assert got["live_rows"] == want["live_rows"], REGEN_HINT
+    want_d = np.array([float.fromhex(h) for h in want["distances_hex"]])
+    got_d = np.array([float.fromhex(h) for h in got["distances_hex"]])
+    if not np.array_equal(got_d, want_d):
+        bad = np.flatnonzero(got_d != want_d)
+        i = bad[0]
+        raise AssertionError(
+            f"{name}: {bad.size}/{want_d.size} delta-merge distances "
+            f"drifted; first at flat index {i}: got {got_d[i]!r} want "
+            f"{want_d[i]!r}. {REGEN_HINT}")
+    assert got["indices"] == want["indices"], (
+        f"{name}: neighbor ids drifted. {REGEN_HINT}")

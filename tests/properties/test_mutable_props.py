@@ -1,0 +1,158 @@
+"""Property-based tests for the mutable serving index.
+
+Hypothesis drives seeds and op mixes through the shared
+:func:`repro.testing.random_mutation_schedule` generator; every query
+checkpoint must be bit-identical to a fresh fit of the oracle corpus.
+Dedicated properties pin the tricky visibility edges: tombstone-then-
+reinsert round trips, blind deletes, empty deltas, and no-op compactions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import MutableIndex
+from repro.testing import (
+    MutationOp,
+    MutationOracle,
+    random_dense,
+    random_mutation_schedule,
+    seeded_rng,
+)
+
+N_COLS = 6
+
+
+def _replay(seed, n_ops, n_shards, *, include_reshard=False):
+    initial, ops = random_mutation_schedule(
+        seed, n_ops=n_ops, n_cols=N_COLS, id_pool=32, start_rows=12,
+        include_reshard=include_reshard)
+    oracle = MutationOracle(N_COLS)
+    oracle.apply(MutationOp("upsert", tuple(range(initial.shape[0])),
+                            rows=initial))
+    index = MutableIndex.build(initial, metric="euclidean",
+                               n_shards=n_shards,
+                               compact_threshold_rows=10 ** 9)
+    queries = random_dense(seeded_rng(seed ^ 0xBEEF), 3, N_COLS, 0.5)
+    return index, oracle, ops, queries
+
+
+def _assert_identical(index, oracle, queries, k=4):
+    got_d, got_i = index.kneighbors(queries, k)
+    want_d, want_i = oracle.fresh_fit_kneighbors(queries, k)
+    np.testing.assert_array_equal(got_d, want_d)
+    np.testing.assert_array_equal(got_i, want_i)
+
+
+@given(seed=st.integers(0, 2 ** 20), n_ops=st.integers(1, 14),
+       n_shards=st.integers(1, 3))
+@settings(max_examples=25, deadline=None)
+def test_replayed_schedule_matches_fresh_fit(seed, n_ops, n_shards):
+    index, oracle, ops, queries = _replay(seed, n_ops, n_shards)
+    for op in ops:
+        if op.kind == "upsert":
+            index.upsert(np.asarray(op.ids, dtype=np.int64), op.rows)
+        elif op.kind == "delete":
+            index.delete(np.asarray(op.ids, dtype=np.int64))
+        elif op.kind == "compact":
+            index.compact()
+        oracle.apply(op)
+        if op.kind == "query":
+            _assert_identical(index, oracle, queries)
+    _assert_identical(index, oracle, queries)
+
+
+@given(seed=st.integers(0, 2 ** 20), compact_between=st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_tombstone_then_reinsert_round_trip(seed, compact_between):
+    """delete(id) then upsert(id, row') must serve row' — whether the
+    tombstone was still in the memtable or already compacted away."""
+    rng = seeded_rng(seed)
+    initial = random_dense(rng, 10, N_COLS, 0.5)
+    index = MutableIndex.build(initial, metric="euclidean", n_shards=2,
+                               compact_threshold_rows=10 ** 9)
+    oracle = MutationOracle(N_COLS)
+    oracle.apply(MutationOp("upsert", tuple(range(10)), rows=initial))
+    queries = random_dense(rng, 3, N_COLS, 0.5)
+
+    victim = int(rng.integers(2, 10))
+    index.delete([victim])
+    oracle.apply(MutationOp("delete", (victim,)))
+    if compact_between:
+        index.compact()
+    _assert_identical(index, oracle, queries)
+
+    replacement = random_dense(rng, 1, N_COLS, 0.8)
+    index.upsert([victim], replacement)
+    oracle.apply(MutationOp("upsert", (victim,), rows=replacement))
+    _assert_identical(index, oracle, queries)
+    assert victim in index.live_ids()
+
+
+@given(seed=st.integers(0, 2 ** 20))
+@settings(max_examples=15, deadline=None)
+def test_blind_delete_is_invisible(seed):
+    """Tombstoning an id that never existed changes nothing a query can
+    observe (and a later compaction absorbs it without effect)."""
+    rng = seeded_rng(seed)
+    initial = random_dense(rng, 8, N_COLS, 0.5)
+    index = MutableIndex.build(initial, metric="euclidean", n_shards=2,
+                               compact_threshold_rows=10 ** 9)
+    queries = random_dense(rng, 3, N_COLS, 0.5)
+    before = index.kneighbors(queries, 4)
+    index.delete([1000, 2000])
+    after = index.kneighbors(queries, 4)
+    np.testing.assert_array_equal(before[0], after[0])
+    np.testing.assert_array_equal(before[1], after[1])
+    report = index.compact()
+    assert not report.noop                 # the tombstones were real work
+    assert report.absorbed_tombstones == 2
+    final = index.kneighbors(queries, 4)
+    np.testing.assert_array_equal(before[0], final[0])
+    np.testing.assert_array_equal(before[1], final[1])
+
+
+@given(seed=st.integers(0, 2 ** 20))
+@settings(max_examples=15, deadline=None)
+def test_empty_delta_compaction_is_noop(seed):
+    """Compacting with nothing in the delta levels keeps the generation,
+    the base object, and every query bit unchanged."""
+    rng = seeded_rng(seed)
+    initial = random_dense(rng, 9, N_COLS, 0.5)
+    index = MutableIndex.build(initial, metric="euclidean", n_shards=2,
+                               compact_threshold_rows=10 ** 9)
+    queries = random_dense(rng, 3, N_COLS, 0.5)
+    before = index.kneighbors(queries, 4)
+    base_before = index.base
+    report = index.compact()
+    assert report.noop
+    assert report.absorbed_rows == 0
+    assert index.generation == 0
+    assert index.base is base_before       # no rebuild happened at all
+    after = index.kneighbors(queries, 4)
+    np.testing.assert_array_equal(before[0], after[0])
+    np.testing.assert_array_equal(before[1], after[1])
+
+
+@given(seed=st.integers(0, 2 ** 20))
+@settings(max_examples=10, deadline=None)
+def test_upsert_overwrite_latest_wins(seed):
+    """Repeated upserts of one id serve only the newest version, both
+    from the memtable and after compaction."""
+    rng = seeded_rng(seed)
+    initial = random_dense(rng, 8, N_COLS, 0.5)
+    index = MutableIndex.build(initial, metric="euclidean", n_shards=2,
+                               compact_threshold_rows=10 ** 9)
+    oracle = MutationOracle(N_COLS)
+    oracle.apply(MutationOp("upsert", tuple(range(8)), rows=initial))
+    queries = random_dense(rng, 3, N_COLS, 0.5)
+    for _ in range(3):
+        row = random_dense(rng, 1, N_COLS, 0.8)
+        index.upsert([3], row)
+        oracle.apply(MutationOp("upsert", (3,), rows=row))
+        _assert_identical(index, oracle, queries)
+    assert index.n_rows == 8               # overwrites never grow the corpus
+    index.compact()
+    _assert_identical(index, oracle, queries)

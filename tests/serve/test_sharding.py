@@ -265,5 +265,109 @@ class TestSnapshot:
         del arrays["shard_1_ids"]
         with open(path, "wb") as fh:
             np.savez(fh, **arrays)
-        with pytest.raises(SnapshotFormatError, match="shard 1"):
+        with pytest.raises(SnapshotFormatError, match="shard_1_ids"):
             ShardedIndex.load(path)
+
+    @staticmethod
+    def _rewrite(path, mutate_arrays=None, mutate_meta=None):
+        """Round-trip a saved snapshot through a corruption hook."""
+        import json
+
+        with np.load(path) as archive:
+            arrays = {n: archive[n] for n in archive.files}
+        if mutate_meta is not None:
+            meta = json.loads(bytes(arrays["meta"]).decode())
+            mutate_meta(meta)
+            arrays["meta"] = np.frombuffer(json.dumps(meta).encode(),
+                                           dtype=np.uint8)
+        if mutate_arrays is not None:
+            mutate_arrays(arrays)
+        with open(path, "wb") as fh:
+            np.savez(fh, **arrays)
+
+    @pytest.fixture
+    def saved(self, corpus, tmp_path):
+        idx = ShardedIndex.build(corpus, n_shards=2)
+        path = tmp_path / "index.npz"
+        idx.save(path)
+        return path
+
+    def test_truncated_file_rejected(self, saved):
+        payload = saved.read_bytes()
+        saved.write_bytes(payload[: len(payload) // 3])
+        with pytest.raises(SnapshotFormatError):
+            ShardedIndex.load(saved)
+
+    def test_unreadable_meta_json_rejected(self, saved):
+        def corrupt(arrays):
+            arrays["meta"] = np.frombuffer(b"{not json", dtype=np.uint8)
+
+        self._rewrite(saved, mutate_arrays=corrupt)
+        with pytest.raises(SnapshotFormatError, match="meta"):
+            ShardedIndex.load(saved)
+
+    def test_missing_meta_field_named(self, saved):
+        self._rewrite(saved, mutate_meta=lambda m: m.pop("placement"))
+        with pytest.raises(SnapshotFormatError, match="placement"):
+            ShardedIndex.load(saved)
+
+    def test_wrong_type_field_named(self, saved):
+        def mutate(meta):
+            meta["batch_rows"] = "lots"
+
+        self._rewrite(saved, mutate_meta=mutate)
+        with pytest.raises(SnapshotFormatError, match="batch_rows"):
+            ShardedIndex.load(saved)
+
+    def test_unknown_metric_named(self, saved):
+        def mutate(meta):
+            meta["metric"] = "nonexistent_metric"
+
+        self._rewrite(saved, mutate_meta=mutate)
+        with pytest.raises(SnapshotFormatError, match="metric"):
+            ShardedIndex.load(saved)
+
+    def test_unknown_device_named(self, saved):
+        def mutate(meta):
+            meta["devices"] = ["no-such-gpu"] * meta["n_shards"]
+
+        self._rewrite(saved, mutate_meta=mutate)
+        with pytest.raises(SnapshotFormatError, match="devices"):
+            ShardedIndex.load(saved)
+
+    def test_missing_norm_array_named(self, saved):
+        def corrupt(arrays):
+            victim = next(n for n in arrays if n.startswith("norm_"))
+            del arrays[victim]
+
+        self._rewrite(saved, mutate_arrays=corrupt)
+        with pytest.raises(SnapshotFormatError, match="norm_"):
+            ShardedIndex.load(saved)
+
+    def test_indptr_length_mismatch_named(self, saved):
+        def corrupt(arrays):
+            arrays["indptr"] = arrays["indptr"][:-1]
+
+        self._rewrite(saved, mutate_arrays=corrupt)
+        with pytest.raises(SnapshotFormatError, match="indptr"):
+            ShardedIndex.load(saved)
+
+    def test_id_partition_violation_named(self, saved):
+        def corrupt(arrays):
+            ids = arrays["shard_0_ids"].copy()
+            ids[0] = ids[1]                  # duplicate breaks the partition
+            arrays["shard_0_ids"] = ids
+
+        self._rewrite(saved, mutate_arrays=corrupt)
+        with pytest.raises(SnapshotFormatError, match="ids"):
+            ShardedIndex.load(saved)
+
+    def test_out_of_range_ids_named(self, saved):
+        def corrupt(arrays):
+            ids = arrays["shard_1_ids"].copy()
+            ids[-1] = 10 ** 9
+            arrays["shard_1_ids"] = ids
+
+        self._rewrite(saved, mutate_arrays=corrupt)
+        with pytest.raises(SnapshotFormatError, match="shard_1_ids"):
+            ShardedIndex.load(saved)
