@@ -30,6 +30,7 @@ from repro.bench.runner import (
     run_knn_cell,
     run_mutate_cell,
     run_plan_cell,
+    run_scale_cell,
     run_serve_cell,
     run_slo_cell,
 )
@@ -529,6 +530,78 @@ def report_mutate() -> Report:
         } for c in cells],
     }
     return Report(content, json_name="BENCH_mutate", json_payload=payload)
+
+
+#: device counts x interconnect tiers the distributed sweep covers
+SCALE_DEVICES = (2, 4, 8)
+SCALE_TIERS = ("nvlink", "pcie", "network")
+
+
+@report("scale")
+def report_scale() -> Report:
+    """Distributed scaling sweep: device count x interconnect tier.
+
+    Every cell plans a skewed pairwise top-k job with
+    ``partition="auto"``, records the full candidate table (modeled
+    seconds plus exact comm bytes per shape), then executes the chosen
+    plan and checks the clean-run contract — executed simulated seconds
+    equal the modeled total with ``==`` on floats. The headline locked
+    into ``BENCH_scale.json``: at 4+ devices the 2-D grid's modeled total
+    is strictly below both 1-D shapes on every tier (each operand side
+    pays (sqrt(p) - 1) transfers instead of (p - 1)).
+    """
+    cells = []
+    rows = []
+    for n_devices in SCALE_DEVICES:
+        for tier in SCALE_TIERS:
+            cell = run_scale_cell(n_devices, tier)
+            cells.append(cell)
+            rows.append([
+                str(cell.n_devices), tier,
+                f"{cell.chosen_partition} "
+                f"({cell.grid_rows}x{cell.grid_cols})",
+                format_seconds(cell.estimated_seconds),
+                format_seconds(cell.comm_seconds),
+                f"{cell.comm_bytes_total / 2**10:.1f} KiB",
+                "yes" if cell.estimate_equals_executed else "NO",
+                {True: "yes", False: "NO", None: "-"}[
+                    cell.two_d_beats_one_d],
+            ])
+        print(f"  ... p={n_devices} done", file=sys.stderr)
+    content = render_table(
+        ["devices", "interconnect", "auto choice", "modeled total",
+         "comm (serial)", "comm bytes", "est==exec", "2d<1d"], rows,
+        title="Distributed scaling — skewed operands, auto partition "
+              "(simulated devices)")
+    headline = all(c.two_d_beats_one_d for c in cells if c.n_devices >= 4)
+    content += ("\n\n2-D strictly beats both 1-D shapes at >=4 devices on "
+                f"every tier: {'yes' if headline else 'NO'}")
+    payload = {
+        "metric": cells[0].metric,
+        "k": 10,
+        "devices": list(SCALE_DEVICES),
+        "interconnects": list(SCALE_TIERS),
+        "headline": {"two_d_beats_one_d_at_4plus": headline},
+        "cells": [{
+            "n_devices": c.n_devices,
+            "interconnect": c.interconnect,
+            "chosen_partition": c.chosen_partition,
+            "grid_rows": c.grid_rows,
+            "grid_cols": c.grid_cols,
+            "estimated_seconds": c.estimated_seconds,
+            "compute_seconds_max": c.compute_seconds_max,
+            "comm_seconds": c.comm_seconds,
+            "comm_bytes_total": c.comm_bytes_total,
+            "bytes_by_phase": c.bytes_by_phase,
+            "bytes_by_tier": c.bytes_by_tier,
+            "candidates": c.candidates,
+            "simulated_seconds": c.simulated_seconds,
+            "estimate_equals_executed": c.estimate_equals_executed,
+            "two_d_beats_one_d": c.two_d_beats_one_d,
+            "wall_seconds": c.wall_seconds,
+        } for c in cells],
+    }
+    return Report(content, json_name="BENCH_scale", json_payload=payload)
 
 
 def main(argv=None) -> int:

@@ -88,6 +88,15 @@ DEFAULT_POLICIES: Tuple[Tuple[str, MetricPolicy], ...] = (
     ("n_submissions", MetricPolicy("equal", rel_tol=0.0)),
     ("resolved", MetricPolicy("equal", rel_tol=0.0)),
     ("*refusals_by_reason*", MetricPolicy("equal", rel_tol=0.0)),
+    # distributed comm accounting is analytic bytes on a priced schedule —
+    # byte totals, priced transfer seconds, and step counts are exact
+    # integers/pure floats, so they gate at zero tolerance (must precede
+    # the generic *seconds* policy)
+    ("*comm_bytes*", MetricPolicy("equal", rel_tol=0.0)),
+    ("*comm_seconds*", MetricPolicy("equal", rel_tol=0.0)),
+    ("*n_comm_steps*", MetricPolicy("equal", rel_tol=0.0)),
+    ("*bytes_by_phase*", MetricPolicy("equal", rel_tol=0.0)),
+    ("*bytes_by_tier*", MetricPolicy("equal", rel_tol=0.0)),
     ("*latency*", MetricPolicy("lower")),
     ("*_ms", MetricPolicy("lower")),
     ("*seconds*", MetricPolicy("lower")),

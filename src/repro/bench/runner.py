@@ -34,10 +34,11 @@ from repro.plan.pairwise_plan import build_pairwise_plan
 from repro.plan.tiling import OUTPUT_ITEM_BYTES, WORKSPACE_ITEM_BYTES
 
 __all__ = ["BenchCell", "PlanCell", "FaultCell", "ServeCell", "SLOCell",
-           "BurstCell", "AblationCell", "MutateCell", "run_knn_cell",
-           "run_baseline_cell", "run_plan_cell", "run_fault_cell",
-           "run_serve_cell", "run_slo_cell", "run_burst_cell",
-           "run_ablation_cell", "run_mutate_cell", "ablation_fixed_configs",
+           "BurstCell", "AblationCell", "MutateCell", "ScaleCell",
+           "run_knn_cell", "run_baseline_cell", "run_plan_cell",
+           "run_fault_cell", "run_serve_cell", "run_slo_cell",
+           "run_burst_cell", "run_ablation_cell", "run_mutate_cell",
+           "run_scale_cell", "ablation_fixed_configs",
            "BENCH_SCALES", "bench_dataset", "MINKOWSKI_P", "KNN_K",
            "CHAOS_SPECS"]
 
@@ -371,6 +372,96 @@ def run_ablation_cell(metric: str, *, sigma: float, regime: str,
         auto_matches_best=auto_seconds <= best_seconds + 1e-12,
         auto_minus_best_seconds=auto_seconds - best_seconds,
         identical=identical, wall_seconds=wall)
+
+
+@dataclass
+class ScaleCell:
+    """One device-count x interconnect-tier cell of the distributed sweep.
+
+    Every number is a pure function of the cost model: the auto
+    partitioner's full candidate table (modeled seconds, exact comm
+    bytes), the chosen shape, and one executed
+    :class:`~repro.dist.DistributedExecutor` run whose simulated seconds
+    must reproduce the modeled total with ``==`` on floats.
+    """
+
+    metric: str
+    n_devices: int
+    interconnect: str
+    chosen_partition: str
+    grid_rows: int
+    grid_cols: int
+    estimated_seconds: float
+    compute_seconds_max: float
+    comm_seconds: float
+    comm_bytes_total: int
+    #: exact per-phase byte totals of the chosen shape's schedule
+    bytes_by_phase: Dict[str, int]
+    #: the full auto-partition candidate table, canonical shape order
+    candidates: List[dict]
+    #: executed run's makespan; must equal ``estimated_seconds`` exactly
+    simulated_seconds: float
+    estimate_equals_executed: bool
+    #: executed bytes per link tier (nvlink/pcie/network)
+    bytes_by_tier: Dict[str, int]
+    #: 2-D strictly cheaper than both 1-D shapes (None below 4 devices,
+    #: where the most-square 2-D grid degenerates into a 1-D one)
+    two_d_beats_one_d: Optional[bool]
+    wall_seconds: float
+
+    @property
+    def label(self) -> str:
+        return f"p{self.n_devices}/{self.interconnect}"
+
+
+def run_scale_cell(n_devices: int, interconnect: str, *,
+                   metric: str = "cosine",
+                   n_neighbors: int = KNN_K) -> ScaleCell:
+    """Plan and execute one distributed cell on skewed operands.
+
+    Builds the ``partition="auto"`` plan (which prices every shape that
+    tiles the device count), then executes the chosen plan and checks the
+    clean-run contract — executed simulated seconds equal the modeled
+    total exactly. The headline column compares the 2-D candidate's
+    modeled total against both 1-D shapes: strictly cheaper once p >= 4
+    (each operand side pays (sqrt(p) - 1) transfers instead of (p - 1)).
+    """
+    from repro.dist import DistributedExecutor, build_distributed_plan
+
+    a = make_skewed(120, 64, mean_degree=10, sigma=1.6, seed=33)
+    b = make_skewed(144, 64, mean_degree=12, sigma=1.6, seed=34)
+    start = time.perf_counter()
+    plan = build_distributed_plan(a, b, metric, k=n_neighbors,
+                                  n_devices=n_devices, partition="auto",
+                                  interconnect=interconnect)
+    report = DistributedExecutor(plan).execute()
+    wall = time.perf_counter() - start
+
+    by_phase: Dict[str, int] = {}
+    for step in plan.comm_steps:
+        by_phase[step.phase] = by_phase.get(step.phase, 0) + step.nbytes
+    by_shape = {c.partition: c.estimated_seconds
+                for c in plan.choice.candidates}
+    two_d = None
+    if n_devices >= 4:
+        two_d = (by_shape["2d"] < by_shape["1d_row"]
+                 and by_shape["2d"] < by_shape["1d_col"])
+    return ScaleCell(
+        metric=metric, n_devices=n_devices, interconnect=interconnect,
+        chosen_partition=plan.choice.partition,
+        grid_rows=plan.partition.grid_rows,
+        grid_cols=plan.partition.grid_cols,
+        estimated_seconds=plan.estimated_seconds,
+        compute_seconds_max=max(plan.compute_seconds),
+        comm_seconds=plan.comm_seconds,
+        comm_bytes_total=plan.comm_bytes,
+        bytes_by_phase=dict(sorted(by_phase.items())),
+        candidates=[c.as_dict() for c in plan.choice.candidates],
+        simulated_seconds=report.simulated_seconds,
+        estimate_equals_executed=(report.simulated_seconds
+                                  == plan.estimated_seconds),
+        bytes_by_tier=dict(sorted(report.bytes_by_tier.items())),
+        two_d_beats_one_d=two_d, wall_seconds=wall)
 
 
 def run_cpu_cell(dataset: str, metric: str) -> BenchCell:

@@ -17,7 +17,7 @@ import numpy as np
 from repro.sparse.csr import CSRMatrix
 
 __all__ = ["degree_cdf", "degree_percentile", "fraction_below",
-           "degree_summary", "degree_balanced_shards"]
+           "degree_summary", "degree_balanced_shards", "balanced_split"]
 
 
 def degree_cdf(matrix: CSRMatrix, *, max_percentile: float = 0.99,
@@ -52,36 +52,59 @@ def fraction_below(matrix: CSRMatrix, degree_bound: float) -> float:
     return float(np.count_nonzero(deg < degree_bound) / deg.size)
 
 
+def balanced_split(matrix: CSRMatrix, n_parts: int, *,
+                   axis: int = 0) -> List[np.ndarray]:
+    """Partition row (``axis=0``) or column (``axis=1``) ids into
+    ``n_parts`` nnz-balanced groups.
+
+    Figure 1's long-tailed degree distributions are exactly why contiguous
+    splits make bad partitions: a band of hub rows (or a clump of popular
+    columns) can carry most of the work. This uses the classic
+    longest-processing-time greedy — ids sorted by degree descending, each
+    assigned to the currently lightest part (ties broken by part id, so
+    the assignment is deterministic) — and returns each part's ids
+    **sorted ascending**, which keeps part-local order consistent with
+    global order for tie-broken merges. ``axis=0`` balances row degrees
+    (what :class:`~repro.serve.ShardedIndex` shards by); ``axis=1``
+    balances column degrees, the placement 1.5-D/2-D column panels reuse.
+    """
+    if axis not in (0, 1):
+        raise ValueError(f"axis must be 0 (rows) or 1 (columns), got {axis}")
+    if axis == 0:
+        deg = matrix.row_degrees()
+        what = "rows"
+    else:
+        deg = np.bincount(np.asarray(matrix.indices, dtype=np.int64),
+                          minlength=matrix.n_cols)
+        what = "columns"
+    n_items = int(deg.size)
+    if n_parts <= 0:
+        raise ValueError(f"n_parts must be positive, got {n_parts}")
+    if n_parts > n_items:
+        raise ValueError(
+            f"cannot cut {n_items} {what} into {n_parts} parts")
+    order = np.argsort(-deg, kind="stable")
+    # Heap entries are (load, n_ids_assigned, part_id): the count tiebreak
+    # spreads zero-degree ids round-robin instead of piling them on part 0,
+    # so every part is non-empty whenever n_parts <= n_items.
+    heap = [(0, 0, part_id) for part_id in range(n_parts)]
+    heapq.heapify(heap)
+    groups: List[List[int]] = [[] for _ in range(n_parts)]
+    for item in order:
+        load, count, part_id = heapq.heappop(heap)
+        groups[part_id].append(int(item))
+        heapq.heappush(heap, (load + int(deg[item]), count + 1, part_id))
+    return [np.sort(np.asarray(g, dtype=np.int64)) for g in groups]
+
+
 def degree_balanced_shards(matrix: CSRMatrix,
                            n_shards: int) -> List[np.ndarray]:
     """Partition row ids into ``n_shards`` nnz-balanced groups.
 
-    Figure 1's long-tailed degree distributions are exactly why contiguous
-    row splits make bad shards: a band of hub rows can carry most of the
-    work. This uses the classic longest-processing-time greedy — rows
-    sorted by degree descending, each assigned to the currently lightest
-    shard (ties broken by shard id, so the assignment is deterministic) —
-    and returns each shard's ids **sorted ascending**, which keeps
-    shard-local order consistent with global order for tie-broken merges.
+    The serving-layer name for :func:`balanced_split` over rows; see that
+    function for the placement algorithm and determinism guarantees.
     """
-    if n_shards <= 0:
-        raise ValueError(f"n_shards must be positive, got {n_shards}")
-    if n_shards > matrix.n_rows:
-        raise ValueError(
-            f"cannot cut {matrix.n_rows} rows into {n_shards} shards")
-    deg = matrix.row_degrees()
-    order = np.argsort(-deg, kind="stable")
-    # Heap entries are (load, n_rows_assigned, shard_id): the row-count
-    # tiebreak spreads zero-degree rows round-robin instead of piling them
-    # on shard 0, so every shard is non-empty whenever n_shards <= n_rows.
-    heap = [(0, 0, shard_id) for shard_id in range(n_shards)]
-    heapq.heapify(heap)
-    groups: List[List[int]] = [[] for _ in range(n_shards)]
-    for row in order:
-        load, count, shard_id = heapq.heappop(heap)
-        groups[shard_id].append(int(row))
-        heapq.heappush(heap, (load + int(deg[row]), count + 1, shard_id))
-    return [np.sort(np.asarray(g, dtype=np.int64)) for g in groups]
+    return balanced_split(matrix, n_shards, axis=0)
 
 
 def degree_summary(matrix: CSRMatrix) -> Dict[str, float]:

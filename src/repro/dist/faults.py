@@ -1,0 +1,76 @@
+"""Deterministic mid-transfer link faults for the distributed executor.
+
+The launch-fault machinery (PR 2) keys a pure fault schedule on the
+``(tile, attempt, depth)`` coordinate of one kernel launch attempt; links
+reuse the same :class:`~repro.faults.FaultSpec` algebra keyed on the
+``(comm-step index, attempt)`` coordinate of one transfer attempt (depth
+is always 0 — transfers never split). The injector installs a transfer
+interceptor (see :func:`repro.gpusim.interconnect.simulate_transfer`) for
+the duration of one attempt, raising
+:class:`~repro.errors.LinkTransientFault` at exactly the site a real NCCL
+send would fail; the executor's :class:`~repro.faults.RecoveryPolicy`
+retries with backoff, and a spec firing on every attempt (the
+``fatal_specs`` idiom) exhausts the budget and surfaces a resumable
+:class:`~repro.errors.ExecutionFaultError`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable
+
+from repro.errors import LinkTransientFault
+from repro.faults.spec import FaultKind, FaultSpec
+from repro.gpusim.interconnect import (
+    install_transfer_interceptor,
+    restore_transfer_interceptor,
+)
+
+__all__ = ["LinkFaultInjector"]
+
+
+class LinkFaultInjector:
+    """Replays a seeded :class:`FaultSpec` schedule into transfers.
+
+    Only ``transient`` specs are meaningful for links (a transfer either
+    completes or is retried whole; there is nothing to split or degrade),
+    so any other kind is rejected at construction. ``spec.tiles`` selects
+    comm-step indices and ``spec.attempts`` transfer attempts, with the
+    same counter-based probability RNG as the launch injector — the
+    schedule is a pure function of ``(seed, spec, site)``, never of
+    thread scheduling.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec], *, seed: int = 0):
+        self.specs = tuple(specs)
+        for spec in self.specs:
+            if spec.kind is not FaultKind.TRANSIENT:
+                raise ValueError(
+                    f"link faults support only transient specs, got "
+                    f"{spec.kind.value!r}")
+        self.seed = int(seed)
+
+    def fires_at(self, step_index: int, attempt: int) -> bool:
+        """Whether any spec fires at this transfer attempt (pure)."""
+        return any(
+            spec.matches(step_index, attempt, 0, seed=self.seed,
+                         spec_index=i)
+            for i, spec in enumerate(self.specs))
+
+    @contextmanager
+    def transfer_scope(self, step_index: int, attempt: int):
+        """Arm the transfer interceptor for one attempt at one comm step."""
+        fires = self.fires_at(step_index, attempt)
+
+        def interceptor(interconnect, nbytes, *, src, dst):
+            if fires:
+                raise LinkTransientFault(
+                    f"injected link fault: comm step {step_index} "
+                    f"({src}->{dst}, {int(nbytes)} bytes), "
+                    f"attempt {attempt}")
+
+        token = install_transfer_interceptor(interceptor)
+        try:
+            yield
+        finally:
+            restore_transfer_interceptor(token)

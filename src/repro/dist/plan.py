@@ -1,0 +1,308 @@
+"""Distributed plan builder: per-device lanes + priced comm schedule.
+
+``build_distributed_plan`` prepares the operands once, cuts them for a
+:class:`~repro.dist.partition.GridPartition`, builds one single-device
+:class:`~repro.plan.PairwisePlan` per grid cell, and prices the whole job:
+per-device compute through :func:`repro.plan.estimate_execution_seconds`
+(exact, PR 6's contract) and every :class:`~repro.dist.partition.CommStep`
+through the interconnect's side-effect-free ``price_transfer``. The two
+meet on a deterministic rendezvous clock — a transfer occupies both
+endpoints from ``max(clock[src], clock[dst])`` — so the modeled total is a
+pure function of the plan, and the executor's clean-run simulated seconds
+equal it *exactly* (asserted, not approximated, in the test suite).
+
+``partition="auto"`` builds every shape that tiles the device count and
+picks the cheapest modeled total (ties broken in canonical ``PARTITIONS``
+order), recording the full candidate table on the plan's
+:class:`PartitionChoice` — the distributed analogue of the engine
+autotuner's :class:`~repro.plan.TuningChoice`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.distances import EXPANDED, DistanceMeasure, make_distance
+from repro.errors import EngineConfigError, PartitionConfigError
+from repro.gpusim.interconnect import InterconnectSpec, get_interconnect
+from repro.dist.partition import (
+    PARTITIONS,
+    CommStep,
+    GridPartition,
+    build_partition,
+    comm_schedule,
+    valid_partitions,
+)
+from repro.plan.estimate import estimate_execution_seconds
+from repro.plan.pairwise_plan import (
+    PairwisePlan,
+    PreparedOperand,
+    build_pairwise_plan,
+    prepare_operand,
+)
+
+__all__ = ["DistributedPlan", "PartitionCandidate", "PartitionChoice",
+           "build_distributed_plan", "schedule_seconds"]
+
+
+def schedule_seconds(partition: GridPartition,
+                     comm_steps: Tuple[CommStep, ...],
+                     compute_seconds: Tuple[float, ...],
+                     interconnect: InterconnectSpec) -> float:
+    """Rendezvous-clock makespan of one distributed execution.
+
+    Deterministic and shared between the planner and the executor's
+    accounting: allgather steps advance both endpoint clocks in schedule
+    order, every device then runs its compute lane, and reduce/gather
+    steps advance clocks the same way; the job takes as long as the
+    slowest device. Transfers are synchronous rendezvous on purpose — the
+    model stays a pure fold over the schedule, which is what makes
+    "estimate == executed" an equality rather than an approximation.
+    """
+    clocks = [0.0] * partition.n_devices
+    pre = [s for s in comm_steps if s.phase.startswith("allgather")]
+    post = [s for s in comm_steps if not s.phase.startswith("allgather")]
+    for step in pre:
+        seconds = interconnect.price_transfer(
+            step.nbytes, step.src, step.dst).seconds
+        t0 = max(clocks[step.src], clocks[step.dst])
+        clocks[step.src] = clocks[step.dst] = t0 + seconds
+    for device in range(partition.n_devices):
+        clocks[device] += compute_seconds[device]
+    for step in post:
+        seconds = interconnect.price_transfer(
+            step.nbytes, step.src, step.dst).seconds
+        t0 = max(clocks[step.src], clocks[step.dst])
+        clocks[step.src] = clocks[step.dst] = t0 + seconds
+    return max(clocks)
+
+
+@dataclass(frozen=True)
+class PartitionCandidate:
+    """One priced shape in the auto-partition table."""
+
+    partition: str
+    grid_rows: int
+    grid_cols: int
+    estimated_seconds: float
+    compute_seconds_max: float
+    comm_seconds: float
+    comm_bytes: int
+
+    def as_dict(self) -> dict:
+        return {
+            "partition": self.partition,
+            "grid_rows": self.grid_rows,
+            "grid_cols": self.grid_cols,
+            "estimated_seconds": self.estimated_seconds,
+            "compute_seconds_max": self.compute_seconds_max,
+            "comm_seconds": self.comm_seconds,
+            "comm_bytes": self.comm_bytes,
+        }
+
+
+@dataclass(frozen=True)
+class PartitionChoice:
+    """The auto-partitioner's decision record (cf. ``TuningChoice``)."""
+
+    partition: str
+    estimated_seconds: float
+    candidates: Tuple[PartitionCandidate, ...]
+
+    def as_dict(self) -> dict:
+        return {
+            "partition": self.partition,
+            "estimated_seconds": self.estimated_seconds,
+            "candidates": [c.as_dict() for c in self.candidates],
+        }
+
+
+@dataclass
+class _ShapeBuild:
+    """Everything built while pricing one candidate shape."""
+
+    partition: GridPartition
+    device_plans: Dict[Tuple[int, int], PairwisePlan]
+    compute_seconds: Tuple[float, ...]
+    comm_steps: Tuple[CommStep, ...]
+    estimated_seconds: float
+    comm_seconds: float
+    comm_bytes: int
+
+
+@dataclass
+class DistributedPlan:
+    """One distributed pairwise top-k job, fully built and priced.
+
+    ``device_plans[(r, c)]`` is the single-device plan for block
+    ``A_r × B_c``; ``compute_seconds`` its exact dry-run price per flat
+    device id; ``comm_steps`` the full transfer schedule;
+    ``estimated_seconds`` the rendezvous-clock total the executor's clean
+    run reproduces exactly. ``choice`` carries the auto-partition
+    candidate table (None for a fixed shape).
+    """
+
+    measure: DistanceMeasure
+    k: int
+    partition: GridPartition
+    interconnect: InterconnectSpec
+    device_plans: Dict[Tuple[int, int], PairwisePlan]
+    compute_seconds: Tuple[float, ...]
+    comm_steps: Tuple[CommStep, ...]
+    estimated_seconds: float
+    comm_seconds: float
+    comm_bytes: int
+    a_op: PreparedOperand
+    b_op: PreparedOperand
+    placement: str
+    choice: Optional[PartitionChoice] = None
+
+    @property
+    def n_devices(self) -> int:
+        return self.partition.n_devices
+
+    @property
+    def k_final(self) -> int:
+        """Result width: ``min(k, corpus rows)``, like the estimator."""
+        return min(self.k, self.b_op.n_rows)
+
+    def device_k(self, c: int) -> int:
+        """Per-column partial-top-k width: ``min(k, |B_c|)``."""
+        return min(self.k, self.partition.b_panels[c].n_rows)
+
+    def device_plan(self, r: int, c: int) -> PairwisePlan:
+        return self.device_plans[(r, c)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        part = self.partition
+        return (f"DistributedPlan({self.measure.name}, k={self.k}, "
+                f"{part.name}={part.grid_rows}x{part.grid_cols}, "
+                f"interconnect={self.interconnect.name})")
+
+
+def _n_norm_kinds(measure: DistanceMeasure) -> int:
+    return len(measure.norms) if measure.kind == EXPANDED else 0
+
+
+def _build_for_shape(name: str, op_a: PreparedOperand,
+                     op_b: PreparedOperand, measure: DistanceMeasure,
+                     n_devices: int, k: int,
+                     interconnect: InterconnectSpec, engine, device,
+                     placement: str,
+                     memory_budget_bytes: Optional[int]) -> _ShapeBuild:
+    partition = build_partition(name, op_a.csr, op_b.csr, n_devices,
+                                placement=placement)
+    device_plans: Dict[Tuple[int, int], PairwisePlan] = {}
+    compute: List[float] = []
+    for r in range(partition.grid_rows):
+        a_panel_op = op_a.take_rows(partition.a_panels[r].row_ids)
+        for c in range(partition.grid_cols):
+            b_panel_op = op_b.take_rows(partition.b_panels[c].row_ids)
+            plan = build_pairwise_plan(
+                a_panel_op, b_panel_op, measure, engine=engine,
+                device=device, memory_budget_bytes=memory_budget_bytes)
+            seconds = estimate_execution_seconds(plan, n_workers=1)
+            if seconds is None:
+                raise EngineConfigError(
+                    f"engine {getattr(plan.kernel, 'name', engine)!r} "
+                    "cannot price a dry run; distributed planning needs an "
+                    "engine with estimate_seconds",
+                    engine=str(getattr(plan.kernel, "name", engine)))
+            device_plans[(r, c)] = plan
+            compute.append(seconds)
+    comm_steps = comm_schedule(
+        partition,
+        a_degrees=op_a.csr.row_degrees(),
+        b_degrees=op_b.csr.row_degrees(),
+        k=k,
+        n_norm_kinds_a=_n_norm_kinds(measure),
+        n_norm_kinds_b=_n_norm_kinds(measure))
+    total = schedule_seconds(partition, comm_steps, tuple(compute),
+                             interconnect)
+    comm_seconds = 0.0
+    comm_bytes = 0
+    for step in comm_steps:
+        comm_seconds += interconnect.price_transfer(
+            step.nbytes, step.src, step.dst).seconds
+        comm_bytes += step.nbytes
+    return _ShapeBuild(partition=partition, device_plans=device_plans,
+                       compute_seconds=tuple(compute),
+                       comm_steps=comm_steps, estimated_seconds=total,
+                       comm_seconds=comm_seconds, comm_bytes=comm_bytes)
+
+
+def build_distributed_plan(
+    x,
+    y=None,
+    metric="cosine",
+    *,
+    k: int = 5,
+    n_devices: int = 2,
+    partition: str = "auto",
+    interconnect="nvlink",
+    engine="hybrid_coo",
+    device=None,
+    placement: str = "contiguous",
+    memory_budget_bytes: Optional[int] = None,
+    **metric_params,
+) -> DistributedPlan:
+    """Plan a distributed pairwise top-k job without executing it.
+
+    ``x`` (queries) and ``y`` (corpus; defaults to ``x`` for self-join)
+    may be raw matrices or :class:`~repro.plan.PreparedOperand`s.
+    ``partition`` is a shape name from :data:`~repro.dist.PARTITIONS` or
+    ``"auto"``; ``interconnect`` a preset name (``nvlink``/``pcie``/
+    ``network``) or an :class:`~repro.gpusim.InterconnectSpec`. All other
+    knobs pass through to :func:`~repro.plan.build_pairwise_plan` per
+    device.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    measure = (metric if isinstance(metric, DistanceMeasure)
+               else make_distance(metric, **metric_params))
+    op_a = prepare_operand(x, measure)
+    op_b = op_a if y is None else prepare_operand(y, measure)
+    spec = get_interconnect(interconnect, n_devices)
+
+    if partition == "auto":
+        names = valid_partitions(n_devices)
+    else:
+        if partition not in PARTITIONS:
+            raise PartitionConfigError(
+                f"unknown partition {partition!r}; expected one of "
+                f"{PARTITIONS + ('auto',)}")
+        names = (partition,)
+
+    builds: Dict[str, _ShapeBuild] = {}
+    for name in names:
+        builds[name] = _build_for_shape(
+            name, op_a, op_b, measure, n_devices, k, spec, engine, device,
+            placement, memory_budget_bytes)
+
+    chosen = min(names, key=lambda n: (builds[n].estimated_seconds,
+                                       PARTITIONS.index(n)))
+    choice = None
+    if partition == "auto":
+        choice = PartitionChoice(
+            partition=chosen,
+            estimated_seconds=builds[chosen].estimated_seconds,
+            candidates=tuple(
+                PartitionCandidate(
+                    partition=n,
+                    grid_rows=builds[n].partition.grid_rows,
+                    grid_cols=builds[n].partition.grid_cols,
+                    estimated_seconds=builds[n].estimated_seconds,
+                    compute_seconds_max=max(builds[n].compute_seconds),
+                    comm_seconds=builds[n].comm_seconds,
+                    comm_bytes=builds[n].comm_bytes)
+                for n in names))
+
+    build = builds[chosen]
+    return DistributedPlan(
+        measure=measure, k=int(k), partition=build.partition,
+        interconnect=spec, device_plans=build.device_plans,
+        compute_seconds=build.compute_seconds, comm_steps=build.comm_steps,
+        estimated_seconds=build.estimated_seconds,
+        comm_seconds=build.comm_seconds, comm_bytes=build.comm_bytes,
+        a_op=op_a, b_op=op_b, placement=placement, choice=choice)

@@ -27,6 +27,24 @@ class DeviceConfigError(ReproError):
     """A simulated device configuration is invalid or unsatisfiable."""
 
 
+class InterconnectConfigError(DeviceConfigError):
+    """An interconnect topology or transfer endpoint is invalid.
+
+    Raised for unknown preset names (the message lists every registered
+    topology), non-positive link bandwidths, negative latencies, and
+    transfers addressed to devices outside ``range(n_devices)``.
+    """
+
+
+class PartitionConfigError(ReproError):
+    """A distributed partition request cannot be satisfied.
+
+    Raised for unknown partition names (the message lists the valid
+    shapes), device counts a shape cannot tile (e.g. ``1p5d`` over an odd
+    device count), and grids with more panels than operand rows.
+    """
+
+
 class EngineConfigError(ReproError):
     """An execution-engine request cannot be satisfied.
 
@@ -102,6 +120,15 @@ class InjectedFault(Exception):
 
 class TransientLaunchFault(InjectedFault, KernelLaunchError):
     """An injected transient launch failure (succeeds when retried)."""
+
+
+class LinkTransientFault(TransientLaunchFault):
+    """An injected mid-transfer link failure (succeeds when retried).
+
+    Subclasses :class:`TransientLaunchFault` so the standard
+    :class:`~repro.faults.RecoveryPolicy` classifies it as retryable
+    without any link-specific ladder; the distributed executor replays
+    the failed :class:`~repro.dist.CommStep` with backoff."""
 
 
 class TileStuckError(InjectedFault, KernelLaunchError):

@@ -13,6 +13,14 @@ See DESIGN.md §2 for why this substitution preserves the paper's claims.
 from repro.gpusim.cost_model import (CostModel, OperandProbe,
                                      SimulatedTime, price_launch)
 from repro.gpusim.executor import LaunchResult, simulate_launch
+from repro.gpusim.interconnect import (
+    INTERCONNECTS,
+    InterconnectSpec,
+    LinkSpec,
+    Transfer,
+    get_interconnect,
+    simulate_transfer,
+)
 from repro.gpusim.memory import (
     TRANSACTION_BYTES,
     bank_conflicts_for_offsets,
@@ -41,6 +49,12 @@ __all__ = [
     "SimulatedTime",
     "LaunchResult",
     "simulate_launch",
+    "LinkSpec",
+    "Transfer",
+    "InterconnectSpec",
+    "INTERCONNECTS",
+    "get_interconnect",
+    "simulate_transfer",
     "TileAccountant",
     "TileLaunchRecord",
     "TRANSACTION_BYTES",

@@ -35,6 +35,9 @@ __all__ = ["to_chrome_trace", "write_chrome_trace"]
 #: pid used for every event (one simulated device per trace).
 _PID = 1
 
+#: tid offset for per-device-pair comm lanes (sorts below worker lanes).
+_COMM_TID_BASE = 1000
+
 _EVENT_COLORS = {
     "fault": "terrible",
     "launch": "thread_state_runnable",
@@ -88,18 +91,43 @@ def _jsonable(value):
     return str(value)
 
 
+def _comm_lane(span: Span, link_lanes: Dict[tuple, int],
+               lanes_seen: Dict[int, str]) -> int:
+    """The Perfetto track for a comm span's device pair (first-seen
+    order, tids offset to sort below the worker lanes)."""
+    key = (span.args.get("src"), span.args.get("dst"))
+    if key not in link_lanes:
+        tid = _COMM_TID_BASE + len(link_lanes)
+        link_lanes[key] = tid
+        lanes_seen[tid] = f"link {key[0]}->{key[1]}"
+    return link_lanes[key]
+
+
 def _layout_root(root: Span, t0_us: float, events: List[dict],
-                 lanes_seen: Dict[int, str]) -> float:
+                 lanes_seen: Dict[int, str],
+                 link_lanes: Dict[tuple, int]) -> float:
     """Lay out one root span; returns the timeline cursor after it."""
     n_workers = int(root.args.get("n_workers", 1) or 1)
     tiles = [c for c in root.children if c.category == "tile"]
-    prologue = [c for c in root.children if c.category != "tile"]
+    comm = [c for c in root.children if c.category == "comm"]
+    prologue = [c for c in root.children
+                if c.category not in ("tile", "comm")]
 
     # Prologue (norms etc.) runs serially before any lane starts.
     cursor = t0_us
     for span in prologue:
         cursor += _emit_span(span, cursor, 0, events)
-    tiles_t0 = cursor
+
+    # Pre-compute comm (operand allgathers) on link lanes, one Perfetto
+    # track per device pair, back to back within a lane.
+    pre_comm = [s for s in comm if s.name.startswith("comm.allgather")]
+    post_comm = [s for s in comm if not s.name.startswith("comm.allgather")]
+    link_cursor: Dict[int, float] = {}
+    for span in pre_comm:
+        lane = _comm_lane(span, link_lanes, lanes_seen)
+        start = link_cursor.get(lane, cursor)
+        link_cursor[lane] = start + _emit_span(span, start, lane, events)
+    tiles_t0 = max([cursor, *link_cursor.values()])
 
     # Deterministic lanes: ordinal i -> lane i % n_workers, back to back.
     tiles = sorted(tiles, key=lambda s: s.args.get("tile", s.span_id))
@@ -110,8 +138,17 @@ def _layout_root(root: Span, t0_us: float, events: List[dict],
         lane_cursor[lane] += _emit_span(span, lane_cursor[lane], lane,
                                         events)
 
+    # Post-compute comm (partial top-k reduce / result gather) resumes
+    # once every compute lane has drained.
+    compute_end = max([tiles_t0, *lane_cursor])
+    link_cursor = {}
+    for span in post_comm:
+        lane = _comm_lane(span, link_lanes, lanes_seen)
+        start = link_cursor.get(lane, compute_end)
+        link_cursor[lane] = start + _emit_span(span, start, lane, events)
+
     # Root span wraps everything it contains.
-    end = max([cursor, *lane_cursor])
+    end = max([compute_end, *link_cursor.values()])
     root_args = {k: _jsonable(v) for k, v in root.args.items()}
     if root.status != "ok":
         root_args["status"] = root.status
@@ -133,11 +170,13 @@ def to_chrome_trace(tracer: Tracer) -> dict:
     """Convert a tracer's span forest into a Chrome trace-event document."""
     events: List[dict] = []
     lanes_seen: Dict[int, str] = {0: "worker 0"}
+    link_lanes: Dict[tuple, int] = {}
     cursor = 0.0
     for root in tracer.roots:
         if root.category == "plan" or any(c.category == "tile"
                                           for c in root.children):
-            cursor = _layout_root(root, cursor, events, lanes_seen)
+            cursor = _layout_root(root, cursor, events, lanes_seen,
+                                  link_lanes)
         else:
             cursor += _emit_span(root, cursor, 0, events)
 

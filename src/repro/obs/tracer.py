@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from typing import List, Optional
 
 from repro.obs.metrics import NULL_METRICS
@@ -54,6 +55,7 @@ __all__ = [
     "pop_metrics",
     "get_default_tracer",
     "set_default_tracer",
+    "shielded_trace_context",
 ]
 
 _TLS = threading.local()
@@ -326,6 +328,24 @@ def current_tracer() -> Tracer:
     """
     stack = getattr(_TLS, "spans", None)
     return stack[-1].tracer if stack else NULL_TRACER
+
+
+@contextmanager
+def shielded_trace_context():
+    """Run a block with an empty span stack on this thread.
+
+    Inside the block, :func:`current_tracer` / :func:`current_span` see
+    nothing, so ambient instrumentation (kernel launches, transfers)
+    records nowhere — exactly what a fresh worker thread sees. The
+    distributed executor shields per-device compute with this so its trace
+    tree is identical whether lanes run on the main thread or a pool.
+    """
+    stack = getattr(_TLS, "spans", None)
+    _TLS.spans = []
+    try:
+        yield
+    finally:
+        _TLS.spans = stack
 
 
 def push_metrics(registry) -> None:

@@ -26,6 +26,7 @@ from repro.plan.consumers import (
     TileConsumer,
     TopKConsumer,
 )
+from repro.plan.estimate import estimate_execution_seconds
 from repro.plan.executor import PlanExecutionReport, PlanExecutor
 from repro.plan.index_width import (
     INT32_MAX,
@@ -62,6 +63,7 @@ __all__ = [
     "prepare_operand",
     "PlanExecutor",
     "PlanExecutionReport",
+    "estimate_execution_seconds",
     "TileConsumer",
     "DenseBlockConsumer",
     "TopKConsumer",

@@ -1,0 +1,88 @@
+"""Pure dry-run pricing of a whole :class:`~repro.plan.PairwisePlan`.
+
+The engine autotuner (PR 6) already prices individual kernels exactly —
+``estimate_seconds == run`` through the shared ``price_launch`` core. This
+module lifts that guarantee from one kernel to one *plan execution*:
+:func:`estimate_execution_seconds` replays the executor's exact accounting
+— per-tile kernel seconds, the expansion/finalize epilogue per tile, the
+norms prologue once, the round-robin N-worker makespan — entirely through
+side-effect-free pricing. For a clean (fault-free) run the returned float
+equals :attr:`~repro.plan.PlanExecutionReport.simulated_seconds` *exactly*,
+not approximately.
+
+That exactness is what the distributed planner (:mod:`repro.dist`) builds
+on: a :class:`~repro.dist.DistributedPlan` prices every device lane with
+this function, so ``partition="auto"``'s modeled total cost can be asserted
+equal to the executed simulated seconds, the same contract PR 6's autotuner
+gives for ``engine="auto"``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.distances import EXPANDED
+from repro.gpusim.cost_model import price_launch
+from repro.plan.executor import (
+    _elementwise_launch_shape,
+    _norms_launch_shape,
+    _round_robin_makespan,
+)
+from repro.plan.pairwise_plan import PairwisePlan
+
+__all__ = ["estimate_execution_seconds"]
+
+
+def _price_norms(plan: PairwisePlan) -> float:
+    """The norms prologue's seconds, via the executor's exact launch shape."""
+    shape = _norms_launch_shape(plan)
+    if shape is None:
+        return 0.0
+    extra, grid_blocks = shape
+    _, time = price_launch(plan.spec, extra, grid_blocks=grid_blocks,
+                           block_threads=32, smem_per_block=0)
+    return time.seconds
+
+
+def _price_elementwise(plan: PairwisePlan, n_elements: int) -> float:
+    """The per-tile epilogue's seconds, via the executor's launch shape."""
+    extra, grid_blocks = _elementwise_launch_shape(n_elements)
+    _, time = price_launch(plan.spec, extra, grid_blocks=grid_blocks,
+                           block_threads=256, smem_per_block=0)
+    return time.seconds
+
+
+def estimate_execution_seconds(plan: PairwisePlan, *,
+                               n_workers: int = 1) -> Optional[float]:
+    """Modeled wall time of executing ``plan`` on ``n_workers`` lanes.
+
+    Exactly :attr:`PlanExecutionReport.simulated_seconds` for a clean run
+    (fault backoff and degradation change the executed time, never this
+    estimate). Returns ``0.0`` for host-reference plans (which price
+    nothing, matching the executor) and ``None`` when the plan's kernel
+    cannot estimate — the same contract as
+    :meth:`~repro.kernels.base.PairwiseKernel.estimate_seconds`.
+    """
+    if n_workers <= 0:
+        raise ValueError("n_workers must be positive")
+    if not plan.simulate:
+        return 0.0
+    tiles = list(plan.grid.tiles())
+    measure = plan.measure
+    needs_epilogue = (measure.kind == EXPANDED
+                      or measure.finalize is not None)
+    tile_seconds = []
+    for tile in tiles:
+        a_t = plan.a_band(tile.band_a)
+        b_t = plan.b_band(tile.band_b)
+        seconds = plan.kernel.estimate_seconds(a_t, b_t, measure.semiring)
+        if seconds is None:
+            return None
+        if needs_epilogue:
+            seconds += _price_elementwise(plan, tile.rows_a * tile.rows_b)
+        tile_seconds.append(seconds)
+
+    total = _round_robin_makespan(tile_seconds, int(n_workers))
+    if tiles and measure.kind == EXPANDED:
+        total += _price_norms(plan)
+    return total

@@ -704,11 +704,14 @@ def _round_robin_makespan(tile_seconds: List[float], n_workers: int) -> float:
     return float(max(lanes))
 
 
-def _norms_seconds(plan: PairwisePlan, stats: KernelStats) -> float:
-    """Price the warp-per-row norm reductions (§3.4), once per plan."""
+def _norms_launch_shape(plan: PairwisePlan):
+    """Stats + grid shape of the norms prologue launch (None when the
+    measure needs no norms). Pure — shared by :func:`_norms_seconds` and
+    the estimator's :func:`repro.plan.estimate.estimate_execution_seconds`
+    so the executed charge and the dry-run estimate can never drift."""
     n_kinds = len(plan.measure.norms)
     if n_kinds == 0:
-        return 0.0
+        return None
     a, b = plan.a, plan.b
     extra = KernelStats()
     nnz = a.nnz + (0 if plan.b_is_a else b.nnz)
@@ -716,7 +719,27 @@ def _norms_seconds(plan: PairwisePlan, stats: KernelStats) -> float:
     extra.alu_ops += 2.0 * nnz * n_kinds
     extra.gmem_transactions += coalesced_transactions(nnz, itemsize=4) * n_kinds
     extra.gmem_transactions += coalesced_transactions(rows, itemsize=4) * n_kinds
-    launch = simulate_launch(plan.spec, extra, grid_blocks=max(1, rows),
+    return extra, max(1, rows)
+
+
+def _elementwise_launch_shape(n_elements: int):
+    """Stats + grid shape of the expansion/finalize epilogue launch (pure,
+    shared with the estimator like :func:`_norms_launch_shape`)."""
+    extra = KernelStats()
+    extra.alu_ops += 6.0 * n_elements
+    extra.special_ops += 1.0 * n_elements
+    extra.gmem_transactions += 2 * coalesced_transactions(n_elements,
+                                                          itemsize=4)
+    return extra, max(1, -(-n_elements // 256))
+
+
+def _norms_seconds(plan: PairwisePlan, stats: KernelStats) -> float:
+    """Price the warp-per-row norm reductions (§3.4), once per plan."""
+    shape = _norms_launch_shape(plan)
+    if shape is None:
+        return 0.0
+    extra, grid_blocks = shape
+    launch = simulate_launch(plan.spec, extra, grid_blocks=grid_blocks,
                              block_threads=32, smem_per_block=0)
     stats.merge(launch.stats)
     return launch.seconds
@@ -724,13 +747,8 @@ def _norms_seconds(plan: PairwisePlan, stats: KernelStats) -> float:
 
 def _elementwise_seconds(spec, stats: KernelStats, n_elements: int) -> float:
     """Price the embarrassingly-parallel expansion/finalize kernel (§3.4)."""
-    extra = KernelStats()
-    extra.alu_ops += 6.0 * n_elements
-    extra.special_ops += 1.0 * n_elements
-    extra.gmem_transactions += 2 * coalesced_transactions(n_elements,
-                                                          itemsize=4)
-    launch = simulate_launch(spec, extra,
-                             grid_blocks=max(1, -(-n_elements // 256)),
+    extra, grid_blocks = _elementwise_launch_shape(n_elements)
+    launch = simulate_launch(spec, extra, grid_blocks=grid_blocks,
                              block_threads=256, smem_per_block=0)
     stats.merge(launch.stats)
     return launch.seconds

@@ -433,6 +433,12 @@ class MutableIndex:
             acc.update_pairs(distances, global_ids)
         return acc.finalize()
 
+    #: The distributed fan-out runs through ``query_shard``, so the
+    #: overlay's widened ``shard_k`` and sentinel masking apply unchanged;
+    #: empty generations are skipped the same way ``kneighbors`` skips
+    #: them.
+    kneighbors_distributed = ShardedIndex.kneighbors_distributed
+
     # ------------------------------------------------------------------
     # mutations
     # ------------------------------------------------------------------

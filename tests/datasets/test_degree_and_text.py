@@ -5,6 +5,8 @@ import pytest
 
 from repro.datasets.corpus import generate_company_names, generate_documents
 from repro.datasets.degree import (
+    balanced_split,
+    degree_balanced_shards,
     degree_cdf,
     degree_percentile,
     degree_summary,
@@ -40,6 +42,68 @@ class TestDegreeCdf:
     def test_summary_empty(self):
         s = degree_summary(CSRMatrix.empty((0, 3)))
         assert all(v == 0.0 for v in s.values())
+
+
+class TestBalancedSplit:
+    @pytest.mark.parametrize("axis", [0, 1])
+    def test_parts_partition_all_ids(self, rng, axis):
+        m = random_csr(rng, 40, 24, 0.3)
+        n_items = m.n_rows if axis == 0 else m.n_cols
+        parts = balanced_split(m, 5, axis=axis)
+        assert len(parts) == 5
+        stacked = np.sort(np.concatenate(parts))
+        np.testing.assert_array_equal(stacked, np.arange(n_items))
+        # each part ascending (the tie-break invariant merges rely on)
+        for ids in parts:
+            assert np.all(np.diff(ids) > 0)
+
+    @pytest.mark.parametrize("axis", [0, 1])
+    def test_balances_degree_load(self, rng, axis):
+        m = random_csr(rng, 48, 32, 0.35)
+        deg = (m.row_degrees() if axis == 0
+               else np.bincount(np.asarray(m.indices, dtype=np.int64),
+                                minlength=m.n_cols))
+        parts = balanced_split(m, 4, axis=axis)
+        loads = [int(deg[ids].sum()) for ids in parts]
+        # LPT guarantee: max load within one heaviest item of the mean
+        assert max(loads) - min(loads) <= int(deg.max())
+
+    @pytest.mark.parametrize("axis", [0, 1])
+    def test_deterministic(self, axis):
+        rng_a = np.random.default_rng(7)
+        rng_b = np.random.default_rng(7)
+        a = random_csr(rng_a, 30, 18, 0.3)
+        b = random_csr(rng_b, 30, 18, 0.3)
+        for pa, pb in zip(balanced_split(a, 3, axis=axis),
+                          balanced_split(b, 3, axis=axis)):
+            np.testing.assert_array_equal(pa, pb)
+
+    def test_column_axis_uses_column_degrees(self):
+        # one hub column (all rows) + sparse others: the hub must sit alone
+        dense = np.zeros((8, 4))
+        dense[:, 0] = 1.0
+        dense[0, 1] = dense[1, 2] = dense[2, 3] = 1.0
+        m = CSRMatrix.from_dense(dense)
+        parts = balanced_split(m, 2, axis=1)
+        hub_part = next(p for p in parts if 0 in p)
+        assert hub_part.size == 1  # the greedy isolates the hub column
+
+    def test_validation(self, rng):
+        m = random_csr(rng, 10, 6, 0.4)
+        with pytest.raises(ValueError):
+            balanced_split(m, 3, axis=2)
+        with pytest.raises(ValueError):
+            balanced_split(m, 11, axis=0)
+        with pytest.raises(ValueError):
+            balanced_split(m, 7, axis=1)
+        with pytest.raises(ValueError):
+            balanced_split(m, 0)
+
+    def test_shards_alias_matches_axis0(self, rng):
+        m = random_csr(rng, 25, 12, 0.3)
+        for pa, pb in zip(degree_balanced_shards(m, 4),
+                          balanced_split(m, 4, axis=0)):
+            np.testing.assert_array_equal(pa, pb)
 
 
 class TestTfidf:

@@ -1,0 +1,155 @@
+"""Distributed execution vs the single-device oracle.
+
+Acceptance bar for ``repro.dist``:
+
+- merged ``(distances, indices)`` are **bit-identical** to an unsharded
+  :class:`~repro.neighbors.NearestNeighbors` fit, for every partition
+  shape x device count x worker count x metric;
+- a clean run's ``simulated_seconds`` equals the plan's
+  ``estimated_seconds`` with ``==`` on floats — the planner and the
+  executor fold the same schedule with the same priced numbers;
+- ``partition="auto"`` picks the candidate with the smallest modeled
+  total and records the full candidate table.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_skewed
+from repro.dist import (
+    PARTITIONS,
+    DistributedExecutor,
+    build_distributed_plan,
+    valid_partitions,
+)
+from repro.neighbors.brute_force import NearestNeighbors
+
+METRICS = ("euclidean", "cosine", "inner_product")
+
+K = 5
+
+
+@pytest.fixture(scope="module")
+def operands():
+    a = make_skewed(26, 34, mean_degree=6, sigma=1.0, seed=21)
+    b = make_skewed(33, 34, mean_degree=7, sigma=1.1, seed=22)
+    return a, b
+
+
+@pytest.fixture(scope="module")
+def oracle(operands):
+    a, b = operands
+    out = {}
+    for metric in METRICS:
+        nn = NearestNeighbors(n_neighbors=K, metric=metric)
+        out[metric] = nn.fit(b).kneighbors(a)
+    return out
+
+
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("name", PARTITIONS + ("auto",))
+@pytest.mark.parametrize("n_devices", [2, 4])
+@pytest.mark.parametrize("n_workers", [1, 4])
+def test_bit_identity_and_exact_estimate(operands, oracle, metric, name,
+                                         n_devices, n_workers):
+    if name == "1p5d" and n_devices % 2:
+        pytest.skip("1p5d needs an even device count")
+    a, b = operands
+    plan = build_distributed_plan(a, b, metric, k=K, n_devices=n_devices,
+                                  partition=name)
+    report = DistributedExecutor(plan, n_workers=n_workers).execute()
+    distances, indices = report.value
+    want_d, want_i = oracle[metric]
+    np.testing.assert_array_equal(distances, want_d)
+    np.testing.assert_array_equal(indices, want_i)
+    # exact equality, not approx: same fold, same floats
+    assert report.simulated_seconds == plan.estimated_seconds
+    # comm_seconds is the *serial* sum of transfer prices (it may exceed
+    # the rendezvous makespan, which overlaps disjoint device pairs)
+    assert report.comm_seconds > 0.0
+    assert report.n_comm_steps == len(plan.comm_steps)
+    assert report.comm_bytes_total == plan.comm_bytes
+    assert report.n_retries == 0 and report.fault_log == ()
+
+
+@pytest.mark.parametrize("n_devices", [2, 4])
+def test_auto_picks_cheapest_candidate(operands, n_devices):
+    a, b = operands
+    plan = build_distributed_plan(a, b, "euclidean", k=K,
+                                  n_devices=n_devices, partition="auto")
+    choice = plan.choice
+    assert choice is not None
+    names = [c.partition for c in choice.candidates]
+    assert tuple(names) == valid_partitions(n_devices)
+    best = min(c.estimated_seconds for c in choice.candidates)
+    assert choice.estimated_seconds == best
+    assert plan.partition.name == choice.partition
+    # the chosen shape's modeled total survives to the plan itself
+    assert plan.estimated_seconds == choice.estimated_seconds
+    # and executing the auto plan is still exact + bit-identical
+    report = DistributedExecutor(plan).execute()
+    assert report.simulated_seconds == plan.estimated_seconds
+
+
+def test_self_join_defaults_to_x(operands):
+    a, _ = operands
+    plan = build_distributed_plan(a, None, "cosine", k=3, n_devices=2,
+                                  partition="1d_row")
+    report = DistributedExecutor(plan).execute()
+    nn = NearestNeighbors(n_neighbors=3, metric="cosine")
+    want_d, want_i = nn.fit(a).kneighbors(a)
+    np.testing.assert_array_equal(report.value[0], want_d)
+    np.testing.assert_array_equal(report.value[1], want_i)
+
+
+def test_degree_balanced_placement_stays_bit_identical(operands, oracle):
+    a, b = operands
+    plan = build_distributed_plan(a, b, "euclidean", k=K, n_devices=4,
+                                  partition="2d",
+                                  placement="degree_balanced")
+    report = DistributedExecutor(plan, n_workers=2).execute()
+    want_d, want_i = oracle["euclidean"]
+    np.testing.assert_array_equal(report.value[0], want_d)
+    np.testing.assert_array_equal(report.value[1], want_i)
+    assert report.simulated_seconds == plan.estimated_seconds
+
+
+def test_k_larger_than_corpus_clamps(operands):
+    a, b = operands
+    plan = build_distributed_plan(a, b, "euclidean", k=b.n_rows + 10,
+                                  n_devices=2, partition="1d_col")
+    report = DistributedExecutor(plan).execute()
+    assert report.value[0].shape == (a.n_rows, b.n_rows)
+    nn = NearestNeighbors(n_neighbors=b.n_rows, metric="euclidean")
+    want_d, want_i = nn.fit(b).kneighbors(a)
+    np.testing.assert_array_equal(report.value[0], want_d)
+    np.testing.assert_array_equal(report.value[1], want_i)
+
+
+def test_tiled_device_plans_stay_exact(operands, oracle):
+    """Tiny memory budgets force multi-tile per-device plans; the
+    estimate==executed contract and bit-identity must survive tiling."""
+    a, b = operands
+    plan = build_distributed_plan(a, b, "euclidean", k=K, n_devices=4,
+                                  partition="2d",
+                                  memory_budget_bytes=512)
+    assert any(p.n_tiles > 1 for p in plan.device_plans.values())
+    report = DistributedExecutor(plan, n_workers=3).execute()
+    want_d, want_i = oracle["euclidean"]
+    np.testing.assert_array_equal(report.value[0], want_d)
+    np.testing.assert_array_equal(report.value[1], want_i)
+    assert report.simulated_seconds == plan.estimated_seconds
+
+
+def test_validation_errors(operands):
+    a, b = operands
+    from repro.errors import PartitionConfigError
+
+    with pytest.raises(ValueError):
+        build_distributed_plan(a, b, "euclidean", k=0, n_devices=2)
+    with pytest.raises(PartitionConfigError):
+        build_distributed_plan(a, b, "euclidean", k=3, n_devices=2,
+                               partition="3d")
+    with pytest.raises(PartitionConfigError):
+        build_distributed_plan(a, b, "euclidean", k=3, n_devices=3,
+                               partition="1p5d")

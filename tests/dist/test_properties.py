@@ -1,0 +1,102 @@
+"""Property suite for the comm model (hypothesis).
+
+Two invariants the analytic model stakes its exactness claims on:
+
+- for every generated operand pair / shape / device count, the per-phase
+  byte sums of the explicit step schedule equal the closed forms of
+  :func:`~repro.dist.partition.analytic_comm_volume` to the integer;
+- the modeled schedule total is monotone non-increasing in link
+  bandwidth (faster links can never make the modeled job slower).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.partition import (
+    analytic_comm_volume,
+    build_partition,
+    comm_schedule,
+    grid_shape,
+    valid_partitions,
+)
+from repro.dist.plan import schedule_seconds
+from repro.gpusim.interconnect import InterconnectSpec, LinkSpec
+from repro.testing import random_csr, seeded_rng
+
+
+def _pair(seed, m, n, n_cols):
+    rng = seeded_rng(seed)
+    return (random_csr(rng, m, n_cols, 0.3),
+            random_csr(rng, n, n_cols, 0.3))
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**16),
+       m=st.integers(8, 40), n=st.integers(8, 40),
+       p=st.integers(1, 8), k=st.integers(1, 12),
+       norms=st.integers(0, 2),
+       placement=st.sampled_from(["contiguous", "degree_balanced"]))
+def test_step_sums_equal_closed_forms(seed, m, n, p, k, norms, placement):
+    p = min(p, m, n)
+    a, b = _pair(seed, m, n, 16)
+    for name in valid_partitions(p):
+        part = build_partition(name, a, b, p, placement=placement)
+        steps = comm_schedule(part, a_degrees=a.row_degrees(),
+                              b_degrees=b.row_degrees(), k=k,
+                              n_norm_kinds_a=norms, n_norm_kinds_b=norms)
+        volumes = analytic_comm_volume(part, a_nnz=a.nnz, b_nnz=b.nnz,
+                                       k=k, n_norm_kinds_a=norms,
+                                       n_norm_kinds_b=norms)
+        by_phase = {}
+        for step in steps:
+            by_phase[step.phase] = by_phase.get(step.phase, 0) + step.nbytes
+        for phase, total in volumes.items():
+            assert by_phase.get(phase, 0) == total
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 2**16),
+       p=st.integers(2, 6), k=st.integers(1, 8),
+       bandwidth=st.floats(1.0, 100.0),
+       scale=st.floats(1.0, 50.0))
+def test_modeled_cost_monotone_in_bandwidth(seed, p, k, bandwidth, scale):
+    a, b = _pair(seed, 24, 24, 12)
+    name = valid_partitions(p)[seed % len(valid_partitions(p))]
+    part = build_partition(name, a, b, p)
+    steps = comm_schedule(part, a_degrees=a.row_degrees(),
+                          b_degrees=b.row_degrees(), k=k)
+    compute = tuple(float((d + 1) % 7) * 1e-5
+                    for d in range(part.n_devices))
+
+    def spec(gbs):
+        return InterconnectSpec(
+            name="x", n_devices=part.n_devices, topology="all_to_all",
+            intra=LinkSpec(bandwidth_gbs=gbs, latency_us=2.0, tier="t"))
+
+    slow = schedule_seconds(part, steps, compute, spec(bandwidth))
+    fast = schedule_seconds(part, steps, compute, spec(bandwidth * scale))
+    assert fast <= slow
+    # and the makespan never undercuts the slowest pure-compute lane
+    assert slow >= max(compute)
+
+
+@settings(max_examples=25, deadline=None)
+@given(p=st.integers(1, 12))
+def test_grid_shapes_tile_the_device_count(p):
+    for name in valid_partitions(p):
+        r, c = grid_shape(name, p)
+        assert r * c == p
+        assert r >= 1 and c >= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**16), p=st.integers(2, 6))
+def test_panels_partition_rows(seed, p):
+    a, b = _pair(seed, 25, 31, 10)
+    for name in valid_partitions(p):
+        part = build_partition(name, a, b, p)
+        got = np.concatenate([pn.row_ids for pn in part.a_panels])
+        np.testing.assert_array_equal(np.sort(got), np.arange(a.n_rows))
+        got = np.concatenate([pn.row_ids for pn in part.b_panels])
+        np.testing.assert_array_equal(np.sort(got), np.arange(b.n_rows))

@@ -226,3 +226,108 @@ def test_unabsorbed_fault_annotates_root(pair):
     assert len(unabsorbed) == 1
     assert unabsorbed[0].args["tile"] == 4
     assert err.value.watermark == 4
+
+
+# ----------------------------------------------------------------------
+# distributed execution: comm spans/metrics <-> DistExecutionReport
+# ----------------------------------------------------------------------
+
+def _dist_execute(tracer, metrics, *, n_workers=1, link_faults=None,
+                  recovery=None):
+    from repro.datasets.synthetic import make_skewed
+    from repro.dist import DistributedExecutor, build_distributed_plan
+
+    a = make_skewed(24, 30, mean_degree=6, sigma=1.0, seed=71)
+    b = make_skewed(28, 30, mean_degree=6, sigma=1.0, seed=72)
+    plan = build_distributed_plan(a, b, "euclidean", k=4, n_devices=4,
+                                  partition="2d", interconnect="network")
+    executor = DistributedExecutor(plan, n_workers=n_workers,
+                                   tracer=tracer, metrics=metrics,
+                                   link_faults=link_faults,
+                                   recovery=recovery)
+    return executor.execute()
+
+
+def test_dist_clean_run_reconciles_exactly():
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    report = _dist_execute(tracer, metrics, n_workers=2)
+
+    comm_spans = tracer.spans_by_category("comm")
+    assert len(comm_spans) == report.n_comm_steps
+    # span byte annotations sum to the report total, to the integer
+    assert (sum(s.args["nbytes"] for s in comm_spans)
+            == report.comm_bytes_total)
+    # every comm span carries the tier the pricer chose
+    by_tier = {}
+    for span in comm_spans:
+        tier = span.args["tier"]
+        by_tier[tier] = by_tier.get(tier, 0) + span.args["nbytes"]
+    assert by_tier == report.bytes_by_tier
+
+    # metrics: per-tier counter values sum back to the report
+    for tier, nbytes in report.bytes_by_tier.items():
+        assert (metrics.counter("comm_bytes_total").value(tier=tier)
+                == nbytes)
+    assert (metrics.counter("comm_transfers_total").value()
+            == report.n_comm_steps)
+    # comm_seconds accumulates in the same order with the same floats
+    assert (metrics.counter("comm_seconds_total").value()
+            == report.comm_seconds)
+    assert (metrics.gauge("dist_simulated_seconds").value()
+            == report.simulated_seconds)
+
+    # one device span per grid cell, on the device's own lane
+    device_spans = tracer.spans_by_category("tile")
+    assert len(device_spans) == report.n_devices
+    assert (sorted(s.args["lane"] for s in device_spans)
+            == list(range(report.n_devices)))
+    (root,) = tracer.spans_named("dist.execute")
+    assert root.args["n_workers"] == report.n_devices
+    assert root.sim_seconds == report.simulated_seconds
+
+
+def test_dist_trace_is_identical_for_any_worker_count():
+    from repro.obs import canonical_trees_equal
+
+    serial, threaded = Tracer(), Tracer()
+    r1 = _dist_execute(serial, None, n_workers=1)
+    r4 = _dist_execute(threaded, None, n_workers=4)
+    assert canonical_trees_equal(serial, threaded)
+    np.testing.assert_array_equal(r1.value[0], r4.value[0])
+    np.testing.assert_array_equal(r1.value[1], r4.value[1])
+    assert r1.simulated_seconds == r4.simulated_seconds
+
+
+def test_dist_faulted_run_reconciles_with_report():
+    from repro.dist import LinkFaultInjector
+    from repro.faults import RecoveryPolicy as Policy
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    report = _dist_execute(
+        tracer, metrics, n_workers=2,
+        link_faults=LinkFaultInjector(
+            (FaultSpec("transient", tiles=(0, 3)),), seed=0),
+        recovery=Policy())
+    assert report.n_retries == 2
+    faults = tracer.fault_events()
+    assert len(faults) == len(report.fault_log)
+    assert sum(1 for e in faults if e.name == "retried") == report.n_retries
+    # retried transfers annotate their comm span
+    retried = [s for s in tracer.spans_by_category("comm")
+               if s.args.get("retries")]
+    assert len(retried) == 2
+    assert all(s.args["backoff_seconds"] > 0 for s in retried)
+
+    # the exported Chrome trace places comm spans on link lanes
+    doc = to_chrome_trace(tracer)
+    json.dumps(doc)
+    boxes = [e for e in doc["traceEvents"]
+             if e["ph"] == "X" and e["cat"] == "comm"]
+    assert len(boxes) == report.n_comm_steps
+    assert all(e["tid"] >= 1000 for e in boxes)
+    lane_names = {str(e["args"]["name"])
+                  for e in doc["traceEvents"]
+                  if e.get("name") == "thread_name"}
+    assert any(name.startswith("link ") for name in lane_names)

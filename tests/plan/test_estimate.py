@@ -1,0 +1,72 @@
+"""``estimate_execution_seconds`` == executed ``simulated_seconds``, exactly.
+
+The estimator replays the executor's accounting through pure pricing, so
+for a clean run the two are the *same float* — the contract the
+distributed planner's ``partition="auto"`` depends on. Anything weaker
+(approx equality) would let the model and the execution drift apart
+silently.
+"""
+
+import pytest
+
+from repro.plan import (
+    PlanExecutor,
+    TopKConsumer,
+    build_pairwise_plan,
+    estimate_execution_seconds,
+)
+from tests.conftest import random_csr
+
+ENGINES = ("hybrid_coo", "merge_path", "auto")
+
+METRICS = ("euclidean", "cosine", "inner_product")
+
+
+@pytest.fixture
+def pair(rng):
+    return (random_csr(rng, 30, 22, 0.3), random_csr(rng, 26, 22, 0.25))
+
+
+def _executed(plan, n_workers):
+    report = PlanExecutor(plan, n_workers=n_workers).execute(
+        TopKConsumer(5))
+    return report.simulated_seconds
+
+
+@pytest.mark.parametrize("metric", METRICS)
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("n_workers", [1, 3])
+def test_estimate_equals_executed_exactly(pair, metric, engine, n_workers):
+    plan = build_pairwise_plan(*pair, metric, engine=engine)
+    estimate = estimate_execution_seconds(plan, n_workers=n_workers)
+    assert estimate == _executed(plan, n_workers)  # float ==, no approx
+    assert estimate > 0.0
+
+
+@pytest.mark.parametrize("n_workers", [1, 2, 4])
+def test_estimate_exact_on_multi_tile_plans(pair, n_workers):
+    plan = build_pairwise_plan(*pair, "euclidean",
+                               memory_budget_bytes=2 * 1024,
+                               max_tile_rows_a=8, max_tile_rows_b=10)
+    assert plan.n_tiles > 4
+    estimate = estimate_execution_seconds(plan, n_workers=n_workers)
+    assert estimate == _executed(plan, n_workers)
+
+
+def test_estimate_is_pure(pair):
+    plan = build_pairwise_plan(*pair, "cosine")
+    first = estimate_execution_seconds(plan)
+    # repeated estimation never mutates the plan or drifts
+    assert estimate_execution_seconds(plan) == first
+    assert estimate_execution_seconds(plan) == _executed(plan, 1)
+
+
+def test_host_engine_prices_zero(pair):
+    plan = build_pairwise_plan(*pair, "euclidean", engine="host")
+    assert estimate_execution_seconds(plan) == 0.0
+
+
+def test_invalid_workers(pair):
+    plan = build_pairwise_plan(*pair, "euclidean")
+    with pytest.raises(ValueError):
+        estimate_execution_seconds(plan, n_workers=0)

@@ -1,0 +1,143 @@
+"""``ShardedIndex.kneighbors_distributed``: explicit cross-device traffic.
+
+The distributed query path must be a pure accounting overlay: results
+bit-identical to :meth:`kneighbors` for every slicing / interconnect /
+worker count, with the scatter/reduce/gather traffic priced by the
+interconnect and reconciled against the returned report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import make_skewed
+from repro.dist.partition import TOPK_PAIR_BYTES, operand_panel_nbytes
+from repro.gpusim.interconnect import get_interconnect
+from repro.obs import MetricsRegistry
+from repro.obs.tracer import pop_metrics, push_metrics
+from repro.serve.mutable import MutableIndex
+from repro.serve.sharding import ShardedIndex
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return make_skewed(60, 32, mean_degree=6, sigma=1.0, seed=61)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    return make_skewed(13, 32, mean_degree=5, sigma=0.8, seed=62)
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    return ShardedIndex.build(corpus, metric="cosine", n_shards=3)
+
+
+@pytest.mark.parametrize("query_slices", [1, 2, 4])
+@pytest.mark.parametrize("interconnect", ["nvlink", "pcie", "network"])
+@pytest.mark.parametrize("n_workers", [1, 3])
+def test_bit_identical_to_kneighbors(index, queries, query_slices,
+                                     interconnect, n_workers):
+    want_d, want_i = index.kneighbors(queries, 5)
+    got_d, got_i, report = index.kneighbors_distributed(
+        queries, 5, interconnect=interconnect, query_slices=query_slices,
+        n_workers=n_workers)
+    np.testing.assert_array_equal(got_d, want_d)
+    np.testing.assert_array_equal(got_i, want_i)
+    assert report.grid_rows == index.n_shards
+    assert report.grid_cols == query_slices
+    assert report.interconnect == interconnect
+    assert report.comm_bytes_total == sum(report.bytes_by_phase.values())
+    assert report.simulated_seconds >= max(report.compute_seconds)
+
+
+def test_comm_accounting_matches_grid(index, queries):
+    rows, cols = index.n_shards, 2
+    _, _, report = index.kneighbors_distributed(queries, 5, query_slices=cols)
+    # scatter to every non-front-end cell, reduce from every non-leader
+    # cell, gather from every non-front-end slice leader
+    assert report.n_comm_steps == ((rows * cols - 1)
+                                   + (rows - 1) * cols
+                                   + (cols - 1))
+    prepared = index.prepare_queries(queries)
+    n_norm_kinds = len(prepared.norms or ())
+    slices = np.array_split(np.arange(prepared.n_rows), cols)
+    per_slice = [
+        operand_panel_nbytes(
+            ids.size,
+            int(prepared.csr.row_degrees()[ids].sum()),
+            n_norm_kinds=n_norm_kinds)
+        for ids in slices]
+    # each slice panel is scattered to (rows) cells minus the front-end's
+    want_scatter = (per_slice[0] * (rows - 1)
+                    + sum(n * rows for n in per_slice[1:]))
+    assert report.bytes_by_phase["scatter"] == want_scatter
+    k = 5
+    want_reduce = sum(
+        ids.size * min(k, index.shards[r].n_rows) * TOPK_PAIR_BYTES
+        for ids in slices for r in range(1, rows))
+    assert report.bytes_by_phase["reduce"] == want_reduce
+    want_gather = sum(ids.size * k * TOPK_PAIR_BYTES
+                      for ids in slices[1:])
+    assert report.bytes_by_phase["gather"] == want_gather
+
+
+def test_comm_seconds_priced_by_interconnect(index, queries):
+    _, _, nv = index.kneighbors_distributed(queries, 5, query_slices=2,
+                                            interconnect="nvlink")
+    _, _, pc = index.kneighbors_distributed(queries, 5, query_slices=2,
+                                            interconnect="pcie")
+    # identical bytes, slower tier, strictly more modeled comm time
+    assert nv.comm_bytes_total == pc.comm_bytes_total
+    assert pc.comm_seconds > nv.comm_seconds
+    # a single priced transfer lower-bounds the whole schedule
+    spec = get_interconnect("nvlink", index.n_shards * 2)
+    assert nv.comm_seconds > spec.intra.seconds(nv.comm_bytes_total)
+
+
+def test_metrics_flow_through_transfers(index, queries):
+    metrics = MetricsRegistry()
+    push_metrics(metrics)
+    try:
+        _, _, report = index.kneighbors_distributed(queries, 5,
+                                                    query_slices=3)
+    finally:
+        pop_metrics()
+    assert (metrics.counter("comm_transfers_total").value()
+            == report.n_comm_steps)
+    assert (metrics.counter("comm_seconds_total").value()
+            == pytest.approx(report.comm_seconds))
+
+
+def test_single_cell_grid_has_no_traffic(corpus, queries):
+    idx = ShardedIndex.build(corpus, metric="euclidean", n_shards=1)
+    want_d, want_i = idx.kneighbors(queries, 4)
+    got_d, got_i, report = idx.kneighbors_distributed(queries, 4)
+    np.testing.assert_array_equal(got_d, want_d)
+    np.testing.assert_array_equal(got_i, want_i)
+    assert report.n_comm_steps == 0
+    assert report.comm_bytes_total == 0
+
+
+def test_validation(index, queries):
+    with pytest.raises(ValueError):
+        index.kneighbors_distributed(queries, 0)
+    with pytest.raises(ValueError):
+        index.kneighbors_distributed(queries, 5, query_slices=0)
+    with pytest.raises(ValueError):
+        index.kneighbors_distributed(queries, 5, query_slices=10**6)
+
+
+def test_mutable_overlay_stays_bit_identical(corpus, queries):
+    mut = MutableIndex.build(corpus, metric="euclidean", n_shards=2)
+    mut.delete([1, 7, 20])
+    mut.upsert([2, 3, 61, 62, 63],
+               make_skewed(5, 32, mean_degree=6, sigma=1.0, seed=63))
+    for state in ("delta", "compacted"):
+        want_d, want_i = mut.kneighbors(queries, 5)
+        for query_slices in (1, 3):
+            got_d, got_i, report = mut.kneighbors_distributed(
+                queries, 5, query_slices=query_slices, n_workers=2)
+            np.testing.assert_array_equal(got_d, want_d)
+            np.testing.assert_array_equal(got_i, want_i)
+        mut.compact()
