@@ -33,6 +33,7 @@ from repro.bench.runner import (
     run_scale_cell,
     run_serve_cell,
     run_slo_cell,
+    run_telemetry_cell,
 )
 from repro.bench.tables import bold_min, format_seconds, render_table
 from repro.core.distances import DOT_PRODUCT_DISTANCES, NAMM_DISTANCES
@@ -530,6 +531,89 @@ def report_mutate() -> Report:
         } for c in cells],
     }
     return Report(content, json_name="BENCH_mutate", json_payload=payload)
+
+
+@report("telemetry")
+def report_telemetry() -> Report:
+    """End-to-end request telemetry under burst load (DESIGN.md §16).
+
+    Runs :func:`~repro.bench.runner.run_telemetry_cell` — the
+    heavy-tailed burst trace through a traced, telemetry-wired server —
+    and locks the acceptance bar into ``BENCH_telemetry.json``: wide
+    events validate against the schema and reconcile exactly against the
+    serve reports, every deadline-missed trace survives tail sampling,
+    every nonzero latency bucket's exemplar chain reproduces its latency
+    with ``==`` on floats, and a 4-worker rerun emits byte-identical
+    events and sampling decisions. Artifacts land next to the report:
+    the rendered fleet console (text + JSON) and the retained
+    (tail-sampled) trace events as JSONL.
+    """
+    import json
+
+    cell = run_telemetry_cell()
+    checks = [
+        ("schema valid", cell.schema_valid),
+        ("events reconciled", cell.reconciled),
+        ("tail covers deadline misses", cell.tail_covers_deadline_missed),
+        ("exemplar chains exact", cell.exemplar_chain_exact),
+        ("exemplar buckets complete",
+         cell.exemplar_buckets == cell.exemplar_buckets_expected),
+        ("events identical serial vs 4 workers", cell.events_identical),
+        ("sampling decisions byte-identical", cell.decisions_identical),
+        ("dist transfers reconciled", cell.dist_transfers_reconciled),
+    ]
+    rows = [[name, "yes" if ok else "NO"] for name, ok in checks]
+    content = render_table(
+        ["telemetry invariant", "holds"], rows,
+        title="Telemetry — burst trace, traced + sampled "
+              "(simulated time)")
+    content += (
+        f"\n\n{cell.n_submissions} submitted -> {cell.resolved} resolved "
+        f"/ {cell.refused} refused; {cell.deadline_missed} deadline "
+        f"misses, all in the {cell.sampled_total}-trace tail sample "
+        f"(of {cell.n_traces}); p99 threshold "
+        f"{cell.p99_threshold_ms:.4f} ms\n\n" + cell.console_text)
+
+    out = results_dir()
+    (out / "telemetry_console.txt").write_text(cell.console_text + "\n")
+    with open(out / "telemetry_console.json", "w") as fh:
+        json.dump(cell.snapshot, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    with open(out / "telemetry_sampled.jsonl", "w") as fh:
+        for record in cell.sampled_records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    print("  ... console + sampled-trace artifacts saved to "
+          f"{out}", file=sys.stderr)
+
+    payload = {
+        "dataset": cell.dataset,
+        "metric": cell.metric,
+        "seed": cell.seed,
+        "head_rate": cell.head_rate,
+        "n_submissions": cell.n_submissions,
+        "resolved": cell.resolved,
+        "refused": cell.refused,
+        "deadline_missed": cell.deadline_missed,
+        "events_total": cell.events_total,
+        "events_total_all": cell.events_total_all,
+        "sampled_total": cell.sampled_total,
+        "dropped_total": cell.dropped_total,
+        "n_traces": cell.n_traces,
+        "p99_threshold_ms": cell.p99_threshold_ms,
+        "schema_valid": cell.schema_valid,
+        "reconciled": cell.reconciled,
+        "reconciliation": cell.reconciliation,
+        "tail_covers_deadline_missed": cell.tail_covers_deadline_missed,
+        "exemplar_buckets": cell.exemplar_buckets,
+        "exemplar_buckets_expected": cell.exemplar_buckets_expected,
+        "exemplar_chain_exact": cell.exemplar_chain_exact,
+        "events_identical": cell.events_identical,
+        "decisions_identical": cell.decisions_identical,
+        "dist_transfers_reconciled": cell.dist_transfers_reconciled,
+        "wall_seconds": cell.wall_seconds,
+    }
+    return Report(content, json_name="BENCH_telemetry",
+                  json_payload=payload)
 
 
 #: device counts x interconnect tiers the distributed sweep covers

@@ -88,6 +88,12 @@ DEFAULT_POLICIES: Tuple[Tuple[str, MetricPolicy], ...] = (
     ("n_submissions", MetricPolicy("equal", rel_tol=0.0)),
     ("resolved", MetricPolicy("equal", rel_tol=0.0)),
     ("*refusals_by_reason*", MetricPolicy("equal", rel_tol=0.0)),
+    # the telemetry spine is deterministic end to end: per-kind wide-event
+    # counts and sampling keep/drop totals gate to the integer
+    ("*events_total*", MetricPolicy("equal", rel_tol=0.0)),
+    ("*sampled_total*", MetricPolicy("equal", rel_tol=0.0)),
+    ("*dropped_total*", MetricPolicy("equal", rel_tol=0.0)),
+    ("*n_traces*", MetricPolicy("equal", rel_tol=0.0)),
     # distributed comm accounting is analytic bytes on a priced schedule —
     # byte totals, priced transfer seconds, and step counts are exact
     # integers/pure floats, so they gate at zero tolerance (must precede

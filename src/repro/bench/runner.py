@@ -35,10 +35,12 @@ from repro.plan.tiling import OUTPUT_ITEM_BYTES, WORKSPACE_ITEM_BYTES
 
 __all__ = ["BenchCell", "PlanCell", "FaultCell", "ServeCell", "SLOCell",
            "BurstCell", "AblationCell", "MutateCell", "ScaleCell",
+           "TelemetryCell",
            "run_knn_cell", "run_baseline_cell", "run_plan_cell",
            "run_fault_cell", "run_serve_cell", "run_slo_cell",
            "run_burst_cell", "run_ablation_cell", "run_mutate_cell",
-           "run_scale_cell", "ablation_fixed_configs",
+           "run_scale_cell", "run_telemetry_cell",
+           "ablation_fixed_configs",
            "BENCH_SCALES", "bench_dataset", "MINKOWSKI_P", "KNN_K",
            "CHAOS_SPECS"]
 
@@ -1008,3 +1010,309 @@ def run_mutate_cell(seed: int = 0, *, metric: str = "euclidean",
         imbalance_before_rebalance=imbalance_before,
         imbalance_after_rebalance=imbalance_after,
         query_checks=query_checks, wall_seconds=wall)
+
+
+@dataclass
+class TelemetryCell:
+    """One fully-instrumented burst-trace serve run: wide events, sampling,
+    exemplars, and the serial-vs-parallel determinism contract.
+
+    The cell drives the same heavy-tailed trace as :class:`BurstCell`
+    through a traced :class:`~repro.serve.Server` wired to a
+    :class:`~repro.obs.Telemetry` spine, then checks the telemetry
+    acceptance bar end to end: every event validates against the JSON
+    schema, event counts reconcile exactly against the serve reports,
+    every deadline-missed trace survives tail sampling, every nonzero
+    latency bucket's exemplar resolves to an event chain whose
+    critical-path seconds reproduce the reported latency with ``==`` on
+    floats, and a 4-worker rerun produces byte-identical events and
+    sampling decisions."""
+
+    dataset: str
+    metric: str
+    seed: int
+    head_rate: float
+    n_submissions: int
+    resolved: int
+    refused: int
+    deadline_missed: int
+    #: wide events by kind (request/tile/shed/... — gated exactly in CI)
+    events_total: Dict[str, int] = field(default_factory=dict)
+    events_total_all: int = 0
+    #: sampling outcome (gated exactly in CI)
+    sampled_total: int = 0
+    dropped_total: int = 0
+    n_traces: int = 0
+    p99_threshold_ms: float = 0.0
+    #: every emitted event passed :func:`~repro.obs.validate_event`
+    schema_valid: bool = False
+    #: per-kind event counts == serve-report totals, exactly
+    reconciled: bool = False
+    reconciliation: Dict[str, bool] = field(default_factory=dict)
+    #: every deadline-missed request's trace id is in the kept set
+    tail_covers_deadline_missed: bool = False
+    #: nonzero latency buckets carrying an exemplar (== all of them)
+    exemplar_buckets: int = 0
+    exemplar_buckets_expected: int = 0
+    #: every exemplar's critical path reproduces its latency with ==
+    exemplar_chain_exact: bool = False
+    #: serial vs 4-worker: same events, same keep/drop bytes
+    events_identical: bool = False
+    decisions_identical: bool = False
+    #: transfer events from a small distributed run == its comm steps
+    dist_transfers_reconciled: bool = False
+    wall_seconds: float = 0.0
+    #: artifacts for the bench report (not part of the gated payload)
+    snapshot: dict = field(default_factory=dict)
+    console_text: str = ""
+    sampled_records: List[dict] = field(default_factory=list)
+
+
+def _telemetry_arm(dataset: str, metric: str, *, seed: int,
+                   n_requests: int, n_shards: int, max_batch_rows: int,
+                   max_wait_ms: float, mean_gap_ms: float,
+                   deadline_slack_ms: float, n_neighbors: int,
+                   head_rate: float, n_workers: int, driver_p99_ms: float,
+                   window_ms: float, poll_interval_ms: float):
+    """One instrumented burst-trace run; returns (server, metrics,
+    monitor, telemetry)."""
+    from repro.obs import (
+        SamplingPolicy,
+        SLOMonitor,
+        Telemetry,
+        Tracer,
+        priority_latency_objectives,
+    )
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.slo import SLObjective
+    from repro.serve import (
+        AdmissionRejected,
+        BackpressureController,
+        Server,
+        ShardedIndex,
+        heavy_tailed_trace,
+    )
+
+    ds = bench_dataset(dataset)
+    index = ShardedIndex.build(
+        ds.matrix, metric=metric, metric_params=_metric_kwargs(metric),
+        n_shards=n_shards, placement="degree_balanced")
+    metrics = MetricsRegistry()
+    for name in ("serve_latency_ms", "serve_priority_latency_ms",
+                 "serve_queue_wait_ms"):
+        metrics.histogram(name, buckets=BURST_BUCKETS_MS)
+    driver_objective = "p99_latency_ms"
+    monitor = SLOMonitor(
+        metrics,
+        (SLObjective(
+            name=driver_objective, kind="quantile",
+            metric="serve_latency_ms", q=0.99, threshold=driver_p99_ms,
+            burn_alert=1.5,
+            description="overall p99 latency; drives the shed ladder"),)
+        + priority_latency_objectives({0: 0.08}, burn_alert=1.5),
+        window_ms=window_ms)
+    controller = BackpressureController(
+        monitor, objective=driver_objective,
+        poll_interval_ms=poll_interval_ms)
+    telemetry = Telemetry(
+        policy=SamplingPolicy(head_rate=head_rate, seed=seed))
+    server = Server(index, max_batch_rows=max_batch_rows,
+                    max_wait_ms=max_wait_ms, backpressure=controller,
+                    metrics=metrics, trace=Tracer(), telemetry=telemetry,
+                    n_workers=n_workers)
+
+    trace = heavy_tailed_trace(
+        n_requests=n_requests, seed=seed, mean_gap_ms=mean_gap_ms,
+        gap_sigma=1.4, diurnal_period_ms=0.15, diurnal_amplitude=0.9,
+        rows_choices=(1, 2, 4),
+        deadline_ms_by_priority={p: deadline_slack_ms for p in (0, 1, 2)})
+    n_rows = ds.matrix.n_rows
+    row_cursor = 0
+    for t in trace:
+        lo = row_cursor % max(1, n_rows - t.n_rows)
+        row_cursor += t.n_rows
+        block = ds.matrix.slice_rows(lo, lo + t.n_rows)
+        if t.arrival_ms >= monitor.last_ms:
+            monitor.observe(t.arrival_ms)
+        try:
+            server.submit(block, n_neighbors, arrival_ms=t.arrival_ms,
+                          deadline_ms=t.deadline_ms, priority=t.priority)
+        except AdmissionRejected:
+            pass
+    server.drain()
+    final_ms = max((b.completion_ms for b in server.batch_reports),
+                   default=monitor.last_ms)
+    monitor.observe(max(final_ms, monitor.last_ms))
+    return server, metrics, monitor, telemetry, len(trace)
+
+
+def _canonical_events(telemetry) -> List[str]:
+    import json
+
+    return sorted(json.dumps(e, sort_keys=True)
+                  for e in telemetry.events)
+
+
+def _canonical_decisions(telemetry) -> bytes:
+    import json
+
+    report = telemetry.finalize()
+    return json.dumps(
+        sorted((d.as_dict() for d in report.decisions),
+               key=lambda d: d["trace_id"]),
+        sort_keys=True).encode()
+
+
+def run_telemetry_cell(dataset: str = "movielens",
+                       metric: str = "cosine", *, seed: int = 7,
+                       n_requests: int = 160, n_shards: int = 2,
+                       max_batch_rows: int = 24,
+                       max_wait_ms: float = 0.002,
+                       mean_gap_ms: float = 0.0005,
+                       deadline_slack_ms: float = 0.02,
+                       n_neighbors: int = KNN_K,
+                       head_rate: float = 0.1,
+                       driver_p99_ms: float = 0.015,
+                       window_ms: float = 0.05,
+                       poll_interval_ms: float = 0.002) -> TelemetryCell:
+    """Run the telemetry acceptance cell (see :class:`TelemetryCell`)."""
+    import json
+
+    from repro.datasets.synthetic import make_skewed
+    from repro.dist import DistributedExecutor, build_distributed_plan
+    from repro.obs import Telemetry, validate_event
+    from repro.obs.console import _critical_path_for
+
+    arm = dict(seed=seed, n_requests=n_requests, n_shards=n_shards,
+               max_batch_rows=max_batch_rows, max_wait_ms=max_wait_ms,
+               mean_gap_ms=mean_gap_ms,
+               deadline_slack_ms=deadline_slack_ms,
+               n_neighbors=n_neighbors, head_rate=head_rate,
+               driver_p99_ms=driver_p99_ms, window_ms=window_ms,
+               poll_interval_ms=poll_interval_ms)
+    start = time.perf_counter()
+    server, metrics, monitor, telemetry, n_submissions = _telemetry_arm(
+        dataset, metric, n_workers=1, **arm)
+
+    # -- schema: every event validates ---------------------------------
+    schema_valid = True
+    for event in telemetry.events:
+        try:
+            validate_event(event)
+        except (TypeError, ValueError):
+            schema_valid = False
+            break
+
+    # -- exact reconciliation vs the serve reports ---------------------
+    counts = telemetry.counts_by_kind()
+    shard_reports = [sr for b in server.batch_reports
+                     for sr in b.shard_reports]
+    reconciliation = {
+        "request_events": (counts.get("request", 0)
+                           == len(server.request_reports)),
+        "shed_events": (counts.get("shed", 0)
+                        == len(server.shed_reports)),
+        "tile_events": (counts.get("tile", 0)
+                        == sum(len(sr.tile_seconds)
+                               for sr in shard_reports)),
+        "fault_events": (counts.get("fault", 0)
+                         == sum(sr.n_fault_events
+                                for sr in shard_reports)),
+        "failover_events": (counts.get("failover", 0)
+                            == sum(sr.n_failovers
+                                   for sr in shard_reports)),
+    }
+
+    # -- tail sampling covers every deadline miss ----------------------
+    sampling = telemetry.finalize()
+    kept = set(sampling.kept_trace_ids)
+    missed = {r.trace_id for r in server.request_reports
+              if r.deadline_missed}
+    tail_covers = missed <= kept
+
+    # -- exemplar chains: bucket -> trace -> event chain -> critical
+    #    path reproducing the reported latency with == on floats --------
+    hist = metrics.histogram("serve_latency_ms")
+    exemplars = hist.exemplars()
+    buckets = hist.buckets
+    landed = set()
+    for r in server.request_reports:
+        i = 0
+        while i < len(buckets) and r.latency_ms > buckets[i]:
+            i += 1
+        landed.add(i)
+    requests_by_trace = {
+        e["trace_id"]: e for e in telemetry.events
+        if e["kind"] == "request"}
+    chain_exact = bool(exemplars)
+    for exemplar in exemplars.values():
+        event = requests_by_trace.get(exemplar.trace_id)
+        if event is None:
+            chain_exact = False
+            break
+        attrs = event["attrs"]
+        path = _critical_path_for(server, attrs["batch_id"],
+                                  attrs["slowest_shard"])
+        if path is None:
+            chain_exact = False
+            break
+        exact = (attrs["start_ms"] + path["sim_seconds"] * 1e3
+                 == attrs["completion_ms"]
+                 and attrs["completion_ms"] - attrs["arrival_ms"]
+                 == attrs["latency_ms"]
+                 and exemplar.value == attrs["latency_ms"])
+        if not exact:
+            chain_exact = False
+            break
+
+    # -- serial vs 4-worker: same events, same keep/drop bytes ---------
+    server4, _, _, telemetry4, _ = _telemetry_arm(
+        dataset, metric, n_workers=4, **arm)
+    events_identical = (_canonical_events(telemetry)
+                        == _canonical_events(telemetry4))
+    decisions_identical = (_canonical_decisions(telemetry)
+                           == _canonical_decisions(telemetry4))
+
+    # -- transfer events from a small distributed run ------------------
+    a = make_skewed(26, 34, mean_degree=6, sigma=1.0, seed=21)
+    b = make_skewed(33, 34, mean_degree=7, sigma=1.1, seed=22)
+    plan = build_distributed_plan(a, b, "cosine", k=5, n_devices=4,
+                                  partition="2d")
+    dist_telemetry = Telemetry()
+    dist_report = DistributedExecutor(
+        plan, telemetry=dist_telemetry).execute()
+    dist_ok = (dist_telemetry.counts_by_kind().get("transfer", 0)
+               == dist_report.n_comm_steps)
+
+    snapshot = server.console_snapshot(slo=monitor, top_k=5)
+    from repro.obs.console import render_snapshot
+
+    wall = time.perf_counter() - start
+    return TelemetryCell(
+        dataset=dataset, metric=metric, seed=seed, head_rate=head_rate,
+        n_submissions=n_submissions,
+        resolved=len(server.request_reports),
+        refused=len(server.shed_reports),
+        deadline_missed=len(missed),
+        events_total=dict(sorted(counts.items())),
+        events_total_all=sum(counts.values()),
+        sampled_total=sampling.n_kept,
+        dropped_total=sampling.n_dropped,
+        n_traces=len(sampling.decisions),
+        p99_threshold_ms=(sampling.p99_threshold_ms
+                          if sampling.p99_threshold_ms is not None
+                          else 0.0),
+        schema_valid=schema_valid,
+        reconciled=all(reconciliation.values()),
+        reconciliation=reconciliation,
+        tail_covers_deadline_missed=tail_covers,
+        exemplar_buckets=len(exemplars),
+        exemplar_buckets_expected=len(landed),
+        exemplar_chain_exact=chain_exact,
+        events_identical=events_identical,
+        decisions_identical=decisions_identical,
+        dist_transfers_reconciled=dist_ok,
+        wall_seconds=wall,
+        snapshot=snapshot,
+        console_text=render_snapshot(snapshot),
+        sampled_records=[dict(e) for e in telemetry.sampled_events()])

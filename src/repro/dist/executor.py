@@ -44,9 +44,11 @@ from repro.faults.spec import FaultEvent, FaultKind
 from repro.gpusim.interconnect import simulate_transfer
 from repro.neighbors.topk import TopKAccumulator
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import Telemetry, deterministic_trace_id
 from repro.obs.tracer import (
     NULL_SPAN,
     Tracer,
+    current_trace_context,
     get_default_tracer,
     pop_metrics,
     push_metrics,
@@ -100,14 +102,20 @@ class DistributedExecutor:
     ``comm_bytes_total{tier=}`` / ``comm_seconds_total`` counters. Device
     compute runs with this executor's metrics but *not* its tracer — the
     distributed trace stays one deterministic tree of comm and device
-    spans regardless of worker count.
+    spans regardless of worker count. ``telemetry`` receives one
+    ``"transfer"`` wide event per comm step plus ``"fault"`` events for
+    link retries/aborts, stamped with the ambient trace context (or a
+    trace id minted deterministically from the plan's shape) — the comm
+    loop runs serially on the execute thread, so the event stream is
+    identical for any worker count.
     """
 
     def __init__(self, plan: DistributedPlan, *, n_workers: int = 1,
                  recovery: Optional[RecoveryPolicy] = None,
                  link_faults: Optional[LinkFaultInjector] = None,
                  tracer: Optional[Tracer] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 telemetry: Optional[Telemetry] = None):
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         self.plan = plan
@@ -116,6 +124,13 @@ class DistributedExecutor:
         self.link_faults = link_faults
         self.tracer = tracer if tracer is not None else get_default_tracer()
         self.metrics = metrics
+        self.telemetry = telemetry
+        part = plan.partition
+        self._trace_id = (current_trace_context()
+                          or deterministic_trace_id(
+                              "dist.execute", part.name, part.grid_rows,
+                              part.grid_cols, plan.k,
+                              plan.interconnect.name))
 
         pre = [s for s in plan.comm_steps
                if s.phase.startswith("allgather")]
@@ -272,6 +287,14 @@ class DistributedExecutor:
                                    kind=event.kind.value,
                                    step=step_index, attempt=attempt,
                                    detail=event.detail)
+                        if self.telemetry is not None:
+                            self.telemetry.emit(
+                                "fault", trace_id=self._trace_id,
+                                ts_ms=max(self._clocks) * 1e3,
+                                step=step_index, phase=step.phase,
+                                fault_kind=event.kind.value,
+                                action=event.action, attempt=attempt,
+                                sim_seconds=wait_s)
                         attempt += 1
                         continue
                     event = FaultEvent(
@@ -283,6 +306,14 @@ class DistributedExecutor:
                         span.event("unabsorbed", "fault",
                                    kind=event.kind.value, step=step_index,
                                    detail=str(exc))
+                    if self.telemetry is not None:
+                        self.telemetry.emit(
+                            "fault", trace_id=self._trace_id,
+                            ts_ms=max(self._clocks) * 1e3,
+                            step=step_index, phase=step.phase,
+                            fault_kind=event.kind.value,
+                            action=event.action, attempt=attempt,
+                            sim_seconds=0.0)
                     raise ExecutionFaultError(
                         f"comm step {step_index} "
                         f"({step.phase} {step.src}->{step.dst}) failed "
@@ -311,6 +342,14 @@ class DistributedExecutor:
                 span.set_sim_seconds(transfer.seconds)
                 span.annotate(tier=transfer.tier, retries=retries,
                               backoff_seconds=backoff_here)
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "transfer", trace_id=self._trace_id, ts_ms=end * 1e3,
+                    step=step_index, phase=step.phase, src=step.src,
+                    dst=step.dst, nbytes=int(transfer.nbytes),
+                    tier=transfer.tier, retries=retries,
+                    backoff_seconds=backoff_here,
+                    sim_seconds=transfer.seconds)
 
     # ------------------------------------------------------------------
     def _run_device(self, rc: Tuple[int, int]):

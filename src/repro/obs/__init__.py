@@ -32,19 +32,39 @@ from pathlib import Path
 from typing import Optional, Tuple, Union
 
 from repro.obs.chrome_trace import to_chrome_trace, write_chrome_trace
+from repro.obs.console import fleet_snapshot, render_snapshot
 from repro.obs.metrics import (
     NULL_METRICS,
     Counter,
+    Exemplar,
     Gauge,
     Histogram,
     MetricsRegistry,
+    MetricsSnapshot,
+    SeriesDelta,
 )
 from repro.obs.profile import (
     CategoryTime,
     CriticalPath,
     Profile,
     RooflineReport,
+    span_critical_path,
     write_folded,
+)
+from repro.obs.telemetry import (
+    EVENT_KINDS,
+    EVENT_SCHEMA,
+    EventSink,
+    FileSink,
+    RingBufferSink,
+    SamplingDecision,
+    SamplingPolicy,
+    SamplingReport,
+    Telemetry,
+    derive_span_id,
+    deterministic_trace_id,
+    trace_id_for_request,
+    validate_event,
 )
 from repro.obs.slo import (
     SLOAlert,
@@ -63,9 +83,11 @@ from repro.obs.tracer import (
     canonical_trees_equal,
     current_metrics,
     current_span,
+    current_trace_context,
     current_tracer,
     get_default_tracer,
     set_default_tracer,
+    trace_context,
 )
 
 __all__ = [
@@ -95,10 +117,32 @@ __all__ = [
     "current_tracer",
     "current_span",
     "current_metrics",
+    "current_trace_context",
+    "trace_context",
     "get_default_tracer",
     "set_default_tracer",
     "canonical_trees_equal",
     "resolve_trace",
+    # telemetry spine (DESIGN.md §16)
+    "Telemetry",
+    "EventSink",
+    "RingBufferSink",
+    "FileSink",
+    "SamplingPolicy",
+    "SamplingDecision",
+    "SamplingReport",
+    "EVENT_KINDS",
+    "EVENT_SCHEMA",
+    "validate_event",
+    "deterministic_trace_id",
+    "trace_id_for_request",
+    "derive_span_id",
+    "Exemplar",
+    "MetricsSnapshot",
+    "SeriesDelta",
+    "span_critical_path",
+    "fleet_snapshot",
+    "render_snapshot",
 ]
 
 

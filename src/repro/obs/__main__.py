@@ -1,0 +1,96 @@
+"""Command-line entry point for the observability layer.
+
+    python -m repro.obs console --demo           # live demo snapshot
+    python -m repro.obs console --snapshot s.json
+    python -m repro.obs console --demo --json out.json
+
+``console`` renders a fleet health snapshot (see
+:func:`repro.obs.console.fleet_snapshot`): either a previously saved
+snapshot JSON (``--snapshot``), or one built live by driving a small
+seeded burst workload through a traced :class:`~repro.serve.Server`
+(``--demo``). Everything runs on the simulated clock, so the demo
+snapshot is bit-identical run to run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+__all__ = ["main"]
+
+
+def _demo_snapshot(seed: int = 7) -> dict:
+    """Drive a small burst trace through a traced server; snapshot it."""
+    from repro.errors import AdmissionRejected
+    from repro.obs import (MetricsRegistry, SLOMonitor, Telemetry, Tracer,
+                           default_serve_objectives)
+    from repro.serve import Server, ShardedIndex
+    from repro.serve.traffic import heavy_tailed_trace
+    from repro.testing import (DEFAULT_SEED, random_csr, seeded_rng,
+                               skewed_csr)
+
+    corpus = skewed_csr(96, 40, seed=DEFAULT_SEED, scale=6, floor=1, cap=25)
+    rng = seeded_rng(DEFAULT_SEED + 1)
+    index = ShardedIndex.build(corpus, metric="cosine", n_shards=2,
+                               placement="degree_balanced")
+    metrics = MetricsRegistry()
+    server = Server(index, max_batch_rows=8, max_wait_ms=0.01,
+                    metrics=metrics, trace=Tracer(), telemetry=Telemetry())
+    monitor = SLOMonitor(metrics, default_serve_objectives(p99_latency_ms=2.0))
+    prev = metrics.snapshot()
+    trace = heavy_tailed_trace(
+        n_requests=48, seed=seed, mean_gap_ms=0.01, gap_sigma=1.4,
+        diurnal_period_ms=2.0, rows_choices=(1, 2, 4),
+        deadline_ms_by_priority={0: 0.2, 1: 0.5})
+    for req in trace:
+        queries = random_csr(rng, req.n_rows, corpus.n_cols, 0.3)
+        try:
+            server.submit(queries, 5, arrival_ms=req.arrival_ms,
+                          deadline_ms=req.deadline_ms,
+                          priority=req.priority)
+        except AdmissionRejected:
+            pass
+    server.drain()
+    monitor.observe(server.now_ms)
+    return server.console_snapshot(slo=monitor, prev=prev, top_k=5)
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability CLI (fleet ops console).")
+    sub = parser.add_subparsers(dest="command", required=True)
+    console = sub.add_parser(
+        "console", help="render a fleet health snapshot")
+    source = console.add_mutually_exclusive_group(required=True)
+    source.add_argument("--snapshot", metavar="PATH",
+                        help="render a saved snapshot JSON")
+    source.add_argument("--demo", action="store_true",
+                        help="build a live snapshot from a seeded demo "
+                             "workload (simulated clock; deterministic)")
+    console.add_argument("--seed", type=int, default=7,
+                         help="demo workload seed (default 7)")
+    console.add_argument("--json", metavar="PATH", default=None,
+                         help="also write the snapshot as JSON here")
+    args = parser.parse_args(argv)
+
+    if args.snapshot is not None:
+        with open(args.snapshot) as fh:
+            snapshot = json.load(fh)
+    else:
+        snapshot = _demo_snapshot(seed=args.seed)
+
+    from repro.obs.console import render_snapshot, write_snapshot
+
+    print(render_snapshot(snapshot))
+    if args.json is not None:
+        path = write_snapshot(snapshot, args.json)
+        print(f"[snapshot JSON saved to {path}]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

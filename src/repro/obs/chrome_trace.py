@@ -65,6 +65,11 @@ def _emit_span(span: Span, start_us: float, tid: int,
         args["wall_seconds"] = round(span.wall_seconds, 6)
     if span.status != "ok":
         args["status"] = span.status
+    if not span.finished:
+        # Still open at export time: flag it and clamp the end to what the
+        # export can actually see (its recorded charge or its children's
+        # extent) instead of pretending the duration is final.
+        args["unfinished"] = True
     events.append({"name": span.name, "cat": span.category or "span",
                    "ph": "X", "ts": start_us, "dur": dur,
                    "pid": _PID, "tid": tid, "args": args})
@@ -152,6 +157,8 @@ def _layout_root(root: Span, t0_us: float, events: List[dict],
     root_args = {k: _jsonable(v) for k, v in root.args.items()}
     if root.status != "ok":
         root_args["status"] = root.status
+    if not root.finished:
+        root_args["unfinished"] = True
     events.append({"name": root.name, "cat": root.category or "span",
                    "ph": "X", "ts": t0_us, "dur": end - t0_us,
                    "pid": _PID, "tid": 0, "args": root_args})

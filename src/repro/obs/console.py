@@ -1,0 +1,229 @@
+"""Fleet ops console: a point-in-time health view over a drained Server.
+
+:func:`fleet_snapshot` condenses one :class:`~repro.serve.Server`'s
+state — replica health and occupancy, queue depth, shed-ladder rung,
+SLO burn rates, interval metric rates (via
+:meth:`~repro.obs.MetricsRegistry.diff`), sampling outcome, and the
+top-k slowest requests with their per-shard critical paths (via
+:func:`~repro.obs.profile.span_critical_path`) — into one JSON-ready
+dict; :func:`render_snapshot` renders it as text. Both are pure reads:
+nothing here advances the simulated clock or mutates the server.
+
+Run ``python -m repro.obs console`` for the CLI (reads a snapshot JSON
+or builds one from a demo workload).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.obs.profile import span_critical_path
+
+__all__ = ["fleet_snapshot", "render_snapshot", "write_snapshot"]
+
+
+def _slowest_shard_id(batch_report) -> int:
+    slowest = max((r for r in batch_report.shard_reports if not r.failed),
+                  key=lambda r: r.simulated_seconds, default=None)
+    return slowest.shard_id if slowest is not None else -1
+
+
+def _critical_path_for(server, batch_id: int,
+                       shard_id: int) -> Optional[dict]:
+    """The slowest shard's plan critical path, from the server's trace.
+
+    Returns None when the server ran untraced or the spans are missing.
+    Shard executors run serial plans, so the path is the 1-worker lane
+    — its ``sim_seconds`` equals the shard's reported
+    ``simulated_seconds`` exactly (the PR5 invariant).
+    """
+    if not server.tracer.enabled:
+        return None
+    for root in server.tracer.roots:
+        if (root.name == "serve.batch"
+                and root.args.get("batch_id") == batch_id):
+            for child in root.children:
+                if child.name != f"shard[{shard_id}]":
+                    continue
+                for plan_span in child.children:
+                    if plan_span.category == "plan":
+                        cp = span_critical_path(plan_span, 1)
+                        return {"shard_id": shard_id, **cp.as_dict()}
+    return None
+
+
+def fleet_snapshot(server, *, slo=None, prev=None, top_k: int = 5) -> dict:
+    """One JSON-ready health snapshot of a (preferably drained) server.
+
+    ``slo`` is an optional :class:`~repro.obs.SLOMonitor` whose last
+    observed statuses (burn rates, budgets) are included; ``prev`` an
+    optional :class:`~repro.obs.metrics.MetricsSnapshot` — when given,
+    per-series counter deltas since it appear under ``"rates"`` (the
+    interval-rate view); ``top_k`` bounds the slowest-trace table.
+    """
+    if top_k < 0:
+        raise ValueError("top_k must be non-negative")
+    shed_by_kind: dict = {}
+    for shed in server.shed_reports:
+        shed_by_kind[shed.kind] = shed_by_kind.get(shed.kind, 0) + 1
+
+    replicas = []
+    for shard_id in range(server.router.n_shards):
+        pool = []
+        for state in server.router.pool(shard_id):
+            pool.append({
+                "replica_id": state.replica_id,
+                "healthy": bool(state.healthy),
+                "free_ms": float(state.free_ms),
+                "busy": float(state.free_ms) > float(server.now_ms),
+                "n_failures": int(state.n_failures),
+                "n_readmissions": int(state.n_readmissions),
+            })
+        replicas.append({"shard_id": shard_id, "pool": pool})
+
+    # Slowest requests first (latency desc, request id asc on ties),
+    # each with its critical-path decomposition when a trace exists.
+    ranked = sorted(server.request_reports,
+                    key=lambda r: (-r.latency_ms, r.request_id))[:top_k]
+    slowest = []
+    for report in ranked:
+        shard_id = _slowest_shard_id(report.batch)
+        slowest.append({
+            "trace_id": report.trace_id,
+            "request_id": int(report.request_id),
+            "latency_ms": float(report.latency_ms),
+            "queue_wait_ms": float(report.queue_wait_ms),
+            "batch_id": int(report.batch.batch_id),
+            "priority": int(report.priority),
+            "deadline_missed": bool(report.deadline_missed),
+            "degraded": bool(report.degraded),
+            "partial": bool(report.partial),
+            "critical_path": _critical_path_for(
+                server, report.batch.batch_id, shard_id),
+        })
+
+    snapshot = {
+        "now_ms": float(server.now_ms),
+        "queue_depth": int(server.queue_depth),
+        "n_resolved": len(server.request_reports),
+        "n_batches": len(server.batch_reports),
+        "shed": shed_by_kind,
+        "shed_level": (server.backpressure.level
+                       if server.backpressure is not None else 0),
+        "n_unhealthy_replicas": server.router.n_unhealthy,
+        "replicas": replicas,
+        "slowest": slowest,
+    }
+    if slo is not None:
+        snapshot["slo"] = [
+            {"objective": s.objective, "observed": float(s.observed),
+             "threshold": float(s.threshold), "ok": bool(s.ok),
+             "burn_rate": float(s.burn_rate),
+             "budget_remaining": float(s.budget_remaining)}
+            for s in slo.last_statuses]
+    if prev is not None:
+        snapshot["rates"] = [
+            {"name": d.name, "labels": d.labels, "delta": d.delta}
+            for d in server.metrics.diff(prev)
+            if d.kind == "counter" and d.delta != 0]
+    if server.telemetry is not None:
+        sampling = server.telemetry.finalize()
+        snapshot["telemetry"] = {
+            "events_by_kind": server.telemetry.counts_by_kind(),
+            "n_traces": len(sampling.decisions),
+            "n_kept": sampling.n_kept,
+            "p99_threshold_ms": sampling.p99_threshold_ms,
+        }
+    return snapshot
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Plain-text rendering of a :func:`fleet_snapshot` dict."""
+    lines: List[str] = [
+        f"fleet @ {snapshot['now_ms']:.1f}ms simulated — "
+        f"{snapshot['n_resolved']} resolved / "
+        f"{snapshot['n_batches']} batches, "
+        f"queue depth {snapshot['queue_depth']}, "
+        f"shed rung {snapshot['shed_level']}",
+    ]
+    if snapshot.get("shed"):
+        refusals = ", ".join(f"{kind}={n}" for kind, n in
+                             sorted(snapshot["shed"].items()))
+        lines.append(f"refusals: {refusals}")
+
+    lines.append("")
+    lines.append(f"{'shard':>5} {'replica':>7} {'health':>8} "
+                 f"{'free_ms':>10} {'fail':>5} {'readmit':>7}")
+    for shard in snapshot["replicas"]:
+        for state in shard["pool"]:
+            health = "ok" if state["healthy"] else "DOWN"
+            if state["healthy"] and state["busy"]:
+                health = "busy"
+            lines.append(
+                f"{shard['shard_id']:>5} {state['replica_id']:>7} "
+                f"{health:>8} {state['free_ms']:>10.1f} "
+                f"{state['n_failures']:>5} {state['n_readmissions']:>7}")
+
+    if snapshot.get("slo"):
+        lines.append("")
+        lines.append(f"{'objective':<28} {'observed':>10} {'thresh':>8} "
+                     f"{'ok':>4} {'burn':>7} {'budget':>8}")
+        for s in snapshot["slo"]:
+            lines.append(
+                f"{s['objective']:<28} {s['observed']:>10.3f} "
+                f"{s['threshold']:>8.3f} {'y' if s['ok'] else 'N':>4} "
+                f"{s['burn_rate']:>7.2f} {s['budget_remaining']:>7.1%}")
+
+    if snapshot.get("rates"):
+        lines.append("")
+        lines.append(f"{'counter (interval delta)':<44} {'delta':>10}")
+        for d in snapshot["rates"]:
+            labels = ",".join(f"{k}={v}" for k, v in
+                              sorted(d["labels"].items()))
+            name = f"{d['name']}{{{labels}}}" if labels else d["name"]
+            lines.append(f"{name:<44} {d['delta']:>10g}")
+
+    if snapshot.get("telemetry"):
+        t = snapshot["telemetry"]
+        kinds = ", ".join(f"{k}={n}" for k, n in
+                          sorted(t["events_by_kind"].items()))
+        threshold = t["p99_threshold_ms"]
+        lines.append("")
+        lines.append(
+            f"telemetry: {kinds}; sampled {t['n_kept']}/{t['n_traces']} "
+            f"traces (p99 ≥ "
+            f"{threshold if threshold is not None else float('nan'):.3f}"
+            f"ms kept)")
+
+    if snapshot.get("slowest"):
+        lines.append("")
+        lines.append(f"{'trace_id':<18} {'req':>5} {'latency_ms':>11} "
+                     f"{'wait_ms':>9} {'prio':>5} {'flags':<16} "
+                     f"{'critical path':<30}")
+        for s in snapshot["slowest"]:
+            flags = ",".join(flag for flag, on in
+                             (("late", s["deadline_missed"]),
+                              ("degraded", s["degraded"]),
+                              ("partial", s["partial"])) if on) or "-"
+            cp = s.get("critical_path")
+            if cp is None:
+                detail = "(untraced)"
+            else:
+                detail = (f"shard[{cp['shard_id']}] "
+                          f"{cp['sim_seconds'] * 1e3:.3f}ms over "
+                          f"{len(cp['steps'])} tiles")
+            lines.append(
+                f"{s['trace_id']:<18} {s['request_id']:>5} "
+                f"{s['latency_ms']:>11.3f} {s['queue_wait_ms']:>9.3f} "
+                f"{s['priority']:>5} {flags:<16} {detail:<30}")
+    return "\n".join(lines)
+
+
+def write_snapshot(snapshot: dict, path: Union[str, Path]) -> Path:
+    """Write a snapshot as indented JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    return path

@@ -30,7 +30,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["MetricsRegistry", "Counter", "Gauge", "Histogram",
            "NULL_METRICS", "DEFAULT_BUCKETS", "quantile_from_buckets",
-           "count_at_or_below"]
+           "count_at_or_below", "Exemplar", "MetricsSnapshot",
+           "SeriesDelta"]
 
 #: Default histogram buckets: wide log-ish spread covering sub-ms launches
 #: through multi-second plans (values in the instrument's own unit).
@@ -191,13 +192,39 @@ class Gauge(_Instrument):
                 for k, v in sorted(self._values.items())]
 
 
+class Exemplar:
+    """One concrete observation retained for a histogram bucket.
+
+    ``trace_id`` links the bucket back to the exact request that landed in
+    it (OpenMetrics exemplar semantics); ``value`` is that observation.
+    Each bucket keeps its most recent exemplar — recording order is
+    deterministic on the simulated clock, so the retained exemplar is too.
+    """
+
+    __slots__ = ("trace_id", "value")
+
+    def __init__(self, trace_id: str, value: float):
+        self.trace_id = str(trace_id)
+        self.value = float(value)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, Exemplar)
+                and self.trace_id == other.trace_id
+                and self.value == other.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Exemplar({self.trace_id!r}, {self.value:g})"
+
+
 class _HistogramSeries:
-    __slots__ = ("bucket_counts", "sum", "count")
+    __slots__ = ("bucket_counts", "sum", "count", "exemplars")
 
     def __init__(self, n_buckets: int):
         self.bucket_counts = [0] * n_buckets
         self.sum = 0.0
         self.count = 0
+        #: bucket index (len(buckets) = +Inf) -> most recent Exemplar
+        self.exemplars: Dict[int, Exemplar] = {}
 
 
 class Histogram(_Instrument):
@@ -213,7 +240,11 @@ class Histogram(_Instrument):
             raise ValueError("histogram needs at least one bucket bound")
         self._series: Dict[_LabelKey, _HistogramSeries] = {}
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(self, value: float, *, exemplar: Optional[str] = None,
+                **labels) -> None:
+        """Record one observation; ``exemplar`` (e.g. a trace id) is
+        retained for the narrowest bucket the value lands in, replacing
+        that bucket's previous exemplar."""
         value = float(value)
         key = _label_key(labels)
         with self._lock:
@@ -221,11 +252,26 @@ class Histogram(_Instrument):
             if series is None:
                 series = self._series[key] = _HistogramSeries(
                     len(self.buckets))
+            landed = len(self.buckets)  # implicit +Inf bucket
             for i, bound in enumerate(self.buckets):
                 if value <= bound:
                     series.bucket_counts[i] += 1
+                    landed = min(landed, i)
             series.sum += value
             series.count += 1
+            if exemplar is not None:
+                series.exemplars[landed] = Exemplar(exemplar, value)
+
+    def exemplars(self, **labels) -> Dict[str, Exemplar]:
+        """Retained exemplars keyed by bucket bound (``"%g"``-formatted,
+        ``"+Inf"`` for the overflow bucket); empty for unknown series."""
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            return {}
+        with self._lock:
+            return {(f"{self.buckets[i]:g}" if i < len(self.buckets)
+                     else "+Inf"): ex
+                    for i, ex in sorted(series.exemplars.items())}
 
     def count(self, **labels) -> int:
         series = self._series.get(_label_key(labels))
@@ -266,16 +312,29 @@ class Histogram(_Instrument):
             total = series.count
         return quantile_from_buckets(self.buckets, cum, total, q)
 
+    def _exemplar_suffix(self, series: _HistogramSeries, i: int) -> str:
+        """OpenMetrics exemplar tail (`` # {trace_id="…"} value``) for
+        bucket ``i`` of one series; empty when none is retained."""
+        ex = series.exemplars.get(i)
+        if ex is None:
+            return ""
+        return (f' # {{trace_id="{_escape_label_value(ex.trace_id)}"}} '
+                f"{ex.value:g}")
+
     def _expose(self) -> List[str]:
         lines = []
         for key, series in sorted(self._series.items()):
-            for bound, n in zip(self.buckets, series.bucket_counts):
+            for i, (bound, n) in enumerate(zip(self.buckets,
+                                               series.bucket_counts)):
                 le = 'le="%g"' % bound
                 lines.append(f"{self.name}_bucket"
-                             f"{_render_labels(key, le)} {n}")
+                             f"{_render_labels(key, le)} {n}"
+                             f"{self._exemplar_suffix(series, i)}")
             inf = 'le="+Inf"'
-            lines.append(f"{self.name}_bucket"
-                         f"{_render_labels(key, inf)} {series.count}")
+            lines.append(
+                f"{self.name}_bucket{_render_labels(key, inf)} "
+                f"{series.count}"
+                f"{self._exemplar_suffix(series, len(self.buckets))}")
             lines.append(f"{self.name}_sum{_render_labels(key)} "
                          f"{series.sum:g}")
             lines.append(f"{self.name}_count{_render_labels(key)} "
@@ -283,11 +342,88 @@ class Histogram(_Instrument):
         return lines
 
     def _json(self):
-        return [{"labels": dict(k),
-                 "buckets": dict(zip((f"{b:g}" for b in self.buckets),
-                                     s.bucket_counts)),
-                 "sum": s.sum, "count": s.count}
-                for k, s in sorted(self._series.items())]
+        out = []
+        for k, s in sorted(self._series.items()):
+            entry = {"labels": dict(k),
+                     "buckets": dict(zip((f"{b:g}" for b in self.buckets),
+                                         s.bucket_counts)),
+                     "sum": s.sum, "count": s.count}
+            if s.exemplars:
+                entry["exemplars"] = {
+                    (f"{self.buckets[i]:g}" if i < len(self.buckets)
+                     else "+Inf"): {"trace_id": ex.trace_id,
+                                    "value": ex.value}
+                    for i, ex in sorted(s.exemplars.items())}
+            out.append(entry)
+        return out
+
+
+class SeriesDelta:
+    """The change of one metric series between two snapshots.
+
+    ``delta`` is ``current - previous`` of the series scalar (a counter or
+    gauge value; a histogram's observation count). ``sum_delta`` is the
+    histogram sum change (0.0 for the other kinds) so callers can derive
+    interval-mean latencies as ``sum_delta / delta``.
+    """
+
+    __slots__ = ("name", "kind", "labels", "previous", "current", "delta",
+                 "sum_delta")
+
+    def __init__(self, name: str, kind: str, labels: dict,
+                 previous: float, current: float, sum_delta: float = 0.0):
+        self.name = name
+        self.kind = kind
+        self.labels = dict(labels)
+        self.previous = float(previous)
+        self.current = float(current)
+        self.delta = self.current - self.previous
+        self.sum_delta = float(sum_delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SeriesDelta({self.name}{self.labels} "
+                f"{self.previous:g}->{self.current:g})")
+
+
+class MetricsSnapshot:
+    """Point-in-time capture of every series scalar in a registry.
+
+    Maps ``name -> (kind, {label_key: (scalar, sum)})`` where the scalar
+    is a counter/gauge value or a histogram count; produced by
+    :meth:`MetricsRegistry.snapshot`, consumed by
+    :meth:`MetricsRegistry.diff` (the ops console's interval rates).
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Dict[str, Tuple[str, Dict[_LabelKey,
+                                                       Tuple[float,
+                                                             float]]]]):
+        self._data = data
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._data))
+
+    def value(self, name: str, **labels) -> float:
+        kind_series = self._data.get(name)
+        if kind_series is None:
+            return 0.0
+        return kind_series[1].get(_label_key(labels), (0.0, 0.0))[0]
+
+    def diff(self, prev: "MetricsSnapshot") -> Tuple[SeriesDelta, ...]:
+        """Per-series deltas vs an earlier snapshot, ordered by
+        ``(name, labels)`` — label-stable across calls. Series absent
+        from ``prev`` diff against zero."""
+        deltas: List[SeriesDelta] = []
+        for name in sorted(self._data):
+            kind, series = self._data[name]
+            prev_series = prev._data.get(name, (kind, {}))[1]
+            for key in sorted(series):
+                cur, cur_sum = series[key]
+                was, was_sum = prev_series.get(key, (0.0, 0.0))
+                deltas.append(SeriesDelta(name, kind, dict(key), was, cur,
+                                          sum_delta=cur_sum - was_sum))
+        return tuple(deltas)
 
 
 class MetricsRegistry:
@@ -329,6 +465,28 @@ class MetricsRegistry:
     def names(self) -> Tuple[str, ...]:
         return tuple(sorted(self._instruments))
 
+    # -- snapshots -----------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        """Capture every series scalar (counter/gauge value, histogram
+        count + sum) for later :meth:`diff`."""
+        data: Dict[str, Tuple[str, Dict[_LabelKey,
+                                        Tuple[float, float]]]] = {}
+        with self._lock:
+            for name, inst in self._instruments.items():
+                if isinstance(inst, Histogram):
+                    series = {k: (float(s.count), float(s.sum))
+                              for k, s in inst._series.items()}
+                else:
+                    series = {k: (float(v), 0.0)
+                              for k, v in inst._values.items()}
+                data[name] = (inst.kind, series)
+        return MetricsSnapshot(data)
+
+    def diff(self, prev: MetricsSnapshot) -> Tuple[SeriesDelta, ...]:
+        """Per-series change since ``prev`` (see
+        :meth:`MetricsSnapshot.diff`)."""
+        return self.snapshot().diff(prev)
+
     # -- exposition ----------------------------------------------------
     def to_prometheus_text(self) -> str:
         """The Prometheus text exposition format (one sample per line)."""
@@ -364,8 +522,11 @@ class _NullInstrument:
     def set_max(self, value, **labels):
         pass
 
-    def observe(self, value, **labels):
+    def observe(self, value, *, exemplar=None, **labels):
         pass
+
+    def exemplars(self, **labels):
+        return {}
 
     def value(self, **labels):
         return 0.0
@@ -384,7 +545,7 @@ class NullMetrics(MetricsRegistry):
     """Accepts every recording and drops it without allocating."""
 
     def __init__(self):
-        self._instruments = {}
+        super().__init__()
 
     def counter(self, name, help=""):
         return _NULL_INSTRUMENT

@@ -45,7 +45,7 @@ from repro.obs.tracer import Span, Tracer
 
 __all__ = ["Profile", "CategoryTime", "CriticalPath", "CriticalStep",
            "LaunchRecord", "StrategyRoofline", "TileAttribution",
-           "RooflineReport", "write_folded"]
+           "RooflineReport", "write_folded", "span_critical_path"]
 
 #: roofline attribution classes, in display order
 LIMITED_CLASSES = ("compute", "memory", "occupancy")
@@ -243,6 +243,52 @@ class RooflineReport:
         return "\n".join(lines)
 
 
+def span_critical_path(plan_span: Span,
+                       n_workers: Optional[int] = None) -> CriticalPath:
+    """The round-robin lane setting one plan span's makespan.
+
+    Works on any ``plan.execute``-shaped span (tile-category children
+    plus a serial prologue), wherever it sits in a larger trace — the
+    ops console uses this to recover a serve batch's per-shard critical
+    path from the shard's nested plan span. Recomputed from per-tile
+    simulated seconds with the executor's exact schedule (ordinal ``i``
+    → lane ``i % N``, lane sums accumulate in tile order; the serial
+    path is a plain ``sum``), so ``sim_seconds`` equals
+    ``PlanExecutionReport.simulated_seconds`` to the last bit for the
+    matching worker count.
+    """
+    if n_workers is None:
+        n_workers = int(plan_span.args.get("n_workers", 1) or 1)
+    if n_workers <= 0:
+        raise ValueError("n_workers must be positive")
+    tiles = sorted((c for c in plan_span.children if c.category == "tile"),
+                   key=lambda s: int(s.args.get("tile", -1)))
+    prologue = sum(_duration(c) for c in plan_span.children
+                   if c.category != "tile")
+    if not tiles:
+        return CriticalPath(n_workers=n_workers, lane=0,
+                            sim_seconds=prologue,
+                            prologue_seconds=prologue, steps=())
+
+    seconds = [float(s.sim_seconds or 0.0) for s in tiles]
+    if n_workers == 1:
+        # the executor's serial path is sum(), not a lane fold
+        lane_time = [float(sum(seconds))]
+    else:
+        lane_time = [0.0] * n_workers
+        for i, s in enumerate(seconds):
+            lane_time[i % n_workers] += s
+    lane = max(range(len(lane_time)), key=lambda w: (lane_time[w], -w))
+    steps = tuple(
+        CriticalStep(name=span.name,
+                     tile=int(span.args.get("tile", -1)),
+                     seconds=seconds[i])
+        for i, span in enumerate(tiles) if i % n_workers == lane)
+    return CriticalPath(n_workers=n_workers, lane=lane,
+                        sim_seconds=prologue + lane_time[lane],
+                        prologue_seconds=prologue, steps=steps)
+
+
 class Profile:
     """Analysis view over a finished tracer's span forest."""
 
@@ -292,37 +338,7 @@ class Profile:
         many workers the *traced* run used. ``n_workers=None`` uses the
         traced run's count.
         """
-        root = self._plan_root()
-        if n_workers is None:
-            n_workers = int(root.args.get("n_workers", 1) or 1)
-        if n_workers <= 0:
-            raise ValueError("n_workers must be positive")
-        tiles = self._plan_tiles()
-
-        prologue = sum(_duration(c) for c in root.children
-                       if c.category != "tile")
-        if not tiles:
-            return CriticalPath(n_workers=n_workers, lane=0,
-                                sim_seconds=prologue,
-                                prologue_seconds=prologue, steps=())
-
-        seconds = [float(s.sim_seconds or 0.0) for s in tiles]
-        if n_workers == 1:
-            # the executor's serial path is sum(), not a lane fold
-            lane_time = [float(sum(seconds))]
-        else:
-            lane_time = [0.0] * n_workers
-            for i, s in enumerate(seconds):
-                lane_time[i % n_workers] += s
-        lane = max(range(len(lane_time)), key=lambda w: (lane_time[w], -w))
-        steps = tuple(
-            CriticalStep(name=span.name,
-                         tile=int(span.args.get("tile", -1)),
-                         seconds=seconds[i])
-            for i, span in enumerate(tiles) if i % n_workers == lane)
-        return CriticalPath(n_workers=n_workers, lane=lane,
-                            sim_seconds=prologue + lane_time[lane],
-                            prologue_seconds=prologue, steps=steps)
+        return span_critical_path(self._plan_root(), n_workers)
 
     # -- category aggregation ------------------------------------------
     def categories(self) -> Tuple[CategoryTime, ...]:

@@ -56,6 +56,10 @@ __all__ = [
     "get_default_tracer",
     "set_default_tracer",
     "shielded_trace_context",
+    "trace_context",
+    "current_trace_context",
+    "push_trace_context",
+    "pop_trace_context",
 ]
 
 _TLS = threading.local()
@@ -87,7 +91,7 @@ class Span:
 
     __slots__ = ("tracer", "span_id", "name", "category", "parent",
                  "children", "args", "events", "sim_seconds", "wall_seconds",
-                 "status", "_wall_start")
+                 "status", "finished", "_wall_start")
 
     def __init__(self, tracer: "Tracer", span_id: int, name: str,
                  category: str, parent: Optional["Span"], args: dict):
@@ -102,6 +106,9 @@ class Span:
         self.sim_seconds: Optional[float] = None
         self.wall_seconds: float = 0.0
         self.status = "ok"
+        #: False while the span is open (or was never exited): exports mark
+        #: such spans explicitly instead of reporting misleading durations
+        self.finished = False
         self._wall_start = 0.0
 
     # -- context manager ----------------------------------------------
@@ -115,6 +122,7 @@ class Span:
         if exc_type is not None:
             self.status = "error"
             self.args.setdefault("error", exc_type.__name__)
+        self.finished = True
         self.tracer._close(self)
 
     # -- annotation API ------------------------------------------------
@@ -159,6 +167,13 @@ class Tracer:
 
         Parentage: explicit ``parent`` wins; otherwise the innermost open
         span on the calling thread; otherwise the span becomes a root.
+
+        Trace context: unless the caller passed ``trace_id=`` explicitly,
+        the span inherits this thread's active trace context (see
+        :func:`trace_context`), falling back to the parent span's
+        ``trace_id`` annotation — so a request's trace id flows down the
+        whole span tree, including across the executor's explicitly
+        parented worker-thread spans.
         """
         with self._lock:
             span_id = self._next_id
@@ -167,6 +182,12 @@ class Tracer:
             stack = getattr(_TLS, "spans", None)
             if stack:
                 parent = stack[-1]
+        if "trace_id" not in args:
+            ctx = getattr(_TLS, "trace_ctx", None)
+            if ctx:
+                args["trace_id"] = ctx[-1]
+            elif parent is not None and "trace_id" in parent.args:
+                args["trace_id"] = parent.args["trace_id"]
         return Span(self, span_id, name, category, parent, args)
 
     def _open(self, span: Span) -> None:
@@ -223,18 +244,23 @@ class Tracer:
 
         Children are sorted by ``(name, tile index)`` because sibling
         completion order depends on scheduling; lane assignments and wall
-        times are omitted for the same reason.
+        times are omitted for the same reason. A span still open at export
+        time is marked ``"unfinished": True`` (finished spans carry no such
+        key, so trees recorded entirely from closed spans are unchanged).
         """
         def node(span: Span) -> dict:
             children = sorted(
                 span.children,
                 key=lambda s: (s.name, s.args.get("tile", -1), s.category))
-            return {
+            entry = {
                 "name": span.name,
                 "category": span.category,
                 "events": sorted((e.name, e.category) for e in span.events),
                 "children": [node(c) for c in children],
             }
+            if not span.finished:
+                entry["unfinished"] = True
+            return entry
 
         roots = sorted(self.roots,
                        key=lambda s: (s.name, s.args.get("tile", -1)))
@@ -339,6 +365,11 @@ def shielded_trace_context():
     records nowhere — exactly what a fresh worker thread sees. The
     distributed executor shields per-device compute with this so its trace
     tree is identical whether lanes run on the main thread or a pool.
+
+    The **trace context** (:func:`current_trace_context`) deliberately
+    survives the shield: shielding hides *span parentage*, not request
+    identity, so spans opened inside still carry the request's
+    ``trace_id`` annotation.
     """
     stack = getattr(_TLS, "spans", None)
     _TLS.spans = []
@@ -346,6 +377,48 @@ def shielded_trace_context():
         yield
     finally:
         _TLS.spans = stack
+
+
+def push_trace_context(trace_id: str) -> None:
+    """Make ``trace_id`` this thread's active trace context (LIFO).
+
+    Every span subsequently created on this thread (without an explicit
+    ``trace_id=`` arg) is annotated with it; see :func:`trace_context`
+    for the context-manager form.
+    """
+    stack = getattr(_TLS, "trace_ctx", None)
+    if stack is None:
+        stack = _TLS.trace_ctx = []
+    stack.append(str(trace_id))
+
+
+def pop_trace_context() -> None:
+    stack = getattr(_TLS, "trace_ctx", None)
+    if stack:
+        stack.pop()
+
+
+def current_trace_context() -> Optional[str]:
+    """This thread's active trace id (None when no context is pushed)."""
+    stack = getattr(_TLS, "trace_ctx", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def trace_context(trace_id: str):
+    """Annotate every span opened in this block with ``trace_id``.
+
+    The context is thread-local: fan-out code re-enters it on each worker
+    thread (explicitly parented spans also inherit the parent's
+    ``trace_id``, so per-tile worker spans are covered either way). It
+    survives :func:`shielded_trace_context`, carrying request identity
+    into shielded per-device compute.
+    """
+    push_trace_context(trace_id)
+    try:
+        yield
+    finally:
+        pop_trace_context()
 
 
 def push_metrics(registry) -> None:

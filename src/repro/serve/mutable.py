@@ -200,7 +200,7 @@ class MutableIndex:
                  recovery: Optional[RecoveryPolicy] = None,
                  generation: int = 0,
                  next_snapshot_version: int = 1,
-                 tracer=None, metrics=None):
+                 tracer=None, metrics=None, telemetry=None):
         base_ids = np.asarray(base_ids, dtype=np.int64)
         if base_ids.ndim != 1 or base_ids.size != base.n_rows:
             raise ValueError(
@@ -228,6 +228,9 @@ class MutableIndex:
         self.recovery = recovery if recovery is not None else RecoveryPolicy()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        #: optional :class:`~repro.obs.Telemetry` receiving one
+        #: ``"compaction"`` wide event per completed (or no-op) compaction
+        self.telemetry = telemetry
         self._mem = CSRRowBuilder(base.n_cols)
         self._mem_latest: Dict[int, int] = {}
         self._mem_tombstones: Set[int] = set()
@@ -896,6 +899,7 @@ class MutableIndex:
                 simulated_seconds=0.0, started_ms=self._now_ms,
                 completed_ms=self._now_ms, noop=True)
             self.compaction_reports.append(report)
+            self._emit_compaction_event(report)
             return report
         absorbed_tombstones = len(self._mem_tombstones)
         self._seal_memtable()
@@ -923,6 +927,33 @@ class MutableIndex:
             absorbed_rows=absorbed_rows,
             absorbed_tombstones=absorbed_tombstones)
         return None
+
+    def _emit_compaction_event(self, report: "CompactionReport") -> None:
+        """One wide event per completed (or no-op) compaction.
+
+        The trace id is the ambient trace context when one is set (a
+        compaction triggered inside a traced request), else minted
+        deterministically from the compaction ordinal + generation.
+        """
+        if self.telemetry is None:
+            return
+        from repro.obs.telemetry import deterministic_trace_id
+        from repro.obs.tracer import current_trace_context
+
+        trace_id = (current_trace_context()
+                    or deterministic_trace_id(
+                        "mutable.compact", len(self.compaction_reports),
+                        report.generation))
+        self.telemetry.emit(
+            "compaction", trace_id=trace_id, ts_ms=report.completed_ms,
+            generation=report.generation, reason=report.reason,
+            n_shards=report.n_shards, placement=report.placement,
+            live_rows=report.live_rows,
+            absorbed_rows=report.absorbed_rows,
+            absorbed_tombstones=report.absorbed_tombstones,
+            sim_seconds=report.simulated_seconds,
+            n_retries=report.n_retries, resumed=report.resumed,
+            noop=report.noop)
 
     def _run_compaction(self, resumed: bool,
                         fault_injector: Optional[FaultInjector],
@@ -963,6 +994,7 @@ class MutableIndex:
             resumed_from_watermark=resumed_from,
             fault_log=tuple(pending.fault_log))
         self.compaction_reports.append(report)
+        self._emit_compaction_event(report)
         self.metrics.counter(
             "compaction_total",
             "completed compactions").inc(reason=pending.reason)

@@ -60,6 +60,9 @@ class ServeRequest:
     priority: int = 0
     degraded: bool = False
     requested_k: Optional[int] = None
+    #: deterministic telemetry trace id minted at admission (seeded from
+    #: the request id — see :func:`repro.obs.telemetry.trace_id_for_request`)
+    trace_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -106,6 +109,9 @@ class ShardReport:
     replica_id: int = 0
     #: replicas marked unhealthy while serving this batch, in failure order
     failed_replicas: Tuple[int, ...] = ()
+    #: per-tile ``(tile_index, simulated_seconds)`` of the delivering
+    #: execution, in tile order — the telemetry layer's tile-event source
+    tile_seconds: Tuple[Tuple[int, float], ...] = ()
 
     @property
     def n_failovers(self) -> int:
@@ -185,6 +191,9 @@ class RequestReport:
     #: the shed ladder clamped this request's k below ``requested_k``
     degraded: bool = False
     requested_k: Optional[int] = None
+    #: the request's telemetry trace id (exemplar key for the latency
+    #: histograms; "" when the request predates the telemetry layer)
+    trace_id: str = ""
 
     @property
     def latency_ms(self) -> float:

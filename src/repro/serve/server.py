@@ -63,7 +63,12 @@ from repro.faults.injector import FaultInjector
 from repro.faults.recovery import RecoveryPolicy
 from repro.obs import resolve_trace, write_chrome_trace
 from repro.obs.metrics import NULL_METRICS
-from repro.obs.tracer import NULL_SPAN, NULL_TRACER
+from repro.obs.telemetry import (
+    Telemetry,
+    deterministic_trace_id,
+    trace_id_for_request,
+)
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER, trace_context
 from repro.plan.consumers import TopKConsumer
 from repro.plan.executor import PlanExecutor
 from repro.plan.pairwise_plan import PreparedOperand
@@ -141,6 +146,14 @@ class Server:
     metrics:
         Optional :class:`~repro.obs.MetricsRegistry` receiving the
         ``serve_*`` instrument family.
+    telemetry:
+        Optional :class:`~repro.obs.telemetry.Telemetry` collector.
+        Every admitted request mints a deterministic trace id that
+        annotates its span tree and stamps one wide event per request,
+        tile, fault, failover, and shed decision — all emitted at
+        deterministic points under the server lock, so the stream is
+        identical for any ``n_workers``. Latency histograms carry the
+        trace id as a per-bucket exemplar.
     """
 
     def __init__(self, index: ShardedIndex, *, max_batch_rows: int = 128,
@@ -152,7 +165,8 @@ class Server:
                  backpressure: Optional[BackpressureController] = None,
                  probe_backoff_ms: float = 50.0,
                  probe_success_rate: float = 1.0, probe_seed: int = 0,
-                 trace=None, metrics=None):
+                 trace=None, metrics=None,
+                 telemetry: Optional[Telemetry] = None):
         if n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {n_workers}")
         if max_shard_resumes < 0:
@@ -179,6 +193,7 @@ class Server:
         if self.tracer is None:
             self.tracer = NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.telemetry = telemetry
         #: every executed batch / resolved request, in execution order
         self.batch_reports: List[BatchReport] = []
         self.request_reports: List[RequestReport] = []
@@ -239,7 +254,8 @@ class Server:
                 request_id=self._next_request_id, queries=prepared,
                 n_neighbors=int(n_neighbors), n_rows=prepared.n_rows,
                 arrival_ms=arrival_ms, deadline_ms=deadline_ms,
-                priority=int(priority), requested_k=int(n_neighbors))
+                priority=int(priority), requested_k=int(n_neighbors),
+                trace_id=trace_id_for_request(self._next_request_id))
             self.metrics.counter(
                 "serve_requests_total",
                 "query blocks submitted to the server").inc()
@@ -299,12 +315,20 @@ class Server:
                     priority=str(request.priority), reason=reason)
         if self.tracer.enabled:
             with self.tracer.span(f"serve.{kind}", "serve",
+                                  trace_id=request.trace_id,
                                   submission_id=request.request_id,
                                   priority=request.priority,
                                   n_rows=request.n_rows,
                                   reason=reason) as span:
                 if shed_level:
                     span.annotate(shed_level=shed_level)
+        if self.telemetry is not None:
+            self.telemetry.emit(
+                "shed", trace_id=request.trace_id,
+                ts_ms=request.arrival_ms,
+                request_id=request.request_id, refusal=kind,
+                reason=reason, priority=request.priority,
+                n_rows=request.n_rows, shed_level=shed_level)
         raise AdmissionRejected(
             f"submission {request.request_id} (priority "
             f"{request.priority}, {request.n_rows} rows) refused at "
@@ -339,6 +363,15 @@ class Server:
             return [f._result for f in self._resolved
                     if f._error is None]
 
+    def console_snapshot(self, *, slo=None, prev=None,
+                         top_k: int = 5) -> dict:
+        """The fleet ops console's health snapshot (see
+        :func:`repro.obs.console.fleet_snapshot`); call after
+        :meth:`drain` for a settled view."""
+        from repro.obs.console import fleet_snapshot
+        with self._lock:
+            return fleet_snapshot(self, slo=slo, prev=prev, top_k=top_k)
+
     @property
     def now_ms(self) -> float:
         """The server's simulated clock (last arrival seen)."""
@@ -356,13 +389,20 @@ class Server:
         queries = _stack_queries([r.queries for r in batch.requests])
         k = min(batch.k_max, self.index.n_rows)
 
+        # Batch-scoped spans and events carry the batch's own trace id
+        # (coalesced requests share one execution) plus the member
+        # request trace ids, so any member's chain stays walkable.
+        batch_trace = deterministic_trace_id("serve.batch", batch.batch_id)
+        members = tuple(r.trace_id for r in batch.requests)
         span = (self.tracer.span("serve.batch", "serve",
+                                 trace_id=batch_trace,
+                                 member_trace_ids=",".join(members),
                                  batch_id=batch.batch_id,
                                  n_requests=len(batch.requests),
                                  n_rows=batch.n_rows,
                                  close_reason=batch.close_reason)
                 if self.tracer.enabled else NULL_SPAN)
-        with span:
+        with span, trace_context(batch_trace):
             shard_reports, parts, replicas = self._fan_out(
                 queries, k, batch.dispatch_ms, span)
 
@@ -390,6 +430,8 @@ class Server:
                 shard_reports=tuple(shard_reports))
             self.batch_reports.append(report)
             self._record_batch_metrics(batch, report)
+            if self.telemetry is not None:
+                self._emit_batch_events(report, batch_trace, members)
 
             if len(failed) == self.index.n_shards:
                 error = ShardFailedError(
@@ -526,7 +568,11 @@ class Server:
                     n_resumes=total_resumes, failed=False,
                     fault_log=tuple(fault_log),
                     replica_id=state.replica_id,
-                    failed_replicas=tuple(failed_replicas))
+                    failed_replicas=tuple(failed_replicas),
+                    tile_seconds=tuple(
+                        (r.tile_index, r.seconds) for r in sorted(
+                            report.accountant.records,
+                            key=lambda r: r.tile_index)))
                 return (shard_report, (distances, global_ids), state)
 
     def _run_replica(self, plan, consumer, injector, resume_from: int,
@@ -577,9 +623,45 @@ class Server:
     # ------------------------------------------------------------------
     # resolution + accounting
     # ------------------------------------------------------------------
+    def _emit_batch_events(self, report: BatchReport, batch_trace: str,
+                           members: Tuple[str, ...]) -> None:
+        """One wide event per tile, fault, and failover of a batch.
+
+        Runs under the server lock after fan-out has joined, walking the
+        shard reports in shard order — never worker completion order —
+        so the stream is identical for any ``n_workers``. Batch-scoped
+        events carry every member request's trace id.
+        """
+        emit = self.telemetry.emit
+        for shard in report.shard_reports:
+            for tile_index, seconds in shard.tile_seconds:
+                emit("tile", trace_id=batch_trace,
+                     ts_ms=report.start_ms, batch_id=report.batch_id,
+                     shard_id=shard.shard_id, tile=tile_index,
+                     sim_seconds=seconds,
+                     member_trace_ids=list(members))
+            for ev in shard.fault_log:
+                emit("fault", trace_id=batch_trace,
+                     ts_ms=report.start_ms, batch_id=report.batch_id,
+                     shard_id=shard.shard_id, tile=ev.tile_index,
+                     fault_kind=ev.kind.value, action=ev.action,
+                     attempt=ev.attempt,
+                     member_trace_ids=list(members))
+            for replica_id in shard.failed_replicas:
+                emit("failover", trace_id=batch_trace,
+                     ts_ms=report.start_ms, batch_id=report.batch_id,
+                     shard_id=shard.shard_id, replica_id=replica_id,
+                     member_trace_ids=list(members))
+
     def _resolve_requests(self, batch: MicroBatch, report: BatchReport,
                           batch_span, *, distances=None, indices=None,
                           error=None) -> None:
+        batch_trace = deterministic_trace_id("serve.batch", batch.batch_id)
+        # The shard whose modeled seconds set the batch's service time
+        # (shard order breaks ties, deterministically).
+        slowest = max(
+            (r for r in report.shard_reports if not r.failed),
+            key=lambda r: r.simulated_seconds, default=None)
         row = 0
         for request in batch.requests:
             req_report = RequestReport(
@@ -588,12 +670,36 @@ class Server:
                 completion_ms=report.completion_ms,
                 batch=report, deadline_ms=request.deadline_ms,
                 priority=request.priority, degraded=request.degraded,
-                requested_k=request.requested_k)
+                requested_k=request.requested_k,
+                trace_id=request.trace_id)
             self.request_reports.append(req_report)
             self._record_request_metrics(req_report)
+            if self.telemetry is not None:
+                self.telemetry.emit(
+                    "request", trace_id=request.trace_id,
+                    ts_ms=report.completion_ms,
+                    request_id=request.request_id,
+                    batch_id=report.batch_id,
+                    batch_trace_id=batch_trace,
+                    priority=request.priority, n_rows=request.n_rows,
+                    k=request.n_neighbors,
+                    requested_k=request.requested_k,
+                    arrival_ms=float(request.arrival_ms),
+                    start_ms=float(report.start_ms),
+                    completion_ms=float(report.completion_ms),
+                    latency_ms=float(req_report.latency_ms),
+                    queue_wait_ms=float(req_report.queue_wait_ms),
+                    deadline_missed=bool(req_report.deadline_missed),
+                    degraded=bool(request.degraded),
+                    partial=bool(req_report.partial),
+                    failed=error is not None,
+                    n_faults=report.n_fault_events,
+                    slowest_shard=(slowest.shard_id
+                                   if slowest is not None else -1))
             if self.tracer.enabled:
                 with self.tracer.span(
                         "serve.request", "serve", parent=batch_span,
+                        trace_id=request.trace_id,
                         request_id=request.request_id,
                         n_rows=request.n_rows,
                         k=request.n_neighbors,
@@ -644,16 +750,20 @@ class Server:
 
     def _record_request_metrics(self, report: RequestReport) -> None:
         m = self.metrics
+        exemplar = report.trace_id or None
         m.histogram("serve_latency_ms",
                     "simulated request latency (arrival to completion)",
-                    buckets=LATENCY_BUCKETS_MS).observe(report.latency_ms)
+                    buckets=LATENCY_BUCKETS_MS).observe(
+                        report.latency_ms, exemplar=exemplar)
         m.histogram("serve_priority_latency_ms",
                     "simulated request latency by priority class",
                     buckets=LATENCY_BUCKETS_MS).observe(
-                        report.latency_ms, priority=str(report.priority))
+                        report.latency_ms, exemplar=exemplar,
+                        priority=str(report.priority))
         m.histogram("serve_queue_wait_ms",
                     "simulated wait before the batch started",
-                    buckets=LATENCY_BUCKETS_MS).observe(report.queue_wait_ms)
+                    buckets=LATENCY_BUCKETS_MS).observe(
+                        report.queue_wait_ms, exemplar=exemplar)
         if report.partial:
             m.counter("serve_partial_results_total",
                       "requests answered from a degraded shard set").inc()

@@ -92,3 +92,25 @@ def test_multiple_roots_laid_out_sequentially(rng):
     assert len(roots) == 2
     first, second = sorted(roots, key=lambda e: e["ts"])
     assert second["ts"] >= first["ts"] + first["dur"]
+
+
+def test_unfinished_spans_flagged_in_export():
+    tracer = Tracer()
+    with tracer.span("closed", "plan"):
+        pass
+    hung = tracer.span("hung", "plan")
+    hung.__enter__()  # still open at export time
+    try:
+        doc = to_chrome_trace(tracer)
+    finally:
+        hung.__exit__(None, None, None)
+    by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert by_name["hung"]["args"]["unfinished"] is True
+    assert "unfinished" not in by_name["closed"].get("args", {})
+    json.dumps(doc)  # the flag must not break serialization
+
+
+def test_finished_run_has_no_unfinished_flags(rng):
+    doc = to_chrome_trace(_traced_run(rng))
+    assert all("unfinished" not in e.get("args", {})
+               for e in doc["traceEvents"])

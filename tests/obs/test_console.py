@@ -1,0 +1,173 @@
+"""Fleet ops console: snapshot contents, rendering, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.errors import AdmissionRejected
+from repro.obs import (
+    MetricsRegistry,
+    SLOMonitor,
+    Telemetry,
+    Tracer,
+    default_serve_objectives,
+)
+from repro.obs.console import fleet_snapshot, render_snapshot, write_snapshot
+from repro.serve import Server, ShardedIndex
+from repro.serve.traffic import heavy_tailed_trace
+from repro.testing import DEFAULT_SEED, random_csr, seeded_rng, skewed_csr
+
+
+def _drained_server(*, traced=True, telemetry=True, n_requests=24):
+    corpus = skewed_csr(80, 30, seed=DEFAULT_SEED, scale=6, floor=1, cap=25)
+    rng = seeded_rng(DEFAULT_SEED + 1)
+    metrics = MetricsRegistry()
+    index = ShardedIndex.build(corpus, metric="cosine", n_shards=2)
+    server = Server(index, max_batch_rows=8, max_wait_ms=0.01,
+                    metrics=metrics,
+                    trace=Tracer() if traced else None,
+                    telemetry=Telemetry() if telemetry else None)
+    trace = heavy_tailed_trace(
+        n_requests=n_requests, seed=5, mean_gap_ms=0.01, gap_sigma=1.2,
+        rows_choices=(1, 2), deadline_ms_by_priority={0: 0.2, 1: 0.5})
+    for req in trace:
+        queries = random_csr(rng, req.n_rows, corpus.n_cols, 0.3)
+        try:
+            server.submit(queries, 5, arrival_ms=req.arrival_ms,
+                          deadline_ms=req.deadline_ms,
+                          priority=req.priority)
+        except AdmissionRejected:
+            pass
+    server.drain()
+    return server, metrics
+
+
+class TestFleetSnapshot:
+    def test_snapshot_shape_and_json_round_trip(self):
+        server, metrics = _drained_server()
+        monitor = SLOMonitor(metrics,
+                             default_serve_objectives(p99_latency_ms=2.0))
+        monitor.observe(server.now_ms)
+        snapshot = fleet_snapshot(server, slo=monitor, top_k=3)
+        for key in ("now_ms", "queue_depth", "n_resolved", "n_batches",
+                    "shed", "shed_level", "replicas", "slowest", "slo",
+                    "telemetry"):
+            assert key in snapshot
+        assert snapshot["queue_depth"] == 0  # drained
+        assert snapshot["n_resolved"] == len(server.request_reports)
+        assert len(snapshot["slowest"]) == 3
+        # every value must survive strict JSON (no numpy scalars)
+        round_trip = json.loads(json.dumps(snapshot))
+        assert round_trip["n_resolved"] == snapshot["n_resolved"]
+
+    def test_slowest_is_latency_ranked_with_critical_paths(self):
+        server, _ = _drained_server()
+        snapshot = fleet_snapshot(server, top_k=5)
+        latencies = [s["latency_ms"] for s in snapshot["slowest"]]
+        assert latencies == sorted(latencies, reverse=True)
+        for entry in snapshot["slowest"]:
+            cp = entry["critical_path"]
+            assert cp is not None
+            assert cp["sim_seconds"] > 0.0
+            assert cp["steps"]
+
+    def test_untraced_server_has_no_critical_paths(self):
+        server, _ = _drained_server(traced=False)
+        snapshot = fleet_snapshot(server, top_k=2)
+        assert all(s["critical_path"] is None
+                   for s in snapshot["slowest"])
+
+    def test_telemetry_section_matches_sampling_report(self):
+        server, _ = _drained_server()
+        snapshot = fleet_snapshot(server)
+        report = server.telemetry.finalize()
+        section = snapshot["telemetry"]
+        assert section["n_traces"] == len(report.decisions)
+        assert section["n_kept"] == report.n_kept
+        assert section["events_by_kind"] == server.telemetry.counts_by_kind()
+
+    def test_rates_section_reports_counter_deltas(self):
+        server, metrics = _drained_server()
+        prev = metrics.snapshot()
+        server.submit(random_csr(seeded_rng(0), 1, 30, 0.3), 5,
+                      arrival_ms=server.now_ms + 1.0)
+        server.drain()
+        snapshot = fleet_snapshot(server, prev=prev)
+        rates = {(d["name"], tuple(sorted(d["labels"].items()))): d["delta"]
+                 for d in snapshot["rates"]}
+        assert all(delta > 0 for delta in rates.values())
+        assert any(name == "serve_requests_total"
+                   for name, _ in rates)
+
+    def test_negative_top_k_rejected(self):
+        server, _ = _drained_server(n_requests=4)
+        with pytest.raises(ValueError):
+            fleet_snapshot(server, top_k=-1)
+
+
+class TestRenderSnapshot:
+    def test_render_mentions_all_sections(self):
+        server, metrics = _drained_server()
+        monitor = SLOMonitor(metrics,
+                             default_serve_objectives(p99_latency_ms=2.0))
+        monitor.observe(server.now_ms)
+        prev_free = fleet_snapshot(server, slo=monitor, top_k=4)
+        text = render_snapshot(prev_free)
+        assert "fleet @" in text
+        assert "shard" in text and "replica" in text
+        assert "telemetry:" in text and "request=" in text
+        assert "critical path" in text
+        for entry in prev_free["slowest"]:
+            assert entry["trace_id"] in text
+
+    def test_render_untraced_marks_paths(self):
+        server, _ = _drained_server(traced=False, telemetry=False,
+                                    n_requests=6)
+        text = render_snapshot(fleet_snapshot(server, top_k=2))
+        assert "(untraced)" in text
+        assert "telemetry:" not in text
+
+
+class TestWriteSnapshot:
+    def test_write_snapshot_round_trips(self, tmp_path):
+        server, _ = _drained_server(n_requests=8)
+        snapshot = fleet_snapshot(server, top_k=2)
+        path = write_snapshot(snapshot, tmp_path / "out" / "snap.json")
+        assert json.loads(path.read_text()) == snapshot
+
+
+class TestConsoleCli:
+    def test_demo_renders_and_writes_json(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        out = tmp_path / "snap.json"
+        assert main(["console", "--demo", "--seed", "7",
+                     "--json", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "fleet @" in text
+        saved = json.loads(out.read_text())
+        assert saved["n_resolved"] > 0
+
+    def test_snapshot_file_round_trip(self, tmp_path, capsys):
+        from repro.obs.__main__ import main
+
+        out = tmp_path / "snap.json"
+        main(["console", "--demo", "--json", str(out)])
+        first = capsys.readouterr().out
+        assert main(["console", "--snapshot", str(out)]) == 0
+        second = capsys.readouterr().out
+        assert first.splitlines()[0] == second.splitlines()[0]
+
+    def test_demo_is_deterministic(self, tmp_path):
+        from repro.obs.__main__ import main
+
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            main(["console", "--demo", "--json", str(path)])
+        assert paths[0].read_text() == paths[1].read_text()
+
+    def test_source_is_required(self):
+        from repro.obs.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["console"])

@@ -11,6 +11,7 @@ from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     NULL_METRICS,
     Counter,
+    Exemplar,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -246,3 +247,125 @@ def test_label_escaping_in_histogram_series(registry):
     text = registry.to_prometheus_text()
     assert 'tag="a\\"b\\\\c"' in text
     assert text.count("\n") == len(text.splitlines())  # no stray newlines
+
+
+# -- histogram exemplars -----------------------------------------------------
+
+
+def test_exemplar_lands_in_narrowest_bucket(registry):
+    h = registry.histogram("lat", buckets=(1.0, 5.0, 10.0))
+    h.observe(0.5, exemplar="aaaa")
+    h.observe(7.0, exemplar="bbbb")
+    h.observe(99.0, exemplar="cccc")
+    assert h.exemplars() == {"1": Exemplar("aaaa", 0.5),
+                             "10": Exemplar("bbbb", 7.0),
+                             "+Inf": Exemplar("cccc", 99.0)}
+
+
+def test_exemplar_last_observation_wins(registry):
+    h = registry.histogram("lat", buckets=(1.0,))
+    h.observe(0.3, exemplar="old")
+    h.observe(0.4, exemplar="new")
+    h.observe(0.5)  # no exemplar: keeps the previous one
+    assert h.exemplars() == {"1": Exemplar("new", 0.4)}
+
+
+def test_exemplars_are_per_label_series(registry):
+    h = registry.histogram("lat", buckets=(1.0,))
+    h.observe(0.5, exemplar="x", route="a")
+    assert h.exemplars(route="a") == {"1": Exemplar("x", 0.5)}
+    assert h.exemplars(route="b") == {}
+    assert h.exemplars() == {}
+
+
+def test_exemplar_in_prometheus_text(registry):
+    h = registry.histogram("lat", buckets=(1.0, 5.0))
+    h.observe(0.5, exemplar="deadbeef00112233")
+    h.observe(42.0, exemplar="feedface")
+    text = registry.to_prometheus_text()
+    lines = {ln.split(" ", 1)[0]: ln for ln in text.splitlines()
+             if ln.startswith("lat_bucket")}
+    assert lines['lat_bucket{le="1"}'].endswith(
+        '1 # {trace_id="deadbeef00112233"} 0.5')
+    assert lines['lat_bucket{le="+Inf"}'].endswith(
+        '2 # {trace_id="feedface"} 42')
+    # the middle bucket never landed an exemplar: bare sample line
+    assert lines['lat_bucket{le="5"}'].endswith('"5"} 1')
+
+
+def test_exemplar_in_json_only_when_present(registry):
+    h = registry.histogram("lat", buckets=(1.0,))
+    h.observe(0.5, route="bare")
+    h.observe(0.5, exemplar="abcd", route="tagged")
+    series = json.loads(registry.to_json())["lat"]["series"]
+    by_route = {s["labels"]["route"]: s for s in series}
+    assert "exemplars" not in by_route["bare"]
+    assert by_route["tagged"]["exemplars"] == {
+        "1": {"trace_id": "abcd", "value": 0.5}}
+
+
+def test_null_histogram_accepts_and_drops_exemplars():
+    h = NULL_METRICS.histogram("lat")
+    h.observe(1.0, exemplar="abcd")
+    assert h.exemplars() == {}
+
+
+# -- snapshots and interval diffs --------------------------------------------
+
+
+def test_snapshot_diff_counter_deltas(registry):
+    c = registry.counter("req")
+    c.inc(3, route="a")
+    c.inc(1, route="b")
+    prev = registry.snapshot()
+    c.inc(2, route="a")
+    c.inc(5, route="c")
+    deltas = {tuple(sorted(d.labels.items())): d
+              for d in registry.diff(prev) if d.name == "req"}
+    assert deltas[(("route", "a"),)].delta == 2
+    assert deltas[(("route", "b"),)].delta == 0
+    # absent from prev: diffs against zero
+    assert deltas[(("route", "c"),)].previous == 0.0
+    assert deltas[(("route", "c"),)].delta == 5
+    assert all(d.delta >= 0 for d in deltas.values())
+
+
+def test_diff_order_is_label_stable(registry):
+    c = registry.counter("req")
+    for route in ("b", "a", "c"):
+        c.inc(1, route=route)
+    prev = registry.snapshot()
+    c.inc(1, route="c")
+    first = [tuple(sorted(d.labels.items())) for d in registry.diff(prev)]
+    second = [tuple(sorted(d.labels.items())) for d in registry.diff(prev)]
+    assert first == second == sorted(first)
+
+
+def test_histogram_diff_carries_sum_delta(registry):
+    h = registry.histogram("lat", buckets=(1.0, 10.0))
+    h.observe(0.5)
+    prev = registry.snapshot()
+    h.observe(3.0)
+    h.observe(5.0)
+    (delta,) = [d for d in registry.diff(prev) if d.name == "lat"]
+    assert delta.kind == "histogram"
+    assert delta.delta == 2  # observation-count change
+    assert delta.sum_delta == pytest.approx(8.0)
+    assert delta.sum_delta / delta.delta == pytest.approx(4.0)
+
+
+def test_snapshot_value_lookup(registry):
+    registry.counter("req").inc(4, route="a")
+    registry.gauge("depth").set(7)
+    snap = registry.snapshot()
+    assert snap.names() == ("depth", "req")
+    assert snap.value("req", route="a") == 4
+    assert snap.value("req", route="zz") == 0.0
+    assert snap.value("missing") == 0.0
+    assert snap.value("depth") == 7
+
+
+def test_null_metrics_snapshot_diff():
+    prev = NULL_METRICS.snapshot()
+    NULL_METRICS.counter("req").inc(100)
+    assert NULL_METRICS.diff(prev) == ()

@@ -151,3 +151,99 @@ def test_disabled_path_allocates_nothing_per_tile(rng):
         tracemalloc.stop()
     assert small == 0, f"obs allocated {small}B on an untraced 1-tile run"
     assert large == 0, f"obs allocated {large}B on an untraced 9-tile run"
+
+
+# -- unfinished-span audit ---------------------------------------------------
+
+
+def test_span_tree_marks_only_open_spans_unfinished():
+    tracer = Tracer()
+    with tracer.span("done", "plan"):
+        pass
+    leaked = tracer.span("leaked", "plan")
+    leaked.__enter__()  # still open at export: a crashed/hung worker
+    try:
+        (done_node, open_node) = sorted(
+            tracer.span_tree(), key=lambda n: n["name"])
+        assert done_node["name"] == "done"
+        assert "unfinished" not in done_node
+        assert open_node["name"] == "leaked"
+        assert open_node["unfinished"] is True
+    finally:
+        leaked.__exit__(None, None, None)
+    # once closed, the mark disappears: trees of closed spans are stable
+    assert all("unfinished" not in node for node in tracer.span_tree())
+
+
+def test_span_tree_marks_nested_unfinished():
+    tracer = Tracer()
+    outer = tracer.span("outer", "plan")
+    outer.__enter__()
+    with tracer.span("inner", "kernel"):
+        pass
+    (root,) = tracer.span_tree()
+    assert root["unfinished"] is True
+    assert "unfinished" not in root["children"][0]
+    outer.__exit__(None, None, None)
+
+
+# -- trace-context propagation -----------------------------------------------
+
+
+def test_trace_context_annotates_spans():
+    from repro.obs.tracer import current_trace_context, trace_context
+
+    tracer = Tracer()
+    assert current_trace_context() is None
+    with trace_context("aaaa0000bbbb1111"):
+        assert current_trace_context() == "aaaa0000bbbb1111"
+        with tracer.span("s", "plan") as span:
+            assert span.args["trace_id"] == "aaaa0000bbbb1111"
+        with trace_context("cccc2222dddd3333"):  # LIFO nesting
+            assert current_trace_context() == "cccc2222dddd3333"
+        assert current_trace_context() == "aaaa0000bbbb1111"
+    assert current_trace_context() is None
+
+
+def test_explicit_trace_id_beats_context_beats_parent():
+    from repro.obs.tracer import trace_context
+
+    tracer = Tracer()
+    with trace_context("ctx"):
+        with tracer.span("s", "plan", trace_id="explicit") as span:
+            assert span.args["trace_id"] == "explicit"
+            # context outranks the parent's explicit id
+            with tracer.span("child", "kernel") as child:
+                assert child.args["trace_id"] == "ctx"
+    # no context: the parent's annotation flows down
+    with tracer.span("p", "plan", trace_id="parent") as parent:
+        with tracer.span("c", "kernel", parent=parent) as child:
+            assert child.args["trace_id"] == "parent"
+
+
+def test_trace_context_survives_shielding():
+    from repro.obs.tracer import shielded_trace_context, trace_context
+
+    tracer = Tracer()
+    with trace_context("req-123"):
+        with tracer.span("outer", "plan"):
+            with shielded_trace_context():
+                assert current_span() is None  # parentage hidden
+                with tracer.span("inner", "kernel") as inner:
+                    assert inner.parent is None
+                    assert inner.args["trace_id"] == "req-123"
+
+
+def test_trace_context_is_thread_local():
+    from repro.obs.tracer import current_trace_context, trace_context
+
+    seen = {}
+
+    def worker():
+        seen["ctx"] = current_trace_context()
+
+    with trace_context("main-only"):
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+    assert seen["ctx"] is None
